@@ -1,0 +1,128 @@
+// Command compressbench runs any subset of the study's codecs over files
+// and prints a compression-ratio table plus geometric means, optionally
+// verifying every roundtrip.
+//
+// Usage:
+//
+//	compressbench [-codecs xz,bzip2] [-verify] file1 [file2 ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"positbench/internal/compress"
+	"positbench/internal/compress/all"
+	"positbench/internal/lc"
+	"positbench/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("compressbench: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compressbench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	names := fs.String("codecs", strings.Join(all.Names(), ","),
+		"comma-separated codec subset (add 'lc' for the LC pipeline search)")
+	verify := fs.Bool("verify", false, "roundtrip-verify every compression")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("need at least one input file")
+	}
+
+	var codecs []compress.Codec
+	wantLC := false
+	for _, n := range strings.Split(*names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "lc" {
+			wantLC = true
+			continue
+		}
+		c, err := all.Get(n)
+		if err != nil {
+			return err
+		}
+		codecs = append(codecs, c)
+	}
+
+	table := stats.NewTable(append([]string{"File", "Size"}, codecNames(codecs, wantLC)...)...)
+	ratios := map[string][]float64{}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		row := []interface{}{filepath.Base(path), len(data)}
+		for _, c := range codecs {
+			var compLen int
+			if *verify {
+				compLen, err = compress.Roundtrip(c, data)
+			} else {
+				var comp []byte
+				comp, err = c.Compress(data)
+				compLen = len(comp)
+			}
+			if err != nil {
+				return err
+			}
+			r := compress.Ratio(len(data), compLen)
+			ratios[c.Name()] = append(ratios[c.Name()], r)
+			row = append(row, fmt.Sprintf("%.3f", r))
+		}
+		if wantLC {
+			rs, err := lc.SearchAll(data)
+			if err != nil {
+				return err
+			}
+			best := rs[0]
+			if *verify {
+				pipe, err := best.Pipeline()
+				if err != nil {
+					return err
+				}
+				if _, err := compress.Roundtrip(lc.NewCodec(pipe), data); err != nil {
+					return err
+				}
+			}
+			ratios["lc"] = append(ratios["lc"], best.Ratio)
+			row = append(row, fmt.Sprintf("%.3f (%s|%s|%s)", best.Ratio,
+				best.Names[0], best.Names[1], best.Names[2]))
+		}
+		table.AddRow(row...)
+	}
+	geoRow := []interface{}{"geomean", ""}
+	for _, c := range codecs {
+		geoRow = append(geoRow, fmt.Sprintf("%.3f", stats.GeoMean(ratios[c.Name()])))
+	}
+	if wantLC {
+		geoRow = append(geoRow, fmt.Sprintf("%.3f", stats.GeoMean(ratios["lc"])))
+	}
+	table.AddRow(geoRow...)
+	fmt.Fprint(stdout, table.String())
+	return nil
+}
+
+func codecNames(codecs []compress.Codec, withLC bool) []string {
+	var names []string
+	for _, c := range codecs {
+		names = append(names, c.Name())
+	}
+	if withLC {
+		names = append(names, "lc (best pipeline)")
+	}
+	return names
+}

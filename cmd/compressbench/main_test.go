@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeField(t *testing.T, dir, name string, n int) string {
+	t.Helper()
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		v := float32(math.Sin(float64(i)/30) + 2)
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSubset(t *testing.T) {
+	dir := t.TempDir()
+	f1 := writeField(t, dir, "a.f32", 2000)
+	f2 := writeField(t, dir, "b.f32", 1000)
+	var out bytes.Buffer
+	if err := run([]string{"-codecs", "lz4,gzip", "-verify", f1, f2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"a.f32", "b.f32", "geomean", "lz4", "gzip"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "xz") {
+		t.Error("unrequested codec in output")
+	}
+}
+
+func TestRunWithLC(t *testing.T) {
+	dir := t.TempDir()
+	f := writeField(t, dir, "c.f32", 1500)
+	var out bytes.Buffer
+	if err := run([]string{"-codecs", "lz4,lc", f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "|") { // pipeline string present
+		t.Fatalf("LC pipeline missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no files accepted")
+	}
+	if err := run([]string{"-codecs", "nope", "x"}, &out); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if err := run([]string{"/definitely/missing/file"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Command gendata materializes the synthetic SDRBench-substitute inputs as
+// .f32 (IEEE-754 binary32, little-endian) and .posit (posit<32,3>,
+// little-endian) files.
+//
+// Usage:
+//
+//	gendata [-dir out] [-values N] [-input NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"positbench/internal/posit"
+	"positbench/internal/sdrbench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gendata: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gendata", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	dir := fs.String("dir", "data", "output directory")
+	values := fs.Int("values", sdrbench.DefaultValues, "float32 values per input")
+	input := fs.String("input", "", "generate only the named input (default: all 14)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *values <= 0 {
+		return fmt.Errorf("-values must be positive")
+	}
+
+	specs := sdrbench.Inputs()
+	if *input != "" {
+		spec, err := sdrbench.ByName(*input)
+		if err != nil {
+			return err
+		}
+		specs = []sdrbench.InputSpec{spec}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		floats := spec.Generate(*values)
+		f32 := posit.EncodeFloat32LE(floats)
+		words := posit.Posit32e3.FromFloat32Slice(nil, floats)
+		pos := posit.EncodeWordsLE(words)
+		f32Path := filepath.Join(*dir, spec.Name)
+		if err := os.WriteFile(f32Path, f32, 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(f32Path+".posit", pos, 0o644); err != nil {
+			return err
+		}
+		st := posit.Posit32e3.RoundtripStats(floats)
+		fmt.Fprintf(stdout, "%-26s %8d bytes  posit<32,3> precise %.2f%%\n",
+			spec.Name, len(f32), st.PrecisePct())
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"positbench/internal/posit"
+)
+
+func TestRunAllInputs(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-values", "1024"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 28 { // 14 inputs x (.f32 + .posit)
+		t.Fatalf("files: %d", len(entries))
+	}
+	// Files must be the same size in both encodings.
+	f32, err := os.ReadFile(filepath.Join(dir, "vx.f32"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := os.ReadFile(filepath.Join(dir, "vx.f32.posit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f32) != 4096 || len(pos) != 4096 {
+		t.Fatalf("sizes %d %d", len(f32), len(pos))
+	}
+	// Posit file must be the real conversion of the float file.
+	floats, err := posit.DecodeFloat32LE(f32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := posit.DecodeWordsLE(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range floats {
+		if uint64(words[i]) != posit.Posit32e3.FromFloat32(floats[i]) {
+			t.Fatalf("word %d mismatch", i)
+		}
+	}
+	if !strings.Contains(out.String(), "QRAIN") {
+		t.Error("output missing inputs")
+	}
+}
+
+func TestRunSingleInput(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-values", "256", "-input", "vx.f32"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 2 {
+		t.Fatalf("files: %d", len(entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-input", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if err := run([]string{"-values", "-5"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("negative values accepted")
+	}
+	if err := run([]string{"-bogusflag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeField(t *testing.T, dir, name string, n int) string {
+	t.Helper()
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		v := float32(math.Sin(float64(i)/25) * 5)
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGlobalLeaderboard(t *testing.T) {
+	dir := t.TempDir()
+	f1 := writeField(t, dir, "a.f32", 1024)
+	f2 := writeField(t, dir, "b.f32", 512)
+	var out bytes.Buffer
+	if err := run([]string{"-top", "3", f1, f2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "global best pipeline:") {
+		t.Fatalf("missing global line:\n%s", s)
+	}
+	if !strings.Contains(s, "top pipelines for a.f32") || !strings.Contains(s, "top pipelines for b.f32") {
+		t.Fatalf("missing per-file leaderboards:\n%s", s)
+	}
+}
+
+func TestPerFileMode(t *testing.T) {
+	dir := t.TempDir()
+	f := writeField(t, dir, "a.f32", 800)
+	var out bytes.Buffer
+	if err := run([]string{"-per-file", f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "geomean") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no files accepted")
+	}
+	if err := run([]string{"/no/such/file"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Command positconv converts raw little-endian .f32 files to posit<32,es>
+// encoding and back, reporting the Section 4.2 roundtrip-precision
+// statistics.
+//
+// Usage:
+//
+//	positconv -to-posit  [-es 3] input.f32  output.posit
+//	positconv -to-float  [-es 3] input.posit output.f32
+//	positconv -stats     [-es 3] input.f32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"positbench/internal/ieee"
+	"positbench/internal/posit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("positconv: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("positconv", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	toPosit := fs.Bool("to-posit", false, "convert .f32 -> posit words")
+	toFloat := fs.Bool("to-float", false, "convert posit words -> .f32")
+	statsOnly := fs.Bool("stats", false, "report precision statistics only")
+	es := fs.Uint("es", 3, "maximum posit exponent bits (2 or 3 are the studied configs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := posit.Config{N: 32, ES: *es}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return fmt.Errorf("need an input file; see -h")
+	}
+	data, err := os.ReadFile(rest[0])
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *statsOnly:
+		floats, err := posit.DecodeFloat32LE(data)
+		if err != nil {
+			return err
+		}
+		st := cfg.RoundtripStats(floats)
+		sum := ieee.Summarize(floats)
+		fmt.Fprintf(stdout, "%s: %d values\n", rest[0], st.Total)
+		fmt.Fprintf(stdout, "  %s exact roundtrips: %d (%.2f%%), max abs error %g\n",
+			cfg, st.Exact, st.PrecisePct(), st.MaxAbsE)
+		fmt.Fprintf(stdout, "  zeros %d, subnormals %d, normals %d, inf %d, nan %d\n",
+			sum.Zeros, sum.Subnormals, sum.Normals, sum.Infs, sum.NaNs)
+		fmt.Fprintf(stdout, "  finite range [%g, %g], |v| range [%g, %g]\n",
+			sum.MinFinite, sum.MaxFinite, sum.MinAbs, sum.MaxAbs)
+		return nil
+	case *toPosit:
+		if len(rest) != 2 {
+			return fmt.Errorf("need input and output paths")
+		}
+		out, st, err := cfg.ConvertFileF32ToPosit(data)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(rest[1], out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d values, %.2f%% exact under %s\n",
+			rest[1], st.Total, st.PrecisePct(), cfg)
+		return nil
+	case *toFloat:
+		if len(rest) != 2 {
+			return fmt.Errorf("need input and output paths")
+		}
+		words, err := posit.DecodeWordsLE(data)
+		if err != nil {
+			return err
+		}
+		floats := cfg.ToFloat32Slice(nil, words)
+		if err := os.WriteFile(rest[1], posit.EncodeFloat32LE(floats), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d values\n", rest[1], len(floats))
+		return nil
+	default:
+		return fmt.Errorf("pick one of -to-posit, -to-float, -stats")
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"positbench/internal/posit"
+)
+
+func writeF32(t *testing.T, dir string, vals []float32) string {
+	t.Helper()
+	path := filepath.Join(dir, "in.f32")
+	if err := os.WriteFile(path, posit.EncodeFloat32LE(vals), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertBothWays(t *testing.T) {
+	dir := t.TempDir()
+	vals := []float32{1, 2.5, -0.75, 0, 100}
+	in := writeF32(t, dir, vals)
+	positPath := filepath.Join(dir, "out.posit")
+	backPath := filepath.Join(dir, "back.f32")
+
+	var out bytes.Buffer
+	if err := run([]string{"-to-posit", in, positPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "100.00% exact") {
+		t.Fatalf("output: %s", out.String())
+	}
+	if err := run([]string{"-to-float", positPath, backPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floats, err := posit.DecodeFloat32LE(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if floats[i] != vals[i] {
+			t.Fatalf("value %d: %g != %g", i, floats[i], vals[i])
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	in := writeF32(t, dir, []float32{1, 0, float32(math.Ldexp(1.0000001, 120))})
+	var out bytes.Buffer
+	if err := run([]string{"-stats", in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "3 values") || !strings.Contains(s, "exact roundtrips: 2") {
+		t.Fatalf("stats output: %s", s)
+	}
+	// es=2 must also work.
+	out.Reset()
+	if err := run([]string{"-stats", "-es", "2", in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "posit<32,2>") {
+		t.Fatalf("es=2 output: %s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := writeF32(t, dir, []float32{1})
+	var out bytes.Buffer
+	if err := run([]string{in}, &out); err == nil {
+		t.Fatal("missing mode accepted")
+	}
+	if err := run([]string{"-stats"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-stats", filepath.Join(dir, "missing")}, &out); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+	if err := run([]string{"-to-posit", in}, &out); err == nil {
+		t.Fatal("missing output path accepted")
+	}
+	if err := run([]string{"-stats", "-es", "9", in}, &out); err == nil {
+		t.Fatal("bad es accepted")
+	}
+	// Ragged file length.
+	bad := filepath.Join(dir, "bad.f32")
+	os.WriteFile(bad, []byte{1, 2, 3}, 0o644)
+	if err := run([]string{"-stats", bad}, &out); err == nil {
+		t.Fatal("ragged file accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTablesOnly(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-exp", "table1"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bzip2") {
+		t.Fatalf("table1 output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-exp", "table2"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CESM") {
+		t.Fatalf("table2 output:\n%s", out.String())
+	}
+}
+
+func TestPrecisionExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-exp", "precision", "-values", "4096"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "geomean") || !strings.Contains(s, "es=3") {
+		t.Fatalf("precision output:\n%s", s)
+	}
+}
+
+func TestFig5Experiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-values", "4096"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "AEROD") {
+		t.Fatalf("fig5 output:\n%s", out.String())
+	}
+}
+
+func TestVerboseProgressGoesToStderr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-exp", "table3", "-values", "1024", "-v"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "prepared") {
+		t.Errorf("expected progress on stderr, got %q", errOut.String())
+	}
+	if strings.Contains(out.String(), "prepared") {
+		t.Error("progress leaked to stdout")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-exp", "bogus"}, &out, &errOut); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Climate: the paper's CESM scenario end-to-end. Generates the two
+// CESM-like inputs (aerosol optical depth with huge outliers, sea-ice
+// fraction with zero oceans), shows their exponent profiles (Figure 5
+// style), converts to posit<32,3> and posit<32,2>, and compares all five
+// general-purpose codecs on both encodings.
+//
+//	go run ./examples/climate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"positbench/internal/compress"
+	"positbench/internal/compress/all"
+	"positbench/internal/ieee"
+	"positbench/internal/posit"
+	"positbench/internal/sdrbench"
+	"positbench/internal/stats"
+)
+
+func main() {
+	const n = 1 << 17
+	for _, name := range []string{"AEROD_v_1_1800_3600.f32", "ICEFRAC_1_1800_3600.f32"} {
+		spec, err := sdrbench.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		values := spec.Generate(n)
+
+		fmt.Printf("=== %s (%s) ===\n", spec.Name, spec.Dataset)
+		var h ieee.Histogram
+		h.AddSlice(values)
+		fmt.Printf("exponent mode %d; value classes: %+v\n", h.Mode(), ieee.Summarize(values))
+
+		// es=3 vs es=2: why the paper picked posit<32,3>.
+		for _, cfg := range []posit.Config{posit.Posit32e3, posit.Posit32} {
+			st := cfg.RoundtripStats(values)
+			fmt.Printf("%s: %.2f%% exact roundtrips\n", cfg, st.PrecisePct())
+		}
+
+		ieeeBytes := posit.EncodeFloat32LE(values)
+		positBytes := posit.EncodeWordsLE(posit.Posit32e3.FromFloat32Slice(nil, values))
+		t := stats.NewTable("Codec", "IEEE ratio", "posit ratio", "delta")
+		for _, codec := range all.Codecs() {
+			ri := ratio(codec, ieeeBytes)
+			rp := ratio(codec, positBytes)
+			t.AddRow(codec.Name(), fmt.Sprintf("%.3f", ri), fmt.Sprintf("%.3f", rp),
+				fmt.Sprintf("%+.2f%%", stats.PctDelta(ri, rp)))
+		}
+		fmt.Print(t.String())
+		fmt.Println()
+	}
+}
+
+func ratio(c compress.Codec, data []byte) float64 {
+	n, err := compress.Roundtrip(c, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return compress.Ratio(len(data), n)
+}

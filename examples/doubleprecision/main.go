@@ -1,0 +1,55 @@
+// Doubleprecision: the paper's future-work extension to 64-bit data.
+// Builds a double-precision field, re-encodes it as posit<64,3>, and
+// compares compressibility of the two encodings — the same experiment as
+// Figures 3/4, one word size up.
+//
+//	go run ./examples/doubleprecision
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"positbench/internal/compress"
+	"positbench/internal/compress/all"
+	"positbench/internal/posit"
+	"positbench/internal/stats"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 16
+	values := make([]float64, n)
+	for i := range values {
+		v := 1e5 + 4e4*math.Sin(float64(i)/3000) + 50*rng.NormFloat64()
+		// Model output with ~30 significant mantissa bits.
+		values[i] = math.Float64frombits(math.Float64bits(v) &^ (1<<22 - 1))
+	}
+
+	cfg := posit.Config{N: 64, ES: 3}
+	words := cfg.FromFloat64Slice(nil, values)
+	st := cfg.RoundtripStats64(values)
+	fmt.Printf("%s conversion: %.2f%% exact roundtrips over %d values\n",
+		cfg, 100*float64(st.Exact)/float64(st.Total), st.Total)
+
+	ieeeBytes := posit.EncodeFloat64LE(values)
+	positBytes := posit.EncodeWords64LE(words)
+	t := stats.NewTable("Codec", "float64 ratio", "posit<64,3> ratio", "delta")
+	for _, codec := range all.Codecs() {
+		ri := ratio(codec, ieeeBytes)
+		rp := ratio(codec, positBytes)
+		t.AddRow(codec.Name(), fmt.Sprintf("%.3f", ri), fmt.Sprintf("%.3f", rp),
+			fmt.Sprintf("%+.2f%%", stats.PctDelta(ri, rp)))
+	}
+	fmt.Print(t.String())
+}
+
+func ratio(c compress.Codec, data []byte) float64 {
+	n, err := compress.Roundtrip(c, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return compress.Ratio(len(data), n)
+}

@@ -1,0 +1,59 @@
+// Quickstart: convert a float32 buffer to posit<32,3>, compress both
+// representations with the study's strongest codec, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"positbench/internal/compress"
+	"positbench/internal/compress/xzc"
+	"positbench/internal/posit"
+)
+
+func main() {
+	// A smooth "sensor signal": values near 1.0, the regime posits love.
+	values := make([]float32, 100_000)
+	for i := range values {
+		values[i] = float32(1 + 0.5*math.Sin(float64(i)/500))
+	}
+
+	// 1. Re-encode as posit<32,3> (the paper's configuration).
+	cfg := posit.Posit32e3
+	words := cfg.FromFloat32Slice(nil, values)
+	st := cfg.RoundtripStats(values)
+	fmt.Printf("converted %d values to %s: %.2f%% roundtrip exactly\n",
+		st.Total, cfg, st.PrecisePct())
+
+	// 2. Serialize both encodings; the files are the same size.
+	ieeeBytes := posit.EncodeFloat32LE(values)
+	positBytes := posit.EncodeWordsLE(words)
+
+	// 3. Compress both with the xz-class codec.
+	codec := xzc.New()
+	for _, enc := range []struct {
+		name string
+		data []byte
+	}{{"ieee", ieeeBytes}, {"posit", positBytes}} {
+		n, err := compress.Roundtrip(codec, enc.data) // also verifies losslessness
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s %8d -> %8d bytes (ratio %.3f)\n",
+			enc.name, len(enc.data), n, compress.Ratio(len(enc.data), n))
+	}
+
+	// 4. Posit bits round-trip through float64 exactly (n <= 32), so the
+	// data can come back whenever IEEE consumers need it.
+	back := cfg.ToFloat32Slice(nil, words)
+	diff := 0
+	for i := range values {
+		if back[i] != values[i] {
+			diff++
+		}
+	}
+	fmt.Printf("values changed by storing as posit: %d\n", diff)
+}

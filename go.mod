@@ -1,0 +1,3 @@
+module positbench
+
+go 1.22

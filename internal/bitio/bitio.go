@@ -1,0 +1,208 @@
+// Package bitio provides MSB-first bit-level readers and writers plus
+// variable-length integer helpers. It is the shared substrate for the
+// entropy coders (Huffman, range coder) and the LC coding components.
+package bitio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the stream.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of stream")
+
+// Writer accumulates bits MSB-first into a byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within nbits
+	nbit uint   // number of pending bits in cur (0..7 after flushWords)
+}
+
+// NewWriter returns a Writer whose internal buffer has the given capacity hint.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint64(b&1)
+	w.nbit++
+	if w.nbit == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n may be 0..64.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	// Fast path: fill the pending byte, then emit whole bytes.
+	for n+w.nbit >= 8 {
+		take := 8 - w.nbit
+		n -= take
+		b := byte(w.cur<<take | v>>n)
+		w.buf = append(w.buf, b)
+		w.cur, w.nbit = 0, 0
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+	}
+	if n > 0 {
+		w.cur = w.cur<<n | v
+		w.nbit += n
+	}
+}
+
+// WriteByte appends an aligned or unaligned full byte.
+func (w *Writer) WriteByte(b byte) error {
+	w.WriteBits(uint64(b), 8)
+	return nil
+}
+
+// WriteBytes appends a byte slice.
+func (w *Writer) WriteBytes(p []byte) {
+	if w.nbit == 0 {
+		w.buf = append(w.buf, p...)
+		return
+	}
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Align pads the stream with zero bits up to the next byte boundary.
+func (w *Writer) Align() {
+	if w.nbit > 0 {
+		w.cur <<= 8 - w.nbit
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nbit) }
+
+// Bytes flushes (aligning to a byte boundary) and returns the written bytes.
+// The returned slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte {
+	w.Align()
+	return w.buf
+}
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nbit = 0, 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int // next byte index
+	cur  uint64
+	nbit uint
+}
+
+// NewReader returns a Reader over p. The reader does not copy p.
+func NewReader(p []byte) *Reader {
+	return &Reader{buf: p}
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.nbit == 0 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrUnexpectedEOF
+		}
+		r.cur = uint64(r.buf[r.pos])
+		r.pos++
+		r.nbit = 8
+	}
+	r.nbit--
+	return uint(r.cur>>r.nbit) & 1, nil
+}
+
+// ReadBits reads n bits (0..64), most significant first.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.nbit == 0 {
+			if r.pos >= len(r.buf) {
+				return 0, ErrUnexpectedEOF
+			}
+			r.cur = uint64(r.buf[r.pos])
+			r.pos++
+			r.nbit = 8
+		}
+		take := r.nbit
+		if take > n {
+			take = n
+		}
+		r.nbit -= take
+		v = v<<take | (r.cur>>r.nbit)&((1<<take)-1)
+		n -= take
+	}
+	return v, nil
+}
+
+// ReadByte reads 8 bits.
+func (r *Reader) ReadByte() (byte, error) {
+	v, err := r.ReadBits(8)
+	return byte(v), err
+}
+
+// Align discards bits up to the next byte boundary.
+func (r *Reader) Align() { r.nbit = 0 }
+
+// Remaining reports the number of unread whole bits.
+func (r *Reader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 + int(r.nbit)
+}
+
+// PutUvarint appends v to buf in unsigned LEB128 form and returns the result.
+func PutUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// Uvarint decodes an unsigned LEB128 value from buf, returning the value and
+// the number of bytes consumed. It returns an error on truncated input.
+func Uvarint(buf []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("bitio: bad uvarint (n=%d)", n)
+	}
+	return v, n, nil
+}
+
+// PutU32 appends v little-endian.
+func PutU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+// U32 reads a little-endian uint32 from the front of buf.
+func U32(buf []byte) (uint32, error) {
+	if len(buf) < 4 {
+		return 0, ErrUnexpectedEOF
+	}
+	return binary.LittleEndian.Uint32(buf), nil
+}
+
+// PutU64 appends v little-endian.
+func PutU64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+// U64 reads a little-endian uint64 from the front of buf.
+func U64(buf []byte) (uint64, error) {
+	if len(buf) < 8 {
+		return 0, ErrUnexpectedEOF
+	}
+	return binary.LittleEndian.Uint64(buf), nil
+}

@@ -1,0 +1,141 @@
+// Package bwt implements the Burrows-Wheeler transform and its inverse.
+// The forward transform sorts all cyclic rotations of the block (the same
+// formulation bzip2 uses) with a counting-sort class-doubling algorithm,
+// O(n log n) time and O(n) auxiliary space.
+package bwt
+
+import "fmt"
+
+// Transform returns the last column of the sorted rotation matrix of s and
+// the primary index (the row containing the original string). s is not
+// modified. Blocks up to ~1<<31 bytes are supported.
+func Transform(s []byte) ([]byte, int) {
+	n := len(s)
+	if n == 0 {
+		return nil, 0
+	}
+	if n == 1 {
+		return []byte{s[0]}, 0
+	}
+	p := sortRotations(s)
+	out := make([]byte, n)
+	primary := 0
+	for i, start := range p {
+		if start == 0 {
+			primary = i
+		}
+		out[i] = s[(int(start)+n-1)%n]
+	}
+	return out, primary
+}
+
+// sortRotations returns the starting indices of the lexicographically
+// sorted cyclic rotations of s.
+func sortRotations(s []byte) []int32 {
+	n := len(s)
+	alpha := 256
+	if n > alpha {
+		alpha = n
+	}
+	p := make([]int32, n)  // rotation order
+	c := make([]int32, n)  // equivalence class per position
+	pn := make([]int32, n) // scratch order
+	cn := make([]int32, n) // scratch classes
+	cnt := make([]int32, alpha)
+
+	// Round 0: counting sort by single byte.
+	for _, b := range s {
+		cnt[b]++
+	}
+	for i := 1; i < 256; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := n - 1; i >= 0; i-- {
+		cnt[s[i]]--
+		p[cnt[s[i]]] = int32(i)
+	}
+	c[p[0]] = 0
+	classes := int32(1)
+	for i := 1; i < n; i++ {
+		if s[p[i]] != s[p[i-1]] {
+			classes++
+		}
+		c[p[i]] = classes - 1
+	}
+
+	for k := 1; k < n && classes < int32(n); k <<= 1 {
+		// Sort by the second half: shift starts back by k.
+		for i := 0; i < n; i++ {
+			pn[i] = p[i] - int32(k)
+			if pn[i] < 0 {
+				pn[i] += int32(n)
+			}
+		}
+		// Stable counting sort by class of the first half.
+		for i := int32(0); i < classes; i++ {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[c[pn[i]]]++
+		}
+		for i := int32(1); i < classes; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			cl := c[pn[i]]
+			cnt[cl]--
+			p[cnt[cl]] = pn[i]
+		}
+		// Recompute classes from (c[i], c[i+k]).
+		cn[p[0]] = 0
+		classes = 1
+		for i := 1; i < n; i++ {
+			a1 := c[p[i]]
+			b1 := c[(int(p[i])+k)%n]
+			a2 := c[p[i-1]]
+			b2 := c[(int(p[i-1])+k)%n]
+			if a1 != a2 || b1 != b2 {
+				classes++
+			}
+			cn[p[i]] = classes - 1
+		}
+		c, cn = cn, c
+	}
+	return p
+}
+
+// Inverse reconstructs the original block from the last column and the
+// primary index using the LF mapping.
+func Inverse(last []byte, primary int) ([]byte, error) {
+	n := len(last)
+	if n == 0 {
+		return nil, nil
+	}
+	if primary < 0 || primary >= n {
+		return nil, fmt.Errorf("bwt: primary index %d out of range [0,%d)", primary, n)
+	}
+	// next[i]: row of the rotation that follows row i's rotation.
+	var cnt [256]int
+	for _, b := range last {
+		cnt[b]++
+	}
+	var base [256]int
+	sum := 0
+	for v := 0; v < 256; v++ {
+		base[v] = sum
+		sum += cnt[v]
+	}
+	next := make([]int32, n)
+	var seen [256]int
+	for i, b := range last {
+		next[base[b]+seen[b]] = int32(i)
+		seen[b]++
+	}
+	out := make([]byte, n)
+	row := next[primary]
+	for i := 0; i < n; i++ {
+		out[i] = last[row]
+		row = next[row]
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naive computes the BWT by explicitly sorting all rotations.
+func naive(s []byte) ([]byte, int) {
+	n := len(s)
+	rots := make([]int, n)
+	for i := range rots {
+		rots[i] = i
+	}
+	rot := func(start, j int) byte { return s[(start+j)%n] }
+	sort.SliceStable(rots, func(a, b int) bool {
+		for j := 0; j < n; j++ {
+			ca, cb := rot(rots[a], j), rot(rots[b], j)
+			if ca != cb {
+				return ca < cb
+			}
+		}
+		return rots[a] < rots[b] // identical rotations: stable by index
+	})
+	out := make([]byte, n)
+	primary := 0
+	for i, start := range rots {
+		if start == 0 {
+			primary = i
+		}
+		out[i] = s[(start+n-1)%n]
+	}
+	return out, primary
+}
+
+func TestKnownVector(t *testing.T) {
+	// The classic example: "banana" rotations sort to BWT "nnbaaa".
+	got, idx := Transform([]byte("banana"))
+	if string(got) != "nnbaaa" {
+		t.Fatalf("BWT(banana) = %q", got)
+	}
+	back, err := Inverse(got, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != "banana" {
+		t.Fatalf("inverse = %q", back)
+	}
+}
+
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(64) + 1
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(4)) // small alphabet stresses ties
+		}
+		gotL, gotI := Transform(s)
+		wantL, _ := naive(s)
+		if !bytes.Equal(gotL, wantL) {
+			t.Fatalf("s=%v: got %v want %v", s, gotL, wantL)
+		}
+		// The primary index may differ between equally sorted identical
+		// rotations, but the inverse must still reproduce s.
+		back, err := Inverse(gotL, gotI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, s) {
+			t.Fatalf("s=%v: inverse %v", s, back)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if l, _ := Transform(nil); l != nil {
+		t.Fatal("empty")
+	}
+	l, i := Transform([]byte{42})
+	if len(l) != 1 || l[0] != 42 || i != 0 {
+		t.Fatal("single byte")
+	}
+	back, err := Inverse(l, i)
+	if err != nil || !bytes.Equal(back, []byte{42}) {
+		t.Fatal("single byte inverse")
+	}
+	// All-identical input.
+	s := bytes.Repeat([]byte{7}, 1000)
+	l, i = Transform(s)
+	back, err = Inverse(l, i)
+	if err != nil || !bytes.Equal(back, s) {
+		t.Fatal("uniform input")
+	}
+	// Invalid primary index.
+	if _, err := Inverse([]byte{1, 2}, 5); err == nil {
+		t.Fatal("want error for bad primary")
+	}
+	if _, err := Inverse([]byte{1, 2}, -1); err == nil {
+		t.Fatal("want error for negative primary")
+	}
+	b, err := Inverse(nil, 0)
+	if err != nil || b != nil {
+		t.Fatal("empty inverse")
+	}
+}
+
+func TestRoundtripQuick(t *testing.T) {
+	f := func(s []byte) bool {
+		l, i := Transform(s)
+		back, err := Inverse(l, i)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := make([]byte, 1<<18)
+	for i := range s {
+		// Compressible structure: repeated phrases.
+		s[i] = byte((i / 7 % 13) * (i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		s[rng.Intn(len(s))] = byte(rng.Intn(256))
+	}
+	l, idx := Transform(s)
+	back, err := Inverse(l, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, s) {
+		t.Fatal("large roundtrip failed")
+	}
+}
+
+func BenchmarkTransform(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := make([]byte, 1<<20)
+	for i := range s {
+		s[i] = byte(rng.Intn(16))
+	}
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform(s)
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	s := make([]byte, 1<<20)
+	for i := range s {
+		s[i] = byte(rng.Intn(16))
+	}
+	l, idx := Transform(s)
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Inverse(l, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package all
+
+import (
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	cs := Codecs()
+	if len(cs) != 5 {
+		t.Fatalf("want the paper's 5 codecs, got %d", len(cs))
+	}
+	want := []string{"bzip2", "gzip", "lz4", "xz", "zstd"}
+	names := Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("missing codec %q", w)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	for _, n := range Names() {
+		c, err := Get(n)
+		if err != nil || c.Name() != n {
+			t.Errorf("Get(%s): %v", n, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+func TestInfos(t *testing.T) {
+	infos := Infos()
+	if len(infos) != 5 {
+		t.Fatalf("infos: %d", len(infos))
+	}
+	for _, info := range infos {
+		if info.Name == "" || info.Version == "" || info.Source == "" {
+			t.Errorf("incomplete info: %+v", info)
+		}
+	}
+}
+
+func TestFreshInstances(t *testing.T) {
+	// Codecs() must return fresh instances (no shared state across callers).
+	a, b := Codecs(), Codecs()
+	for i := range a {
+		if a[i] == b[i] {
+			t.Errorf("codec %d shared between calls", i)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package bzip2c implements the bzip2-class codec: RLE1, then per-block
+// Burrows-Wheeler transform, move-to-front, RUNA/RUNB zero-run coding, and
+// canonical Huffman. This is the algorithm family behind the paper's one
+// counterintuitive result: block sorting groups the two's-complement regime
+// bytes of posit data, so bzip2 compresses posits *better* than floats.
+//
+// Blocks are compressed independently and in parallel; output is
+// deterministic regardless of scheduling.
+package bzip2c
+
+import (
+	"fmt"
+	"sync"
+
+	"positbench/internal/bitio"
+	"positbench/internal/bwt"
+	"positbench/internal/compress"
+	"positbench/internal/huffman"
+	"positbench/internal/mtf"
+)
+
+const (
+	// DefaultBlockSize mirrors bzip2 -9's 900 kB blocks.
+	DefaultBlockSize = 900 * 1000
+	eobSymbol        = 257 // alphabet: RUNA, RUNB, 2..256 (bytes 1..255), EOB
+	alphabetSize     = 258
+)
+
+// Codec is the bzip2-class compressor.
+type Codec struct {
+	blockSize int
+}
+
+// New returns a codec with bzip2 -9 block size (the --best setting).
+func New() *Codec { return &Codec{blockSize: DefaultBlockSize} }
+
+// NewBlockSize returns a codec with a custom block size.
+func NewBlockSize(n int) *Codec {
+	if n < 1024 {
+		n = 1024
+	}
+	return &Codec{blockSize: n}
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string { return "bzip2" }
+
+// Info implements compress.Describer.
+func (c *Codec) Info() compress.Info {
+	return compress.Info{Name: "bzip2", Version: "bwt-block", Source: "models bzip2 1.1.0 -9 (RLE1+BWT+MTF+RLE2+Huffman, 900 kB blocks)"}
+}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(src []byte) ([]byte, error) {
+	pre := mtf.RLE1(src)
+	var blocks [][]byte
+	for off := 0; off < len(pre); off += c.blockSize {
+		end := off + c.blockSize
+		if end > len(pre) {
+			end = len(pre)
+		}
+		blocks = append(blocks, pre[off:end])
+	}
+	encoded := make([][]byte, len(blocks))
+	errs := make([]error, len(blocks))
+	var wg sync.WaitGroup
+	for i, b := range blocks {
+		wg.Add(1)
+		go func(i int, b []byte) {
+			defer wg.Done()
+			encoded[i], errs[i] = compressBlock(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := bitio.PutUvarint(nil, uint64(len(src)))
+	out = bitio.PutUvarint(out, uint64(len(blocks)))
+	for _, e := range encoded {
+		out = bitio.PutUvarint(out, uint64(len(e)))
+		out = append(out, e...)
+	}
+	return out, nil
+}
+
+// groupSize is bzip2's symbol-group granularity for Huffman table
+// switching.
+const groupSize = 50
+
+// numTables picks how many Huffman tables to use, following bzip2.
+func numTables(nSyms int) int {
+	switch {
+	case nSyms < 200:
+		return 2
+	case nSyms < 600:
+		return 3
+	case nSyms < 1200:
+		return 4
+	case nSyms < 2400:
+		return 5
+	default:
+		return 6
+	}
+}
+
+func compressBlock(block []byte) ([]byte, error) {
+	last, primary := bwt.Transform(block)
+	syms := mtf.EncodeZeroRuns(mtf.Encode(last))
+	syms = append(syms, eobSymbol)
+
+	nGroups := numTables(len(syms))
+	nSel := (len(syms) + groupSize - 1) / groupSize
+	// Initialize one table per contiguous chunk of the symbol stream, then
+	// refine with a few assign-groups / rebuild-tables iterations (bzip2's
+	// scheme). Post-BWT statistics drift along the block, so local tables
+	// beat one global table.
+	tables := make([][]uint8, nGroups)
+	chunk := (len(syms) + nGroups - 1) / nGroups
+	for t := 0; t < nGroups; t++ {
+		lo, hi := t*chunk, (t+1)*chunk
+		if hi > len(syms) {
+			hi = len(syms)
+		}
+		freqs := make([]int, alphabetSize)
+		for _, s := range syms[lo:hi] {
+			freqs[s]++
+		}
+		freqs[eobSymbol]++ // every table must be able to code EOB
+		var err error
+		tables[t], err = huffman.BuildLengths(freqs, huffman.MaxBits)
+		if err != nil {
+			return nil, err
+		}
+	}
+	selectors := make([]int, nSel)
+	for iter := 0; iter < 4; iter++ {
+		// Assign each group its cheapest table.
+		freqsPer := make([][]int, nGroups)
+		for t := range freqsPer {
+			freqsPer[t] = make([]int, alphabetSize)
+		}
+		for g := 0; g < nSel; g++ {
+			lo, hi := g*groupSize, (g+1)*groupSize
+			if hi > len(syms) {
+				hi = len(syms)
+			}
+			bestT, bestCost := 0, int(^uint(0)>>1)
+			for t := 0; t < nGroups; t++ {
+				cost := 0
+				for _, s := range syms[lo:hi] {
+					l := int(tables[t][s])
+					if l == 0 {
+						l = 32 // unusable code: huge penalty
+					}
+					cost += l
+				}
+				if cost < bestCost {
+					bestT, bestCost = t, cost
+				}
+			}
+			selectors[g] = bestT
+			for _, s := range syms[lo:hi] {
+				freqsPer[bestT][s]++
+			}
+		}
+		// Rebuild tables from their assigned groups.
+		for t := 0; t < nGroups; t++ {
+			freqsPer[t][eobSymbol]++
+			var err error
+			tables[t], err = huffman.BuildLengths(freqsPer[t], huffman.MaxBits)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	encs := make([]*huffman.Encoder, nGroups)
+	for t := range tables {
+		var err error
+		encs[t], err = huffman.NewEncoder(tables[t])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	w := bitio.NewWriter(len(block)/3 + 64)
+	hdr := bitio.PutUvarint(nil, uint64(primary))
+	hdr = bitio.PutUvarint(hdr, uint64(len(block)))
+	hdr = bitio.PutUvarint(hdr, uint64(len(syms)))
+	hdr = append(hdr, byte(nGroups))
+	w.WriteBytes(hdr)
+	for _, tbl := range tables {
+		if err := huffman.WriteLengths(w, tbl); err != nil {
+			return nil, err
+		}
+	}
+	// Selectors, MTF-transformed then unary-coded (bzip2's format): table
+	// switches are rare, so most selectors cost one bit.
+	mtfOrder := make([]int, nGroups)
+	for i := range mtfOrder {
+		mtfOrder[i] = i
+	}
+	for _, sel := range selectors {
+		j := 0
+		for mtfOrder[j] != sel {
+			j++
+		}
+		for i := 0; i < j; i++ {
+			w.WriteBit(1)
+		}
+		w.WriteBit(0)
+		copy(mtfOrder[1:j+1], mtfOrder[:j])
+		mtfOrder[0] = sel
+	}
+	for i, s := range syms {
+		enc := encs[selectors[i/groupSize]]
+		enc.Encode(w, int(s))
+	}
+	return w.Bytes(), nil
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	origSize, n, err := bitio.Uvarint(comp)
+	if err != nil {
+		return nil, fmt.Errorf("bzip2: %w", err)
+	}
+	comp = comp[n:]
+	nBlocks, n, err := bitio.Uvarint(comp)
+	if err != nil {
+		return nil, fmt.Errorf("bzip2: %w", err)
+	}
+	comp = comp[n:]
+	blocks := make([][]byte, nBlocks)
+	for i := range blocks {
+		bl, n, err := bitio.Uvarint(comp)
+		if err != nil {
+			return nil, fmt.Errorf("bzip2: block %d header: %w", i, err)
+		}
+		comp = comp[n:]
+		if uint64(len(comp)) < bl {
+			return nil, fmt.Errorf("bzip2: block %d truncated", i)
+		}
+		blocks[i] = comp[:bl]
+		comp = comp[bl:]
+	}
+	decoded := make([][]byte, nBlocks)
+	errs := make([]error, nBlocks)
+	var wg sync.WaitGroup
+	for i, b := range blocks {
+		wg.Add(1)
+		go func(i int, b []byte) {
+			defer wg.Done()
+			decoded[i], errs[i] = decompressBlock(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bzip2: block %d: %w", i, err)
+		}
+	}
+	var pre []byte
+	for _, d := range decoded {
+		pre = append(pre, d...)
+	}
+	out, err := mtf.UnRLE1(pre)
+	if err != nil {
+		return nil, fmt.Errorf("bzip2: %w", err)
+	}
+	if uint64(len(out)) != origSize {
+		return nil, fmt.Errorf("bzip2: size mismatch: got %d want %d", len(out), origSize)
+	}
+	return out, nil
+}
+
+func decompressBlock(b []byte) ([]byte, error) {
+	primary, n, err := bitio.Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b[n:]
+	blockLen, n, err := bitio.Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b[n:]
+	nSyms64, n, err := bitio.Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b[n:]
+	if blockLen > 1<<26 {
+		return nil, fmt.Errorf("implausible block length %d", blockLen)
+	}
+	nSyms := int(nSyms64)
+	if nSyms < 1 || uint64(nSyms) > 2*blockLen+16 {
+		return nil, fmt.Errorf("implausible symbol count %d", nSyms)
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("missing table count")
+	}
+	nGroups := int(b[0])
+	b = b[1:]
+	if nGroups < 1 || nGroups > 8 {
+		return nil, fmt.Errorf("bad table count %d", nGroups)
+	}
+	r := bitio.NewReader(b)
+	decs := make([]*huffman.Decoder, nGroups)
+	for t := 0; t < nGroups; t++ {
+		lengths, err := huffman.ReadLengths(r, alphabetSize)
+		if err != nil {
+			return nil, err
+		}
+		decs[t], err = huffman.NewDecoder(lengths)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nSel := (nSyms + groupSize - 1) / groupSize
+	selectors := make([]int, nSel)
+	mtfOrder := make([]int, nGroups)
+	for i := range mtfOrder {
+		mtfOrder[i] = i
+	}
+	for g := range selectors {
+		j := 0
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			if bit == 0 {
+				break
+			}
+			j++
+			if j >= nGroups {
+				return nil, fmt.Errorf("selector out of range")
+			}
+		}
+		sel := mtfOrder[j]
+		selectors[g] = sel
+		copy(mtfOrder[1:j+1], mtfOrder[:j])
+		mtfOrder[0] = sel
+	}
+	syms := make([]uint16, 0, nSyms-1)
+	for i := 0; i < nSyms; i++ {
+		s, err := decs[selectors[i/groupSize]].Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		if s == eobSymbol {
+			if i != nSyms-1 {
+				return nil, fmt.Errorf("early EOB at symbol %d of %d", i, nSyms)
+			}
+			break
+		}
+		syms = append(syms, uint16(s))
+	}
+	if len(syms) != nSyms-1 {
+		return nil, fmt.Errorf("missing EOB")
+	}
+	mtfBytes, err := mtf.DecodeZeroRuns(syms)
+	if err != nil {
+		return nil, err
+	}
+	last := mtf.Decode(mtfBytes)
+	if len(last) != int(blockLen) {
+		return nil, fmt.Errorf("block length mismatch: got %d want %d", len(last), blockLen)
+	}
+	return bwt.Inverse(last, int(primary))
+}
+
+var _ compress.Codec = (*Codec)(nil)
+var _ compress.Describer = (*Codec)(nil)

@@ -1,0 +1,11 @@
+package bzip2c
+
+import (
+	"testing"
+
+	"positbench/internal/compress/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.Run(t, New())
+}

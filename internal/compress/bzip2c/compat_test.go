@@ -1,0 +1,103 @@
+package bzip2c
+
+import (
+	"bytes"
+	"compress/bzip2"
+	"io"
+	"math/rand"
+	"testing"
+
+	"positbench/internal/compress/codectest"
+)
+
+// The compat codec's Decompress is the standard library's reference bzip2
+// decoder, so the whole conformance suite cross-validates our encoder
+// against an independent implementation of the format.
+func TestCompatConformance(t *testing.T) {
+	codectest.Run(t, NewCompat(9))
+}
+
+func TestCompatLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 250000)
+	for i := range data {
+		data[i] = byte(rng.Intn(8)) * 3
+	}
+	for _, level := range []int{1, 5, 9} {
+		c := NewCompat(level)
+		comp, err := c.Compress(data)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		// Decode with the stdlib reader directly.
+		back, err := io.ReadAll(bzip2.NewReader(bytes.NewReader(comp)))
+		if err != nil {
+			t.Fatalf("level %d: stdlib decode: %v", level, err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("level %d: roundtrip mismatch", level)
+		}
+	}
+	// Clamping.
+	if NewCompat(0).level != 1 || NewCompat(99).level != 9 {
+		t.Fatal("level clamping")
+	}
+}
+
+func TestCompatHeaderBytes(t *testing.T) {
+	c := NewCompat(9)
+	comp, err := c.Compress([]byte("hello bzip2 world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) < 10 || comp[0] != 'B' || comp[1] != 'Z' || comp[2] != 'h' || comp[3] != '9' {
+		t.Fatalf("header: % x", comp[:4])
+	}
+}
+
+func TestCompatMultiBlock(t *testing.T) {
+	// Level 1 blocks are ~100 kB; 350 kB forces several blocks and
+	// exercises the combined stream CRC.
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 350000)
+	for i := range data {
+		data[i] = byte(rng.Intn(64))
+	}
+	c := NewCompat(1)
+	comp, err := c.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := io.ReadAll(bzip2.NewReader(bytes.NewReader(comp)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("multi-block roundtrip failed")
+	}
+}
+
+func TestCompatRunHeavy(t *testing.T) {
+	// Long runs stress RLE1 boundaries and the RUNA/RUNB coder.
+	var data []byte
+	rng := rand.New(rand.NewSource(3))
+	for len(data) < 300000 {
+		data = append(data, bytes.Repeat([]byte{byte(rng.Intn(4))}, rng.Intn(1000)+1)...)
+	}
+	c := NewCompat(1)
+	comp, err := c.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := io.ReadAll(bzip2.NewReader(bytes.NewReader(comp)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("run-heavy roundtrip failed")
+	}
+}
+
+func FuzzCompatRoundtrip(f *testing.F) {
+	codectest.FuzzRoundtrip(f, NewCompat(1))
+}

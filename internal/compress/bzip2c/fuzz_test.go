@@ -1,0 +1,10 @@
+package bzip2c
+
+import (
+	"testing"
+
+	"positbench/internal/compress/codectest"
+)
+
+func FuzzRoundtrip(f *testing.F)  { codectest.FuzzRoundtrip(f, New()) }
+func FuzzDecompress(f *testing.F) { codectest.FuzzDecompress(f, New()) }

@@ -1,0 +1,43 @@
+package codectest
+
+import (
+	"bytes"
+	"testing"
+
+	"positbench/internal/compress"
+)
+
+// FuzzRoundtrip drives a codec with fuzzed inputs: every input must
+// compress and decompress back to itself.
+func FuzzRoundtrip(f *testing.F, c compress.Codec) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{7}, 1000))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Add(smoothFloatField(256))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp, err := c.Compress(data)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		back, err := c.Decompress(comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("roundtrip mismatch: %d in, %d out", len(data), len(back))
+		}
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to Decompress: it may error but
+// must never panic or hang.
+func FuzzDecompress(f *testing.F, c compress.Codec) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0, 1, 2, 3})
+	valid, _ := c.Compress(smoothFloatField(64))
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c.Decompress(data) // errors are fine; panics are not
+	})
+}

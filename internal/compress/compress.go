@@ -1,0 +1,58 @@
+// Package compress defines the lossless-codec interface shared by the five
+// general-purpose compressor classes the study evaluates (bzip2-, gzip-,
+// lz4-, xz-, and zstd-class) and by the LC pipeline compressors.
+package compress
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Codec is a lossless general-purpose compressor.
+type Codec interface {
+	// Name is the short identifier used in result tables ("xz", "bzip2", ...).
+	Name() string
+	// Compress returns a self-contained compressed representation of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress inverts Compress.
+	Decompress(comp []byte) ([]byte, error)
+}
+
+// Info describes a codec for the Table 1 inventory.
+type Info struct {
+	Name    string // codec name as reported in tables
+	Version string // implementation version
+	Source  string // provenance note (original tool this class models)
+}
+
+// Describer is implemented by codecs that carry Table 1 metadata.
+type Describer interface {
+	Info() Info
+}
+
+// Ratio returns the compression ratio original/compressed. A ratio above
+// 1.0 means the codec shrank the data.
+func Ratio(originalLen, compressedLen int) float64 {
+	if compressedLen == 0 {
+		return 0
+	}
+	return float64(originalLen) / float64(compressedLen)
+}
+
+// Roundtrip compresses and decompresses src with c, verifying losslessness.
+// It returns the compressed size. Used by tests and by the study's
+// self-check mode.
+func Roundtrip(c Codec, src []byte) (int, error) {
+	comp, err := c.Compress(src)
+	if err != nil {
+		return 0, fmt.Errorf("%s: compress: %w", c.Name(), err)
+	}
+	back, err := c.Decompress(comp)
+	if err != nil {
+		return 0, fmt.Errorf("%s: decompress: %w", c.Name(), err)
+	}
+	if !bytes.Equal(back, src) {
+		return 0, fmt.Errorf("%s: roundtrip mismatch: %d bytes in, %d bytes back", c.Name(), len(src), len(back))
+	}
+	return len(comp), nil
+}

@@ -1,0 +1,64 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(100, 50); r != 2 {
+		t.Fatalf("Ratio = %g", r)
+	}
+	if r := Ratio(100, 0); r != 0 {
+		t.Fatalf("zero compressed: %g", r)
+	}
+	if r := Ratio(0, 10); r != 0 {
+		t.Fatalf("empty original: %g", r)
+	}
+}
+
+// fakeCodec lets us exercise Roundtrip's failure paths.
+type fakeCodec struct {
+	compErr   error
+	decompErr error
+	corrupt   bool
+}
+
+func (f *fakeCodec) Name() string { return "fake" }
+func (f *fakeCodec) Compress(src []byte) ([]byte, error) {
+	if f.compErr != nil {
+		return nil, f.compErr
+	}
+	return append([]byte(nil), src...), nil
+}
+func (f *fakeCodec) Decompress(comp []byte) ([]byte, error) {
+	if f.decompErr != nil {
+		return nil, f.decompErr
+	}
+	out := append([]byte(nil), comp...)
+	if f.corrupt && len(out) > 0 {
+		out[0] ^= 0xFF
+	}
+	return out, nil
+}
+
+func TestRoundtrip(t *testing.T) {
+	src := []byte("hello world")
+	n, err := Roundtrip(&fakeCodec{}, src)
+	if err != nil || n != len(src) {
+		t.Fatalf("roundtrip: %d %v", n, err)
+	}
+	if _, err := Roundtrip(&fakeCodec{compErr: errors.New("boom")}, src); err == nil {
+		t.Fatal("compress error swallowed")
+	}
+	if _, err := Roundtrip(&fakeCodec{decompErr: errors.New("boom")}, src); err == nil {
+		t.Fatal("decompress error swallowed")
+	}
+	if _, err := Roundtrip(&fakeCodec{corrupt: true}, src); err == nil {
+		t.Fatal("corruption not detected")
+	}
+	if !bytes.Contains([]byte("fake: roundtrip mismatch"), []byte("fake")) {
+		t.Fatal("sanity")
+	}
+}

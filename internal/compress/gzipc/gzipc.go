@@ -1,0 +1,60 @@
+// Package gzipc provides the gzip-class codec: DEFLATE (LZ77 with a 32 KiB
+// window plus canonical Huffman) at maximum effort. It wraps the standard
+// library's compress/gzip, which implements the same algorithm as GNU gzip.
+package gzipc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+
+	"positbench/internal/compress"
+)
+
+// Codec is the gzip-class compressor.
+type Codec struct {
+	level int
+}
+
+// New returns a gzip codec at BestCompression, mirroring `gzip --best`.
+func New() *Codec { return &Codec{level: gzip.BestCompression} }
+
+// NewLevel returns a gzip codec at an explicit flate level (1..9).
+func NewLevel(level int) *Codec { return &Codec{level: level} }
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string { return "gzip" }
+
+// Info implements compress.Describer.
+func (c *Codec) Info() compress.Info {
+	return compress.Info{Name: "gzip", Version: "go-flate", Source: "models GNU gzip 1.13 (DEFLATE, 32 KiB window + Huffman)"}
+}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, c.level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+var _ compress.Codec = (*Codec)(nil)
+var _ compress.Describer = (*Codec)(nil)

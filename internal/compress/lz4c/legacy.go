@@ -1,0 +1,170 @@
+package lz4c
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"positbench/internal/compress"
+)
+
+// LegacyCodec emits LZ4's "legacy frame" container (the `lz4 -l` format):
+// magic 0x184C2102 followed by blocks of up to 8 MiB input, each stored as
+// a 4-byte little-endian compressed length plus an LZ4 block. The format is
+// decodable by the reference lz4 tool, which cross-validates this
+// package's block encoder against the real implementation.
+type LegacyCodec struct {
+	depth int
+}
+
+const (
+	legacyMagic     = 0x184C2102
+	legacyBlockSize = 8 << 20
+)
+
+// NewLegacy returns a legacy-frame codec with HC-depth search.
+func NewLegacy() *LegacyCodec { return &LegacyCodec{depth: 64} }
+
+// Name implements compress.Codec.
+func (c *LegacyCodec) Name() string { return "lz4-legacy" }
+
+// Info implements compress.Describer.
+func (c *LegacyCodec) Info() compress.Info {
+	return compress.Info{Name: "lz4-legacy", Version: "legacy-frame", Source: "LZ4 legacy container, decodable by the reference lz4 tool"}
+}
+
+// Compress implements compress.Codec.
+func (c *LegacyCodec) Compress(src []byte) ([]byte, error) {
+	out := binary.LittleEndian.AppendUint32(nil, legacyMagic)
+	for off := 0; off < len(src) || (off == 0 && len(src) == 0); off += legacyBlockSize {
+		if len(src) == 0 {
+			break
+		}
+		end := off + legacyBlockSize
+		if end > len(src) {
+			end = len(src)
+		}
+		block, err := compressBlockLZ4(src[off:end], c.depth)
+		if err != nil {
+			return nil, err
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(block)))
+		out = append(out, block...)
+	}
+	return out, nil
+}
+
+// Decompress implements compress.Codec.
+func (c *LegacyCodec) Decompress(comp []byte) ([]byte, error) {
+	if len(comp) < 4 || binary.LittleEndian.Uint32(comp) != legacyMagic {
+		return nil, fmt.Errorf("lz4-legacy: bad magic")
+	}
+	comp = comp[4:]
+	var out []byte
+	for len(comp) > 0 {
+		if len(comp) < 4 {
+			return nil, fmt.Errorf("lz4-legacy: truncated block header")
+		}
+		n := int(binary.LittleEndian.Uint32(comp))
+		comp = comp[4:]
+		if n == legacyMagic {
+			// A concatenated legacy frame: keep going.
+			continue
+		}
+		if n < 0 || n > len(comp) {
+			return nil, fmt.Errorf("lz4-legacy: block length %d exceeds input", n)
+		}
+		block, err := decompressBlockLZ4(comp[:n], legacyBlockSize)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, block...)
+		comp = comp[n:]
+	}
+	return out, nil
+}
+
+// compressBlockLZ4 encodes one raw LZ4 block (no length header: the legacy
+// container carries sizes out of band).
+func compressBlockLZ4(src []byte, depth int) ([]byte, error) {
+	c := NewDepth(depth)
+	withHeader, err := c.Compress(src)
+	if err != nil {
+		return nil, err
+	}
+	// Strip this package's uvarint length prefix to get the raw block.
+	_, n, err := uvarintLen(withHeader)
+	if err != nil {
+		return nil, err
+	}
+	return withHeader[n:], nil
+}
+
+// decompressBlockLZ4 decodes one raw LZ4 block whose uncompressed size is
+// unknown but bounded by maxOut.
+func decompressBlockLZ4(block []byte, maxOut int) ([]byte, error) {
+	out := make([]byte, 0, min(maxOut, 1<<20))
+	i := 0
+	for i < len(block) {
+		token := block[i]
+		i++
+		nLit := int(token >> 4)
+		var err error
+		if nLit == tokenEscape {
+			nLit, i, err = readLenExt(block, i, nLit)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if i+nLit > len(block) {
+			return nil, fmt.Errorf("lz4-legacy: literal overrun")
+		}
+		out = append(out, block[i:i+nLit]...)
+		i += nLit
+		if i >= len(block) {
+			break // final literal-only sequence
+		}
+		if i+2 > len(block) {
+			return nil, fmt.Errorf("lz4-legacy: missing offset")
+		}
+		dist := int(binary.LittleEndian.Uint16(block[i:]))
+		i += 2
+		if dist == 0 || dist > len(out) {
+			return nil, fmt.Errorf("lz4-legacy: bad offset %d", dist)
+		}
+		mlen := int(token&0xF) + minMatch
+		if token&0xF == tokenEscape {
+			var ext int
+			ext, i, err = readLenExt(block, i, 0)
+			if err != nil {
+				return nil, err
+			}
+			mlen += ext
+		}
+		if len(out)+mlen > maxOut {
+			return nil, fmt.Errorf("lz4-legacy: block exceeds %d bytes", maxOut)
+		}
+		start := len(out) - dist
+		for j := 0; j < mlen; j++ {
+			out = append(out, out[start+j])
+		}
+	}
+	return out, nil
+}
+
+func uvarintLen(p []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("lz4-legacy: bad length prefix")
+	}
+	return v, n, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ compress.Codec = (*LegacyCodec)(nil)
+var _ compress.Describer = (*LegacyCodec)(nil)

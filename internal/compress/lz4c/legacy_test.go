@@ -1,0 +1,80 @@
+package lz4c
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"positbench/internal/compress/codectest"
+)
+
+func TestLegacyConformance(t *testing.T) {
+	codectest.Run(t, NewLegacy())
+}
+
+func TestLegacyMagic(t *testing.T) {
+	c := NewLegacy()
+	comp, err := c.Compress([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint32(comp) != legacyMagic {
+		t.Fatalf("magic: %x", comp[:4])
+	}
+	if _, err := c.Decompress([]byte{1, 2, 3, 4}); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := c.Decompress(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestLegacyMultiBlock(t *testing.T) {
+	// >8 MiB forces two blocks. Use compressible data so this stays fast.
+	data := bytes.Repeat([]byte("0123456789abcdef"), (9<<20)/16)
+	c := NewLegacy()
+	comp, err := c.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("multi-block roundtrip failed")
+	}
+}
+
+// TestLegacyAgainstReferenceTool cross-validates the encoder with the real
+// lz4 binary when one is installed; skipped otherwise.
+func TestLegacyAgainstReferenceTool(t *testing.T) {
+	lz4bin, err := exec.LookPath("lz4")
+	if err != nil {
+		t.Skip("lz4 binary not installed")
+	}
+	data := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 5000)
+	comp, err := NewLegacy().Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.lz4")
+	if err := os.WriteFile(in, comp, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(lz4bin, "-d", "-c", in).Output()
+	if err != nil {
+		t.Fatalf("reference lz4 rejected our frame: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("reference decode mismatch: %d vs %d bytes", len(out), len(data))
+	}
+}
+
+func FuzzLegacyRoundtrip(f *testing.F) {
+	codectest.FuzzRoundtrip(f, NewLegacy())
+}

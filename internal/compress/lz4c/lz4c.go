@@ -1,0 +1,195 @@
+// Package lz4c implements the lz4-class codec: byte-oriented LZ77 with a
+// 64 KiB window and no entropy stage, using the LZ4 block format (4-bit
+// token nibbles with 255-escape extension bytes). The missing entropy stage
+// is the property the paper highlights: lowest ratios, highest speed.
+package lz4c
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"positbench/internal/bitio"
+	"positbench/internal/compress"
+	"positbench/internal/lz77"
+)
+
+const (
+	window      = 65535
+	minMatch    = 4
+	tailLits    = 12 // matches must not start within the final 12 bytes
+	tokenEscape = 15
+)
+
+// Codec is the lz4-class compressor.
+type Codec struct {
+	depth int
+}
+
+// New returns an lz4 codec with high-compression search depth (HC mode,
+// mirroring the paper's maximum-effort settings).
+func New() *Codec { return &Codec{depth: 64} }
+
+// NewDepth returns a codec with a custom chain-search depth.
+func NewDepth(depth int) *Codec { return &Codec{depth: depth} }
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string { return "lz4" }
+
+// Info implements compress.Describer.
+func (c *Codec) Info() compress.Info {
+	return compress.Info{Name: "lz4", Version: "block-format", Source: "models lz4 1.04 HC (64 KiB window, no entropy stage)"}
+}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(src []byte) ([]byte, error) {
+	out := bitio.PutUvarint(make([]byte, 0, len(src)/2+16), uint64(len(src)))
+	if len(src) == 0 {
+		return out, nil
+	}
+	m := lz77.NewMatcher(src, window, c.depth)
+	litStart := 0
+	pos := 0
+	emit := func(litEnd, dist, mlen int) {
+		nLit := litEnd - litStart
+		token := byte(0)
+		if nLit >= tokenEscape {
+			token = tokenEscape << 4
+		} else {
+			token = byte(nLit) << 4
+		}
+		if mlen > 0 {
+			if mlen-minMatch >= tokenEscape {
+				token |= tokenEscape
+			} else {
+				token |= byte(mlen - minMatch)
+			}
+		}
+		out = append(out, token)
+		if nLit >= tokenEscape {
+			out = appendLenExt(out, nLit-tokenEscape)
+		}
+		out = append(out, src[litStart:litEnd]...)
+		if mlen > 0 {
+			var off [2]byte
+			binary.LittleEndian.PutUint16(off[:], uint16(dist))
+			out = append(out, off[0], off[1])
+			if mlen-minMatch >= tokenEscape {
+				out = appendLenExt(out, mlen-minMatch-tokenEscape)
+			}
+		}
+	}
+	matchLimit := len(src) - tailLits
+	for pos < matchLimit {
+		dist, mlen := m.FindMatch(pos, matchLimit-pos)
+		if mlen < minMatch {
+			m.Insert(pos)
+			pos++
+			continue
+		}
+		emit(pos, dist, mlen)
+		for i := 0; i < mlen; i++ {
+			m.Insert(pos + i)
+		}
+		pos += mlen
+		litStart = pos
+	}
+	// Final literal-only sequence.
+	emit(len(src), 0, 0)
+	return out, nil
+}
+
+func appendLenExt(out []byte, v int) []byte {
+	for v >= 255 {
+		out = append(out, 255)
+		v -= 255
+	}
+	return append(out, byte(v))
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	size, n, err := bitio.Uvarint(comp)
+	if err != nil {
+		return nil, fmt.Errorf("lz4: %w", err)
+	}
+	comp = comp[n:]
+	// Cap the initial allocation: size is attacker-controlled input.
+	capacity := size
+	if capacity > 1<<20 {
+		capacity = 1 << 20
+	}
+	out := make([]byte, 0, capacity)
+	i := 0
+	for uint64(len(out)) < size {
+		if i >= len(comp) {
+			return nil, fmt.Errorf("lz4: truncated stream")
+		}
+		token := comp[i]
+		i++
+		nLit := int(token >> 4)
+		if nLit == tokenEscape {
+			nLit, i, err = readLenExt(comp, i, nLit)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if i+nLit > len(comp) {
+			return nil, fmt.Errorf("lz4: literal overrun")
+		}
+		out = append(out, comp[i:i+nLit]...)
+		i += nLit
+		if uint64(len(out)) >= size {
+			break // final sequence has no match part
+		}
+		if i+2 > len(comp) {
+			return nil, fmt.Errorf("lz4: missing offset")
+		}
+		dist := int(binary.LittleEndian.Uint16(comp[i:]))
+		i += 2
+		if dist == 0 || dist > len(out) {
+			return nil, fmt.Errorf("lz4: bad offset %d at output %d", dist, len(out))
+		}
+		mlen := int(token&0xF) + minMatch
+		if token&0xF == tokenEscape {
+			var ext int
+			ext, i, err = readLenExt(comp, i, 0)
+			if err != nil {
+				return nil, err
+			}
+			mlen += ext
+		}
+		if uint64(len(out)+mlen) > size {
+			return nil, fmt.Errorf("lz4: match overruns declared size")
+		}
+		// Byte-by-byte copy: overlapping matches are the RLE mechanism.
+		start := len(out) - dist
+		for j := 0; j < mlen; j++ {
+			out = append(out, out[start+j])
+		}
+	}
+	if uint64(len(out)) != size {
+		return nil, fmt.Errorf("lz4: size mismatch: got %d want %d", len(out), size)
+	}
+	return out, nil
+}
+
+func readLenExt(comp []byte, i, base int) (int, int, error) {
+	v := base
+	for {
+		if i >= len(comp) {
+			return 0, i, fmt.Errorf("lz4: truncated length")
+		}
+		b := comp[i]
+		i++
+		v += int(b)
+		if b != 255 {
+			return v, i, nil
+		}
+		if v > 1<<31 {
+			return 0, i, fmt.Errorf("lz4: length overflow")
+		}
+	}
+}
+
+var _ compress.Codec = (*Codec)(nil)
+var _ compress.Describer = (*Codec)(nil)

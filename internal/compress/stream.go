@@ -1,0 +1,156 @@
+package compress
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Streaming adapters: wrap any block Codec in an io.WriteCloser /
+// io.Reader pair using a chunked container (uvarint compressed-chunk
+// length prefixes, zero-length terminator), so multi-gigabyte files can be
+// processed without holding them in memory.
+
+// DefaultChunkSize is the streaming granularity; large enough that the
+// block codecs reach their full ratios, small enough to bound memory.
+const DefaultChunkSize = 4 << 20
+
+// Writer compresses a stream chunk by chunk.
+type Writer struct {
+	codec  Codec
+	dst    io.Writer
+	buf    []byte
+	chunk  int
+	closed bool
+}
+
+// NewWriter returns a streaming compressor writing to dst. chunkSize <= 0
+// selects DefaultChunkSize.
+func NewWriter(codec Codec, dst io.Writer, chunkSize int) *Writer {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &Writer{codec: codec, dst: dst, chunk: chunkSize}
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("compress: write after Close")
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := w.chunk - len(w.buf)
+		if room > len(p) {
+			room = len(p)
+		}
+		w.buf = append(w.buf, p[:room]...)
+		p = p[room:]
+		if len(w.buf) == w.chunk {
+			if err := w.flush(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (w *Writer) flush() error {
+	comp, err := w.codec.Compress(w.buf)
+	if err != nil {
+		return err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(comp))+1) // +1: 0 is the terminator
+	if _, err := w.dst.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.dst.Write(comp); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes the final chunk and writes the stream terminator.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	_, err := w.dst.Write([]byte{0})
+	return err
+}
+
+// Reader decompresses a stream produced by Writer.
+type Reader struct {
+	codec Codec
+	src   *bufio.Reader
+	buf   []byte
+	done  bool
+	err   error
+}
+
+// NewReader returns a streaming decompressor over src. The codec must
+// match the one used for writing.
+func NewReader(codec Codec, src io.Reader) *Reader {
+	return &Reader{codec: codec, src: bufio.NewReader(src)}
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.buf) == 0 {
+		if r.done {
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		if err := r.nextChunk(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+func (r *Reader) nextChunk() error {
+	length, err := binary.ReadUvarint(r.src)
+	if err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("compress: missing stream terminator: %w", io.ErrUnexpectedEOF)
+		}
+		return err
+	}
+	if length == 0 {
+		r.done = true
+		return nil
+	}
+	comp := make([]byte, length-1)
+	if _, err := io.ReadFull(r.src, comp); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("compress: chunk body: %w", err)
+	}
+	out, err := r.codec.Decompress(comp)
+	if err != nil {
+		return err
+	}
+	r.buf = out
+	return nil
+}
+
+var (
+	_ io.WriteCloser = (*Writer)(nil)
+	_ io.Reader      = (*Reader)(nil)
+)

@@ -1,0 +1,129 @@
+package compress
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// passthrough is a trivial Codec for exercising the streaming layer.
+type passthrough struct{}
+
+func (passthrough) Name() string { return "pass" }
+func (passthrough) Compress(src []byte) ([]byte, error) {
+	out := append([]byte{0xA5}, src...) // marker so empty chunks are visible
+	return out, nil
+}
+func (passthrough) Decompress(comp []byte) ([]byte, error) {
+	if len(comp) < 1 || comp[0] != 0xA5 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return append([]byte(nil), comp[1:]...), nil
+}
+
+func streamRoundtrip(t *testing.T, data []byte, chunk int) {
+	t.Helper()
+	var sink bytes.Buffer
+	w := NewWriter(passthrough{}, &sink, chunk)
+	// Write in awkward piece sizes.
+	rng := rand.New(rand.NewSource(int64(len(data))))
+	rest := data
+	for len(rest) > 0 {
+		n := rng.Intn(1000) + 1
+		if n > len(rest) {
+			n = len(rest)
+		}
+		if _, err := w.Write(rest[:n]); err != nil {
+			t.Fatal(err)
+		}
+		rest = rest[n:]
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	back, err := io.ReadAll(NewReader(passthrough{}, &sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("stream roundtrip: %d in, %d out", len(data), len(back))
+	}
+}
+
+func TestStreamRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{0, 1, 100, 4096, 100000} {
+		data := make([]byte, size)
+		rng.Read(data)
+		for _, chunk := range []int{1, 64, 4096, 0} {
+			streamRoundtrip(t, data, chunk)
+		}
+	}
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(passthrough{}, &sink, 16)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte{1}); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestStreamTruncated(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(passthrough{}, &sink, 16)
+	w.Write(bytes.Repeat([]byte{7}, 100))
+	w.Close()
+	full := sink.Bytes()
+	// Cut off the terminator and part of the last chunk.
+	for _, cut := range []int{len(full) - 1, len(full) / 2, 1} {
+		r := NewReader(passthrough{}, bytes.NewReader(full[:cut]))
+		if _, err := io.ReadAll(r); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	r := NewReader(passthrough{}, bytes.NewReader(nil))
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("empty stream accepted (missing terminator)")
+	}
+}
+
+func TestStreamSmallReads(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(passthrough{}, &sink, 32)
+	payload := []byte("the streaming layer must survive one-byte reads and writes")
+	w.Write(payload)
+	w.Close()
+	r := NewReader(passthrough{}, &sink)
+	var got []byte
+	one := make([]byte, 1)
+	for {
+		n, err := r.Read(one)
+		if n > 0 {
+			got = append(got, one[0])
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+	// Reads after EOF keep returning EOF.
+	if _, err := r.Read(one); err != io.EOF {
+		t.Fatalf("post-EOF read: %v", err)
+	}
+}

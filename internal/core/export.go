@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: one file per figure/table so external plotting tools can
+// regenerate the paper's graphics from a study run.
+
+// WriteCSVs writes every artifact the study can produce into dir:
+// fig3.csv, fig4.csv, fig5.csv, precision.csv, measurements.csv, and (when
+// the study ran with LC) fig6.csv.
+func (st *Study) WriteCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name string
+		fn   func(w *csv.Writer) error
+	}{
+		{"fig3.csv", st.writeFig3CSV},
+		{"fig4.csv", st.writeFig4CSV},
+		{"fig5.csv", st.writeFig5CSV},
+		{"precision.csv", st.writePrecisionCSV},
+		{"measurements.csv", st.writeMeasurementsCSV},
+	}
+	if st.LCPerFileFloat != nil {
+		writers = append(writers, struct {
+			name string
+			fn   func(w *csv.Writer) error
+		}{"fig6.csv", st.writeFig6CSV})
+	}
+	for _, spec := range writers {
+		if err := writeCSVFile(filepath.Join(dir, spec.name), spec.fn); err != nil {
+			return fmt.Errorf("core: %s: %w", spec.name, err)
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, fn func(w *csv.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := fn(w); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (st *Study) writeFig3CSV(w *csv.Writer) error {
+	if err := w.Write([]string{"codec", "geomean_ratio_ieee"}); err != nil {
+		return err
+	}
+	for _, bar := range st.Figure3() {
+		if err := w.Write([]string{bar.Codec, ftoa(bar.Ratio)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *Study) writeFig4CSV(w *csv.Writer) error {
+	if err := w.Write([]string{"codec", "geomean_ratio_posit", "delta_pct_vs_ieee"}); err != nil {
+		return err
+	}
+	for _, bar := range st.Figure4() {
+		if err := w.Write([]string{bar.Codec, ftoa(bar.Ratio), ftoa(bar.DeltaPct)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *Study) writeFig5CSV(w *csv.Writer) error {
+	if err := w.Write([]string{"input", "biased_exponent", "pct_of_values"}); err != nil {
+		return err
+	}
+	for _, in := range st.Inputs {
+		for e := 0; e < 256; e++ {
+			if in.Histogram.Bins[e] == 0 {
+				continue
+			}
+			if err := w.Write([]string{in.Spec.Name, strconv.Itoa(e), ftoa(in.Histogram.Pct(e))}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (st *Study) writePrecisionCSV(w *csv.Writer) error {
+	if err := w.Write([]string{"input", "precise_pct_es3", "precise_pct_es2"}); err != nil {
+		return err
+	}
+	rows, g3, g2 := st.Precision()
+	for _, r := range rows {
+		if err := w.Write([]string{r.Input, ftoa(r.PreciseES3), ftoa(r.PreciseES2)}); err != nil {
+			return err
+		}
+	}
+	return w.Write([]string{"geomean", ftoa(g3), ftoa(g2)})
+}
+
+func (st *Study) writeMeasurementsCSV(w *csv.Writer) error {
+	if err := w.Write([]string{"codec", "input", "encoding", "original_bytes", "compressed_bytes", "ratio"}); err != nil {
+		return err
+	}
+	for _, m := range st.Measurements {
+		err := w.Write([]string{m.Codec, m.Input, string(m.Encoding),
+			strconv.Itoa(m.OrigLen), strconv.Itoa(m.CompLen), ftoa(m.Ratio)})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *Study) writeFig6CSV(w *csv.Writer) error {
+	if err := w.Write([]string{"encoding", "global_pipeline", "global_geomean", "perfile_geomean", "gain_pct"}); err != nil {
+		return err
+	}
+	res, err := st.Figure6()
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		err := w.Write([]string{string(r.Encoding), r.GlobalPipeline,
+			ftoa(r.GlobalGeoMean), ftoa(r.PerFileGeoMean), ftoa(r.GainPct)})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"positbench/internal/compress"
+	"positbench/internal/posit"
+	"positbench/internal/positpack"
+	"positbench/internal/stats"
+)
+
+// Extension experiments beyond the paper (its Section 6 future work).
+
+// SpecialPurposeRow compares the field-aware posit compressor against the
+// best general-purpose result on one input's posit encoding.
+type SpecialPurposeRow struct {
+	Input        string
+	PackRatio    float64 // positpack on the posit encoding
+	BestGeneral  string  // name of the best general-purpose codec
+	GeneralRatio float64
+}
+
+// SpecialPurposeStudy runs positpack over every input's posit encoding and
+// pairs it with the study's best general-purpose measurement (requires the
+// study to have been run).
+func (st *Study) SpecialPurposeStudy() ([]SpecialPurposeRow, error) {
+	codec, err := positpack.New(posit.Posit32e3)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SpecialPurposeRow, 0, len(st.Inputs))
+	for _, in := range st.Inputs {
+		var compLen int
+		if st.Opts.Verify {
+			compLen, err = compress.Roundtrip(codec, in.PositBytes)
+		} else {
+			var comp []byte
+			comp, err = codec.Compress(in.PositBytes)
+			compLen = len(comp)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("positpack on %s: %w", in.Spec.Name, err)
+		}
+		row := SpecialPurposeRow{
+			Input:     in.Spec.Name,
+			PackRatio: compress.Ratio(len(in.PositBytes), compLen),
+		}
+		for _, m := range st.Measurements {
+			if m.Input == in.Spec.Name && m.Encoding == EncPosit && m.Ratio > row.GeneralRatio {
+				row.BestGeneral, row.GeneralRatio = m.Codec, m.Ratio
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// NarrowStorageRow is one input's result for the paper's Section 5.1
+// discussion: storing float32 data as half-width posit<16,2> halves the
+// file before compression even starts, at the cost of precision.
+type NarrowStorageRow struct {
+	Input         string
+	PrecisePct    float64 // % of float32 values that survive the posit16 roundtrip
+	XZRatioF32    float64 // xz on the original float32 bytes
+	EffectiveGain float64 // float32 size / compressed posit16 size
+}
+
+// NarrowStorageStudy converts every input to posit<16,2>, compresses the
+// half-size stream with the xz-class codec, and reports the effective
+// storage ratio relative to the original float32 bytes (requires the study
+// to have been run so the xz float measurements exist).
+func (st *Study) NarrowStorageStudy() ([]NarrowStorageRow, error) {
+	codec, err := st.xzCodec()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]NarrowStorageRow, 0, len(st.Inputs))
+	for _, in := range st.Inputs {
+		words := make([]uint16, len(in.Floats))
+		for i, f := range in.Floats {
+			words[i] = uint16(posit.Posit16.FromFloat32(f))
+		}
+		buf := make([]byte, 2*len(words))
+		for i, w := range words {
+			buf[2*i] = byte(w)
+			buf[2*i+1] = byte(w >> 8)
+		}
+		comp, err := codec.Compress(buf)
+		if err != nil {
+			return nil, fmt.Errorf("narrow storage on %s: %w", in.Spec.Name, err)
+		}
+		row := NarrowStorageRow{
+			Input:         in.Spec.Name,
+			PrecisePct:    posit.Posit16.RoundtripStats(in.Floats).PrecisePct(),
+			EffectiveGain: float64(len(in.FloatBytes)) / float64(len(comp)),
+		}
+		if m, ok := st.Ratio("xz", in.Spec.Name, EncIEEE); ok {
+			row.XZRatioF32 = m.Ratio
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// xzCodec finds the study's xz codec instance (or a fresh one).
+func (st *Study) xzCodec() (compress.Codec, error) {
+	for _, c := range st.Opts.Codecs {
+		if c.Name() == "xz" {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("core: study ran without the xz codec")
+}
+
+// RenderNarrowStorage renders the Section 5.1 storage-saving extension.
+func (st *Study) RenderNarrowStorage() (string, error) {
+	rows, err := st.NarrowStorageStudy()
+	if err != nil {
+		return "", err
+	}
+	t := stats.NewTable("Input", "posit16 precise %", "xz CR (f32)", "effective CR (posit16+xz)")
+	var gains, bases []float64
+	for _, r := range rows {
+		t.AddRow(r.Input, fmt.Sprintf("%.2f", r.PrecisePct),
+			fmt.Sprintf("%.3f", r.XZRatioF32), fmt.Sprintf("%.3f", r.EffectiveGain))
+		gains = append(gains, r.EffectiveGain)
+		bases = append(bases, r.XZRatioF32)
+	}
+	t.AddRow("geomean", "", fmt.Sprintf("%.3f", stats.GeoMean(bases)),
+		fmt.Sprintf("%.3f", stats.GeoMean(gains)))
+	return t.String(), nil
+}
+
+// RenderSpecialPurpose renders the extension comparison.
+func (st *Study) RenderSpecialPurpose() (string, error) {
+	rows, err := st.SpecialPurposeStudy()
+	if err != nil {
+		return "", err
+	}
+	t := stats.NewTable("Input", "positpack CR", "best general", "its CR")
+	var packs, gens []float64
+	for _, r := range rows {
+		t.AddRow(r.Input, fmt.Sprintf("%.3f", r.PackRatio), r.BestGeneral,
+			fmt.Sprintf("%.3f", r.GeneralRatio))
+		packs = append(packs, r.PackRatio)
+		gens = append(gens, r.GeneralRatio)
+	}
+	t.AddRow("geomean", fmt.Sprintf("%.3f", stats.GeoMean(packs)), "",
+		fmt.Sprintf("%.3f", stats.GeoMean(gens)))
+	return t.String(), nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"positbench/internal/compress/all"
+	"positbench/internal/sdrbench"
+	"positbench/internal/stats"
+)
+
+// This file turns a Study into the paper's tables and figures, each as a
+// structured value plus a text renderer used by cmd/repro and the
+// EXPERIMENTS.md generator.
+
+// Table1 returns the compressor inventory (paper Table 1).
+func Table1() string {
+	t := stats.NewTable("Name", "Version", "Source")
+	for _, info := range all.Infos() {
+		t.AddRow(info.Name, info.Version, info.Source)
+	}
+	return t.String()
+}
+
+// Table2 returns the dataset inventory (paper Table 2).
+func Table2() string {
+	t := stats.NewTable("Name", "Description")
+	for _, d := range sdrbench.Datasets() {
+		t.AddRow(d.Name, d.Description)
+	}
+	return t.String()
+}
+
+// Table3 renders the input inventory (paper Table 3) with both the paper's
+// original sizes and this run's generated sizes.
+func (st *Study) Table3() string {
+	t := stats.NewTable("Name", "Dataset", "Paper size", "Generated size")
+	for _, in := range st.Inputs {
+		t.AddRow(in.Spec.Name, in.Spec.Dataset, in.Spec.PaperSize,
+			fmt.Sprintf("%d MB", len(in.FloatBytes)>>20))
+	}
+	return t.String()
+}
+
+// FigureBar is one bar of Figures 3, 4, or 6.
+type FigureBar struct {
+	Codec    string
+	Ratio    float64 // geometric-mean compression ratio
+	DeltaPct float64 // Figure 4: % change vs the IEEE ratio (0 for Fig. 3)
+}
+
+// Figure3 returns geometric-mean ratios per codec on IEEE data.
+func (st *Study) Figure3() []FigureBar {
+	var bars []FigureBar
+	for _, name := range st.CodecNames() {
+		bars = append(bars, FigureBar{Codec: name, Ratio: st.GeoMeanRatio(name, EncIEEE)})
+	}
+	sortBars(bars)
+	return bars
+}
+
+// Figure4 returns geometric-mean ratios per codec on posit data, with the
+// percentage delta against the same codec's IEEE ratio.
+func (st *Study) Figure4() []FigureBar {
+	var bars []FigureBar
+	for _, name := range st.CodecNames() {
+		ieeeRatio := st.GeoMeanRatio(name, EncIEEE)
+		positRatio := st.GeoMeanRatio(name, EncPosit)
+		bars = append(bars, FigureBar{
+			Codec:    name,
+			Ratio:    positRatio,
+			DeltaPct: stats.PctDelta(ieeeRatio, positRatio),
+		})
+	}
+	sortBars(bars)
+	return bars
+}
+
+func sortBars(bars []FigureBar) {
+	sort.Slice(bars, func(i, j int) bool { return bars[i].Codec < bars[j].Codec })
+}
+
+// RenderFigure renders bars as an ASCII horizontal bar chart.
+func RenderFigure(title string, bars []FigureBar, withDelta bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxR := 0.0
+	for _, bar := range bars {
+		if bar.Ratio > maxR {
+			maxR = bar.Ratio
+		}
+	}
+	for _, bar := range bars {
+		b.WriteString(stats.Bar(bar.Codec, bar.Ratio, maxR, 50))
+		if withDelta {
+			fmt.Fprintf(&b, "  (%+.2f%% vs float)", bar.DeltaPct)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure5 renders the biased-exponent distribution of every input.
+func (st *Study) Figure5() string {
+	var b strings.Builder
+	for _, in := range st.Inputs {
+		fmt.Fprintf(&b, "--- %s (%s) ---\n", in.Spec.Name, in.Spec.Dataset)
+		b.WriteString(in.Histogram.RenderASCII(50))
+	}
+	return b.String()
+}
+
+// PrecisionRow is one input's Section 4.2 result.
+type PrecisionRow struct {
+	Input      string
+	PreciseES3 float64 // % exact roundtrips under posit<32,3>
+	PreciseES2 float64 // % exact roundtrips under posit<32,2>
+}
+
+// Precision returns the Section 4.2 study: per-input precise percentages
+// and the two geometric means that motivated es=3.
+func (st *Study) Precision() (rows []PrecisionRow, geoES3, geoES2 float64) {
+	var l3, l2 []float64
+	for _, in := range st.Inputs {
+		r := PrecisionRow{
+			Input:      in.Spec.Name,
+			PreciseES3: in.StatsES3.PrecisePct(),
+			PreciseES2: in.StatsES2.PrecisePct(),
+		}
+		rows = append(rows, r)
+		l3 = append(l3, r.PreciseES3)
+		l2 = append(l2, r.PreciseES2)
+	}
+	return rows, stats.GeoMean(l3), stats.GeoMean(l2)
+}
+
+// RenderPrecision renders the Section 4.2 table.
+func (st *Study) RenderPrecision() string {
+	rows, g3, g2 := st.Precision()
+	t := stats.NewTable("Input", "es=3 precise %", "es=2 precise %")
+	for _, r := range rows {
+		t.AddRow(r.Input, fmt.Sprintf("%.2f", r.PreciseES3), fmt.Sprintf("%.2f", r.PreciseES2))
+	}
+	t.AddRow("geomean", fmt.Sprintf("%.2f", g3), fmt.Sprintf("%.2f", g2))
+	return t.String()
+}
+
+// Figure6Result compares the single global LC pipeline against per-file
+// pipelines for one encoding.
+type Figure6Result struct {
+	Encoding       Encoding
+	GlobalPipeline string
+	GlobalGeoMean  float64
+	PerFileGeoMean float64
+	GainPct        float64 // per-file improvement over global, in %
+}
+
+// Figure6 computes the per-file-LC comparison (requires Opts.WithLC).
+func (st *Study) Figure6() ([]Figure6Result, error) {
+	if st.LCPerFileFloat == nil || st.LCPerFilePosit == nil {
+		return nil, fmt.Errorf("core: study ran without LC; enable Options.WithLC")
+	}
+	var out []Figure6Result
+	for _, enc := range []Encoding{EncIEEE, EncPosit} {
+		perFile := st.LCPerFileFloat
+		pipe := st.LCFloatPipeline
+		if enc == EncPosit {
+			perFile = st.LCPerFilePosit
+			pipe = st.LCPositPipeline
+		}
+		var pf []float64
+		for _, r := range perFile {
+			pf = append(pf, r.Ratio)
+		}
+		global := st.GeoMeanRatio("lc", enc)
+		perFileGeo := stats.GeoMean(pf)
+		out = append(out, Figure6Result{
+			Encoding:       enc,
+			GlobalPipeline: pipe.String(),
+			GlobalGeoMean:  global,
+			PerFileGeoMean: perFileGeo,
+			GainPct:        stats.PctDelta(global, perFileGeo),
+		})
+	}
+	return out, nil
+}
+
+// RenderFigure6 renders the comparison.
+func (st *Study) RenderFigure6() (string, error) {
+	res, err := st.Figure6()
+	if err != nil {
+		return "", err
+	}
+	t := stats.NewTable("Encoding", "Global pipeline", "Global CR", "Per-file CR", "Gain")
+	for _, r := range res {
+		t.AddRow(string(r.Encoding), r.GlobalPipeline,
+			fmt.Sprintf("%.3f", r.GlobalGeoMean),
+			fmt.Sprintf("%.3f", r.PerFileGeoMean),
+			fmt.Sprintf("%+.2f%%", r.GainPct))
+	}
+	return t.String(), nil
+}
+
+// RenderMeasurements renders every raw measurement (the study's appendix).
+func (st *Study) RenderMeasurements() string {
+	t := stats.NewTable("Codec", "Input", "Encoding", "Original", "Compressed", "Ratio")
+	ms := append([]Measurement(nil), st.Measurements...)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Codec != ms[j].Codec {
+			return ms[i].Codec < ms[j].Codec
+		}
+		if ms[i].Input != ms[j].Input {
+			return ms[i].Input < ms[j].Input
+		}
+		return ms[i].Encoding < ms[j].Encoding
+	})
+	for _, m := range ms {
+		t.AddRow(m.Codec, m.Input, string(m.Encoding), m.OrigLen, m.CompLen,
+			fmt.Sprintf("%.3f", m.Ratio))
+	}
+	return t.String()
+}

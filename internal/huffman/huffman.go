@@ -1,0 +1,321 @@
+// Package huffman implements canonical, length-limited Huffman coding over
+// arbitrary alphabets. It is the entropy stage of the bzip2-class and
+// zstd-class codecs and of LC's terminal HUF component.
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"positbench/internal/bitio"
+)
+
+// MaxBits is the default code-length limit.
+const MaxBits = 15
+
+// BuildLengths computes near-optimal code lengths (<= maxBits) for the given
+// symbol frequencies. Symbols with zero frequency get length 0 (no code).
+// If only one symbol has nonzero frequency it is assigned length 1.
+func BuildLengths(freqs []int, maxBits int) ([]uint8, error) {
+	if maxBits < 1 || maxBits > 30 {
+		return nil, fmt.Errorf("huffman: maxBits %d out of range", maxBits)
+	}
+	n := len(freqs)
+	if n == 0 {
+		return nil, fmt.Errorf("huffman: empty alphabet")
+	}
+	if n > 1<<maxBits {
+		return nil, fmt.Errorf("huffman: alphabet size %d exceeds 2^%d", n, maxBits)
+	}
+	work := make([]int, n)
+	copy(work, freqs)
+	for {
+		lengths, maxLen := buildOnce(work)
+		if maxLen <= maxBits {
+			return lengths, nil
+		}
+		// Flatten the distribution and retry; this converges because all
+		// frequencies eventually reach 1, which yields a balanced tree of
+		// depth ceil(log2(n)) <= maxBits.
+		for i, f := range work {
+			if f > 0 {
+				work[i] = (f + 1) / 2
+			}
+		}
+	}
+}
+
+type node struct {
+	freq        int
+	sym         int // >= 0 for leaves, -1 for internal
+	left, right int // node indices
+	order       int // tie-break for determinism
+}
+
+type nodeHeap struct {
+	nodes []node
+	idx   []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.idx) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := h.nodes[h.idx[i]], h.nodes[h.idx[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.order < b.order
+}
+func (h *nodeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+func buildOnce(freqs []int) ([]uint8, int) {
+	n := len(freqs)
+	lengths := make([]uint8, n)
+	h := &nodeHeap{}
+	for i, f := range freqs {
+		if f > 0 {
+			h.nodes = append(h.nodes, node{freq: f, sym: i, left: -1, right: -1, order: i})
+			h.idx = append(h.idx, len(h.nodes)-1)
+		}
+	}
+	switch len(h.idx) {
+	case 0:
+		return lengths, 0
+	case 1:
+		lengths[h.nodes[h.idx[0]].sym] = 1
+		return lengths, 1
+	}
+	heap.Init(h)
+	order := n
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		h.nodes = append(h.nodes, node{
+			freq: h.nodes[a].freq + h.nodes[b].freq,
+			sym:  -1, left: a, right: b, order: order,
+		})
+		order++
+		heap.Push(h, len(h.nodes)-1)
+	}
+	root := h.idx[0]
+	// Iterative depth assignment.
+	type frame struct {
+		node, depth int
+	}
+	stack := []frame{{root, 0}}
+	maxLen := 0
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := h.nodes[fr.node]
+		if nd.sym >= 0 {
+			lengths[nd.sym] = uint8(fr.depth)
+			if fr.depth > maxLen {
+				maxLen = fr.depth
+			}
+			continue
+		}
+		stack = append(stack, frame{nd.left, fr.depth + 1}, frame{nd.right, fr.depth + 1})
+	}
+	return lengths, maxLen
+}
+
+// canonicalCodes assigns canonical codes (shorter codes first, ties by
+// symbol order) from a length table.
+func canonicalCodes(lengths []uint8) ([]uint32, error) {
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen == 0 {
+		return make([]uint32, len(lengths)), nil
+	}
+	count := make([]int, maxLen+1)
+	for _, l := range lengths {
+		count[l]++
+	}
+	count[0] = 0
+	next := make([]uint32, maxLen+2)
+	code := uint32(0)
+	for l := uint8(1); l <= maxLen; l++ {
+		code = (code + uint32(count[l-1])) << 1
+		next[l] = code
+	}
+	// Kraft check.
+	var kraft uint64
+	for _, l := range lengths {
+		if l > 0 {
+			kraft += 1 << (uint(maxLen) - uint(l))
+		}
+	}
+	if kraft > 1<<uint(maxLen) {
+		return nil, fmt.Errorf("huffman: over-subscribed length table")
+	}
+	codes := make([]uint32, len(lengths))
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		codes[sym] = next[l]
+		next[l]++
+	}
+	return codes, nil
+}
+
+// Encoder emits canonical Huffman codes for symbols.
+type Encoder struct {
+	codes   []uint32
+	lengths []uint8
+}
+
+// NewEncoder builds an encoder from a length table.
+func NewEncoder(lengths []uint8) (*Encoder, error) {
+	codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{codes: codes, lengths: lengths}, nil
+}
+
+// Encode appends the code for sym to w.
+func (e *Encoder) Encode(w *bitio.Writer, sym int) {
+	w.WriteBits(uint64(e.codes[sym]), uint(e.lengths[sym]))
+}
+
+// CodeLen returns the code length of sym in bits (0 if sym has no code).
+func (e *Encoder) CodeLen(sym int) int { return int(e.lengths[sym]) }
+
+// Decoder decodes canonical Huffman codes.
+type Decoder struct {
+	maxLen    uint8
+	firstCode []uint32 // first canonical code of each length
+	firstSym  []int    // index into syms of the first symbol of each length
+	counts    []int    // number of codes of each length
+	syms      []int    // symbols in canonical order
+}
+
+// NewDecoder builds a decoder from a length table.
+func NewDecoder(lengths []uint8) (*Decoder, error) {
+	if _, err := canonicalCodes(lengths); err != nil {
+		return nil, err
+	}
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	d := &Decoder{
+		maxLen:    maxLen,
+		firstCode: make([]uint32, maxLen+1),
+		firstSym:  make([]int, maxLen+1),
+		counts:    make([]int, maxLen+1),
+	}
+	type symLen struct {
+		sym int
+		l   uint8
+	}
+	var sl []symLen
+	for sym, l := range lengths {
+		if l > 0 {
+			sl = append(sl, symLen{sym, l})
+			d.counts[l]++
+		}
+	}
+	sort.Slice(sl, func(i, j int) bool {
+		if sl[i].l != sl[j].l {
+			return sl[i].l < sl[j].l
+		}
+		return sl[i].sym < sl[j].sym
+	})
+	for _, s := range sl {
+		d.syms = append(d.syms, s.sym)
+	}
+	code := uint32(0)
+	symIdx := 0
+	for l := uint8(1); l <= maxLen; l++ {
+		if l > 1 {
+			code = (code + uint32(d.counts[l-1])) << 1
+		}
+		d.firstCode[l] = code
+		d.firstSym[l] = symIdx
+		symIdx += d.counts[l]
+	}
+	return d, nil
+}
+
+// Decode reads one symbol from r.
+func (d *Decoder) Decode(r *bitio.Reader) (int, error) {
+	var code uint32
+	for l := uint8(1); l <= d.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(b)
+		if d.counts[l] > 0 && code < d.firstCode[l]+uint32(d.counts[l]) && code >= d.firstCode[l] {
+			return d.syms[d.firstSym[l]+int(code-d.firstCode[l])], nil
+		}
+	}
+	return 0, fmt.Errorf("huffman: invalid code")
+}
+
+// WriteLengths serializes a length table compactly: 4 bits per nonzero
+// length, with zero runs escaped as 0 followed by an 8-bit (run-1) count.
+// Lengths above 15 are not supported by this serialization.
+func WriteLengths(w *bitio.Writer, lengths []uint8) error {
+	for i := 0; i < len(lengths); {
+		l := lengths[i]
+		if l > 15 {
+			return fmt.Errorf("huffman: length %d exceeds serialization limit", l)
+		}
+		if l != 0 {
+			w.WriteBits(uint64(l), 4)
+			i++
+			continue
+		}
+		run := 1
+		for i+run < len(lengths) && lengths[i+run] == 0 && run < 256 {
+			run++
+		}
+		w.WriteBits(0, 4)
+		w.WriteBits(uint64(run-1), 8)
+		i += run
+	}
+	return nil
+}
+
+// ReadLengths parses a table of the given alphabet size.
+func ReadLengths(r *bitio.Reader, n int) ([]uint8, error) {
+	lengths := make([]uint8, n)
+	for i := 0; i < n; {
+		v, err := r.ReadBits(4)
+		if err != nil {
+			return nil, err
+		}
+		if v != 0 {
+			lengths[i] = uint8(v)
+			i++
+			continue
+		}
+		run, err := r.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		i += int(run) + 1
+		if i > n {
+			return nil, fmt.Errorf("huffman: zero run overflows alphabet")
+		}
+	}
+	return lengths, nil
+}

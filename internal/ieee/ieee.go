@@ -1,0 +1,197 @@
+// Package ieee provides field-level analysis of IEEE-754 binary32 data:
+// value classification and biased-exponent histograms. It backs the paper's
+// Figure 5 (percentage of floats per exponent value) and the discussion of
+// which inputs contain zeros, subnormals, and extreme magnitudes.
+package ieee
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Class categorizes a binary32 value.
+type Class int
+
+// Value classes.
+const (
+	Zero Class = iota
+	Subnormal
+	Normal
+	Inf
+	NaN
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Zero:
+		return "zero"
+	case Subnormal:
+		return "subnormal"
+	case Normal:
+		return "normal"
+	case Inf:
+		return "inf"
+	case NaN:
+		return "nan"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Fields is the bit-level decomposition of a binary32 value.
+type Fields struct {
+	Sign     uint32 // 0 or 1
+	Exponent uint32 // biased, 0..255
+	Mantissa uint32 // 23 bits
+}
+
+// Split decomposes the bits of f.
+func Split(f float32) Fields {
+	b := math.Float32bits(f)
+	return Fields{
+		Sign:     b >> 31,
+		Exponent: b >> 23 & 0xFF,
+		Mantissa: b & 0x7FFFFF,
+	}
+}
+
+// Classify returns the class of f.
+func Classify(f float32) Class {
+	fl := Split(f)
+	switch fl.Exponent {
+	case 0:
+		if fl.Mantissa == 0 {
+			return Zero
+		}
+		return Subnormal
+	case 255:
+		if fl.Mantissa == 0 {
+			return Inf
+		}
+		return NaN
+	default:
+		return Normal
+	}
+}
+
+// Histogram counts values by biased exponent (0..255). Zeros and subnormals
+// land in bin 0; infinities and NaNs in bin 255, matching how Figure 5
+// buckets the raw exponent field.
+type Histogram struct {
+	Bins  [256]int
+	Total int
+}
+
+// Add accumulates one value.
+func (h *Histogram) Add(f float32) {
+	h.Bins[Split(f).Exponent]++
+	h.Total++
+}
+
+// AddSlice accumulates a slice.
+func (h *Histogram) AddSlice(fs []float32) {
+	for _, f := range fs {
+		h.Bins[Split(f).Exponent]++
+	}
+	h.Total += len(fs)
+}
+
+// Pct returns the percentage of values in bin e.
+func (h *Histogram) Pct(e int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return 100 * float64(h.Bins[e]) / float64(h.Total)
+}
+
+// Mode returns the biased exponent with the most values.
+func (h *Histogram) Mode() int {
+	best, bestN := 0, -1
+	for e, n := range h.Bins {
+		if n > bestN {
+			best, bestN = e, n
+		}
+	}
+	return best
+}
+
+// Summary aggregates classification counts for one input.
+type Summary struct {
+	Total      int
+	Zeros      int
+	Subnormals int
+	Normals    int
+	Infs       int
+	NaNs       int
+	MinFinite  float64 // most negative finite value
+	MaxFinite  float64 // most positive finite value
+	MinAbs     float64 // smallest nonzero magnitude
+	MaxAbs     float64 // largest magnitude
+}
+
+// Summarize scans fs once and reports counts plus range information.
+func Summarize(fs []float32) Summary {
+	s := Summary{MinFinite: math.Inf(1), MaxFinite: math.Inf(-1), MinAbs: math.Inf(1)}
+	for _, f := range fs {
+		s.Total++
+		switch Classify(f) {
+		case Zero:
+			s.Zeros++
+		case Subnormal:
+			s.Subnormals++
+		case Normal:
+			s.Normals++
+		case Inf:
+			s.Infs++
+			continue
+		case NaN:
+			s.NaNs++
+			continue
+		}
+		v := float64(f)
+		if v < s.MinFinite {
+			s.MinFinite = v
+		}
+		if v > s.MaxFinite {
+			s.MaxFinite = v
+		}
+		if a := math.Abs(v); a > 0 {
+			if a < s.MinAbs {
+				s.MinAbs = a
+			}
+			if a > s.MaxAbs {
+				s.MaxAbs = a
+			}
+		}
+	}
+	return s
+}
+
+// RenderASCII renders the histogram as a text plot: one row per populated
+// exponent bucket group, used by cmd/repro for Figure 5.
+func (h *Histogram) RenderASCII(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	maxPct := 0.0
+	for e := range h.Bins {
+		if p := h.Pct(e); p > maxPct {
+			maxPct = p
+		}
+	}
+	if maxPct == 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	for e := 0; e < 256; e++ {
+		p := h.Pct(e)
+		if p < 0.01 {
+			continue
+		}
+		n := int(p / maxPct * float64(width))
+		fmt.Fprintf(&b, "%3d |%-*s| %6.2f%%\n", e, width, strings.Repeat("#", n), p)
+	}
+	return b.String()
+}

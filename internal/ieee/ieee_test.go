@@ -1,0 +1,110 @@
+package ieee
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSplit(t *testing.T) {
+	f := Split(1.0)
+	if f.Sign != 0 || f.Exponent != 127 || f.Mantissa != 0 {
+		t.Fatalf("Split(1.0) = %+v", f)
+	}
+	f = Split(-2.5)
+	if f.Sign != 1 || f.Exponent != 128 || f.Mantissa != 1<<21 {
+		t.Fatalf("Split(-2.5) = %+v", f)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		f float32
+		c Class
+	}{
+		{0, Zero},
+		{float32(math.Copysign(0, -1)), Zero},
+		{1.0, Normal},
+		{-123.5, Normal},
+		{math.Float32frombits(1), Subnormal},
+		{math.Float32frombits(0x007FFFFF), Subnormal},
+		{float32(math.Inf(1)), Inf},
+		{float32(math.Inf(-1)), Inf},
+		{float32(math.NaN()), NaN},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.f); got != tc.c {
+			t.Errorf("Classify(%g) = %v, want %v", tc.f, got, tc.c)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		Zero: "zero", Subnormal: "subnormal", Normal: "normal",
+		Inf: "inf", NaN: "nan", Class(99): "Class(99)",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", int(c), c.String())
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.AddSlice([]float32{1, 1.5, 2, 0.25})
+	h.Add(0)
+	if h.Total != 5 {
+		t.Fatalf("total %d", h.Total)
+	}
+	if h.Bins[127] != 2 { // 1 and 1.5
+		t.Fatalf("bin 127 = %d", h.Bins[127])
+	}
+	if h.Bins[128] != 1 || h.Bins[125] != 1 || h.Bins[0] != 1 {
+		t.Fatalf("bins: %v %v %v", h.Bins[128], h.Bins[125], h.Bins[0])
+	}
+	if got := h.Pct(127); got != 40 {
+		t.Fatalf("Pct = %g", got)
+	}
+	if h.Mode() != 127 {
+		t.Fatalf("Mode = %d", h.Mode())
+	}
+	var empty Histogram
+	if empty.Pct(0) != 0 {
+		t.Fatal("empty Pct")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	fs := []float32{0, 1, -4, math.Float32frombits(1),
+		float32(math.Inf(1)), float32(math.NaN()), 1e30, -1e-30}
+	s := Summarize(fs)
+	if s.Total != 8 || s.Zeros != 1 || s.Subnormals != 1 || s.Infs != 1 || s.NaNs != 1 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Normals != 4 {
+		t.Fatalf("normals %d", s.Normals)
+	}
+	if s.MaxFinite != float64(float32(1e30)) || s.MinFinite != -4 {
+		t.Fatalf("range %g..%g", s.MinFinite, s.MaxFinite)
+	}
+	if s.MaxAbs != float64(float32(1e30)) {
+		t.Fatalf("maxabs %g", s.MaxAbs)
+	}
+	if s.MinAbs >= 1e-30 {
+		t.Fatalf("minabs %g", s.MinAbs)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	var h Histogram
+	h.AddSlice([]float32{1, 1, 1, 2})
+	out := h.RenderASCII(20)
+	if !strings.Contains(out, "127") || !strings.Contains(out, "#") {
+		t.Fatalf("render:\n%s", out)
+	}
+	var empty Histogram
+	if empty.RenderASCII(0) != "(empty)\n" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,399 @@
+package lc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"positbench/internal/bitio"
+	"positbench/internal/huffman"
+	"positbench/internal/mtf"
+)
+
+// Coder components: size-reducing stages. RZE/RARE/RAZE implement the
+// zero/repeat suppression schemes the paper describes, including the
+// recursively self-compressed bitmaps.
+
+// --- recursive bitmap codec -------------------------------------------------
+
+// encodeBitmapBody compresses b by zero-byte suppression, recursing on its
+// own occupancy bitmap as long as that pays off ("compressed ... repeatedly
+// with the same algorithm"). Layout: flag byte (0 = stored, 1 = recursive),
+// then either the raw bytes or the encoded occupancy bitmap followed by the
+// nonzero bytes.
+func encodeBitmapBody(b []byte) []byte {
+	if len(b) < 16 {
+		return append([]byte{0}, b...)
+	}
+	sub := make([]byte, (len(b)+7)/8)
+	var nz []byte
+	for i, v := range b {
+		if v != 0 {
+			sub[i/8] |= 1 << (7 - i%8)
+			nz = append(nz, v)
+		}
+	}
+	inner := encodeBitmapBody(sub)
+	if 1+len(inner)+len(nz) < 1+len(b) {
+		out := make([]byte, 0, 1+len(inner)+len(nz))
+		out = append(out, 1)
+		out = append(out, inner...)
+		return append(out, nz...)
+	}
+	return append([]byte{0}, b...)
+}
+
+// decodeBitmapBody reconstructs n bytes, returning them and the number of
+// encoded bytes consumed.
+func decodeBitmapBody(src []byte, n int) ([]byte, int, error) {
+	if len(src) < 1 {
+		return nil, 0, fmt.Errorf("lc: truncated bitmap")
+	}
+	flag := src[0]
+	switch flag {
+	case 0:
+		if len(src) < 1+n {
+			return nil, 0, fmt.Errorf("lc: truncated stored bitmap")
+		}
+		return src[1 : 1+n], 1 + n, nil
+	case 1:
+		subLen := (n + 7) / 8
+		sub, used, err := decodeBitmapBody(src[1:], subLen)
+		if err != nil {
+			return nil, 0, err
+		}
+		pos := 1 + used
+		out := make([]byte, n)
+		for i := 0; i < n; i++ {
+			if sub[i/8]>>(7-i%8)&1 == 1 {
+				if pos >= len(src) {
+					return nil, 0, fmt.Errorf("lc: truncated bitmap payload")
+				}
+				out[i] = src[pos]
+				pos++
+			}
+		}
+		return out, pos, nil
+	default:
+		return nil, 0, fmt.Errorf("lc: bad bitmap flag %d", flag)
+	}
+}
+
+// packFlags packs one bit per word, MSB-first.
+func packFlags(flags []bool) []byte {
+	out := make([]byte, (len(flags)+7)/8)
+	for i, f := range flags {
+		if f {
+			out[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return out
+}
+
+// --- RLE ---------------------------------------------------------------------
+
+// rle is byte-level run-length coding (the RLE1 scheme shared with the
+// bzip2-class codec).
+type rle struct{}
+
+func (rle) Name() string { return "RLE" }
+
+func (rle) Forward(src []byte) ([]byte, error) { return mtf.RLE1(src), nil }
+func (rle) Inverse(src []byte) ([]byte, error) { return mtf.UnRLE1(src) }
+
+// --- RZE ---------------------------------------------------------------------
+
+// rze suppresses all-zero words: a recursively compressed occupancy bitmap
+// plus the nonzero words. "Similar to RAZE, except it operates on all bits
+// of each word."
+type rze struct{}
+
+func (rze) Name() string { return "RZE" }
+
+func (rze) Forward(src []byte) ([]byte, error) {
+	words, tail := splitWords(src)
+	flags := make([]bool, len(words))
+	var nz []uint32
+	for i, w := range words {
+		if w != 0 {
+			flags[i] = true
+			nz = append(nz, w)
+		}
+	}
+	out := bitio.PutUvarint(nil, uint64(len(words)))
+	out = bitio.PutUvarint(out, uint64(len(tail)))
+	out = append(out, encodeBitmapBody(packFlags(flags))...)
+	out = append(out, joinWords(nz, tail)...)
+	return out, nil
+}
+
+func (rze) Inverse(src []byte) ([]byte, error) {
+	n64, k, err := bitio.Uvarint(src)
+	if err != nil {
+		return nil, fmt.Errorf("lc/RZE: %w", err)
+	}
+	src = src[k:]
+	tailLen, k, err := bitio.Uvarint(src)
+	if err != nil {
+		return nil, fmt.Errorf("lc/RZE: %w", err)
+	}
+	src = src[k:]
+	n := int(n64)
+	bm, used, err := decodeBitmapBody(src, (n+7)/8)
+	if err != nil {
+		return nil, fmt.Errorf("lc/RZE: %w", err)
+	}
+	src = src[used:]
+	words := make([]uint32, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		if bm[i/8]>>(7-i%8)&1 == 1 {
+			if pos+4 > len(src) {
+				return nil, fmt.Errorf("lc/RZE: truncated words")
+			}
+			words[i] = uint32(src[pos]) | uint32(src[pos+1])<<8 | uint32(src[pos+2])<<16 | uint32(src[pos+3])<<24
+			pos += 4
+		}
+	}
+	if len(src)-pos != int(tailLen) {
+		return nil, fmt.Errorf("lc/RZE: tail mismatch")
+	}
+	return joinWords(words, src[pos:]), nil
+}
+
+// --- RARE / RAZE ---------------------------------------------------------------
+
+// topCoder implements the shared structure of RARE and RAZE: a per-word
+// flag (top k bits repeat / are zero), the k-bit tops of unflagged words,
+// and the (32-k)-bit bottoms of all words. k is chosen per block to
+// minimize the pre-bitmap-compression size.
+type topCoder struct {
+	name string
+	// flagged reports, per word, the leading-bit count that makes the word
+	// flaggable at a given k: for RARE the number of leading bits equal to
+	// the previous word's, for RAZE the number of leading zero bits.
+	leadBits func(w, prev uint32) int
+}
+
+func (t topCoder) Name() string { return t.name }
+
+func (t topCoder) Forward(src []byte) ([]byte, error) {
+	words, tail := splitWords(src)
+	n := len(words)
+	// Histogram of lead-bit counts -> flagged(k) via suffix sums.
+	var hist [33]int
+	prev := uint32(0)
+	for _, w := range words {
+		hist[t.leadBits(w, prev)]++
+		prev = w
+	}
+	bestK, bestCost := 1, int64(1)<<62
+	flaggedAtLeast := 0
+	for k := 32; k >= 1; k-- {
+		flaggedAtLeast += hist[k]
+		if k > 31 {
+			continue
+		}
+		// bits: bitmap n + tops (n-flagged)*k + bottoms n*(32-k)
+		cost := int64(n) + int64(n-flaggedAtLeast)*int64(k) + int64(n)*int64(32-k)
+		if cost < bestCost {
+			bestCost, bestK = cost, k
+		}
+	}
+	k := bestK
+	flags := make([]bool, n)
+	prev = 0
+	tops := bitio.NewWriter(n/2 + 8)
+	bottoms := bitio.NewWriter(n*4 + 8)
+	for i, w := range words {
+		if t.leadBits(w, prev) >= k {
+			flags[i] = true
+		} else {
+			tops.WriteBits(uint64(w>>(32-uint(k))), uint(k))
+		}
+		bottoms.WriteBits(uint64(w)&(1<<(32-uint(k))-1), 32-uint(k))
+		prev = w
+	}
+	out := bitio.PutUvarint(nil, uint64(n))
+	out = bitio.PutUvarint(out, uint64(len(tail)))
+	out = append(out, byte(k))
+	out = append(out, encodeBitmapBody(packFlags(flags))...)
+	tb := tops.Bytes()
+	out = bitio.PutUvarint(out, uint64(len(tb)))
+	out = append(out, tb...)
+	out = append(out, bottoms.Bytes()...)
+	return append(out, tail...), nil
+}
+
+func (t topCoder) Inverse(src []byte) ([]byte, error) {
+	n64, used, err := bitio.Uvarint(src)
+	if err != nil {
+		return nil, fmt.Errorf("lc/%s: %w", t.name, err)
+	}
+	src = src[used:]
+	tailLen64, used, err := bitio.Uvarint(src)
+	if err != nil {
+		return nil, fmt.Errorf("lc/%s: %w", t.name, err)
+	}
+	src = src[used:]
+	if len(src) < 1 {
+		return nil, fmt.Errorf("lc/%s: missing k", t.name)
+	}
+	k := int(src[0])
+	src = src[1:]
+	if k < 1 || k > 31 {
+		return nil, fmt.Errorf("lc/%s: bad k=%d", t.name, k)
+	}
+	n := int(n64)
+	bm, used, err := decodeBitmapBody(src, (n+7)/8)
+	if err != nil {
+		return nil, fmt.Errorf("lc/%s: %w", t.name, err)
+	}
+	src = src[used:]
+	topsLen64, used, err := bitio.Uvarint(src)
+	if err != nil {
+		return nil, fmt.Errorf("lc/%s: %w", t.name, err)
+	}
+	src = src[used:]
+	topsLen := int(topsLen64)
+	if topsLen > len(src) {
+		return nil, fmt.Errorf("lc/%s: truncated tops", t.name)
+	}
+	tops := bitio.NewReader(src[:topsLen])
+	src = src[topsLen:]
+	bottomBytes := (n*(32-k) + 7) / 8
+	if len(src) != bottomBytes+int(tailLen64) {
+		return nil, fmt.Errorf("lc/%s: have %d bytes, need %d", t.name, len(src), bottomBytes+int(tailLen64))
+	}
+	bottoms := bitio.NewReader(src[:bottomBytes])
+	words := make([]uint32, n)
+	prev := uint32(0)
+	for i := 0; i < n; i++ {
+		var top uint32
+		if bm[i/8]>>(7-i%8)&1 == 1 {
+			top = t.flaggedTop(prev, k)
+		} else {
+			v, err := tops.ReadBits(uint(k))
+			if err != nil {
+				return nil, fmt.Errorf("lc/%s: tops: %w", t.name, err)
+			}
+			top = uint32(v)
+		}
+		bot, err := bottoms.ReadBits(32 - uint(k))
+		if err != nil {
+			return nil, fmt.Errorf("lc/%s: bottoms: %w", t.name, err)
+		}
+		w := top<<(32-uint(k)) | uint32(bot)
+		words[i] = w
+		prev = w
+	}
+	return joinWords(words, src[bottomBytes:]), nil
+}
+
+// flaggedTop reconstructs the implied top bits of a flagged word.
+func (t topCoder) flaggedTop(prev uint32, k int) uint32 {
+	if t.name == "RAZE" {
+		return 0
+	}
+	return prev >> (32 - uint(k))
+}
+
+// rare flags words whose top k bits repeat the previous word's.
+type rare struct{ topCoder }
+
+func newRARE() rare {
+	return rare{topCoder{
+		name: "RARE",
+		leadBits: func(w, prev uint32) int {
+			return bits.LeadingZeros32(w ^ prev)
+		},
+	}}
+}
+
+// raze flags words whose top k bits are zero.
+type raze struct{ topCoder }
+
+func newRAZE() raze {
+	return raze{topCoder{
+		name: "RAZE",
+		leadBits: func(w, prev uint32) int {
+			return bits.LeadingZeros32(w)
+		},
+	}}
+}
+
+// --- HUF ----------------------------------------------------------------------
+
+// huf is a canonical byte-Huffman terminal coder with a stored-mode escape
+// for incompressible input.
+type huf struct{}
+
+func (huf) Name() string { return "HUF" }
+
+func (huf) Forward(src []byte) ([]byte, error) {
+	freqs := make([]int, 256)
+	for _, b := range src {
+		freqs[b]++
+	}
+	lengths, err := huffman.BuildLengths(freqs, huffman.MaxBits)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := huffman.NewEncoder(lengths)
+	if err != nil {
+		return nil, err
+	}
+	w := bitio.NewWriter(len(src)/2 + 160)
+	if err := huffman.WriteLengths(w, lengths); err != nil {
+		return nil, err
+	}
+	for _, b := range src {
+		enc.Encode(w, int(b))
+	}
+	body := w.Bytes()
+	if len(body) >= len(src) {
+		out := append(bitio.PutUvarint([]byte{0}, uint64(len(src))), src...)
+		return out, nil
+	}
+	return append(bitio.PutUvarint([]byte{1}, uint64(len(src))), body...), nil
+}
+
+func (huf) Inverse(src []byte) ([]byte, error) {
+	if len(src) < 1 {
+		return nil, fmt.Errorf("lc/HUF: empty input")
+	}
+	mode := src[0]
+	n64, used, err := bitio.Uvarint(src[1:])
+	if err != nil {
+		return nil, fmt.Errorf("lc/HUF: %w", err)
+	}
+	src = src[1+used:]
+	n := int(n64)
+	switch mode {
+	case 0:
+		if len(src) != n {
+			return nil, fmt.Errorf("lc/HUF: stored length mismatch")
+		}
+		return append([]byte(nil), src...), nil
+	case 1:
+		r := bitio.NewReader(src)
+		lengths, err := huffman.ReadLengths(r, 256)
+		if err != nil {
+			return nil, fmt.Errorf("lc/HUF: %w", err)
+		}
+		dec, err := huffman.NewDecoder(lengths)
+		if err != nil {
+			return nil, fmt.Errorf("lc/HUF: %w", err)
+		}
+		out := make([]byte, n)
+		for i := range out {
+			s, err := dec.Decode(r)
+			if err != nil {
+				return nil, fmt.Errorf("lc/HUF: %w", err)
+			}
+			out[i] = byte(s)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("lc/HUF: bad mode %d", mode)
+	}
+}

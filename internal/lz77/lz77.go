@@ -1,0 +1,167 @@
+// Package lz77 provides a hash-chain match finder shared by the LZ4-class,
+// Zstd-class, and XZ-class codecs. The window size and chain-search depth
+// are the knobs that differentiate those codecs' design points.
+package lz77
+
+const (
+	// MinMatch is the shortest match the finder reports.
+	MinMatch = 4
+	hashLog  = 17
+	hashSize = 1 << hashLog
+)
+
+// Matcher finds back-references in a fixed source buffer using hash chains
+// keyed on 4-byte prefixes.
+type Matcher struct {
+	src    []byte
+	window int // maximum match distance
+	depth  int // maximum chain positions examined per query
+	head   []int32
+	prev   []int32
+}
+
+// NewMatcher prepares a matcher over src. window bounds match distances;
+// depth bounds the work per position (higher = better matches, slower).
+func NewMatcher(src []byte, window, depth int) *Matcher {
+	if window <= 0 {
+		window = 1 << 16
+	}
+	if depth <= 0 {
+		depth = 16
+	}
+	m := &Matcher{
+		src:    src,
+		window: window,
+		depth:  depth,
+		head:   make([]int32, hashSize),
+		prev:   make([]int32, len(src)),
+	}
+	for i := range m.head {
+		m.head[i] = -1
+	}
+	return m
+}
+
+func hash4(v uint32) uint32 {
+	return v * 2654435761 >> (32 - hashLog)
+}
+
+func (m *Matcher) load4(pos int) uint32 {
+	s := m.src
+	return uint32(s[pos]) | uint32(s[pos+1])<<8 | uint32(s[pos+2])<<16 | uint32(s[pos+3])<<24
+}
+
+// Insert registers position pos in the hash chains. Positions must be
+// inserted in increasing order; querying FindMatch(pos) only considers
+// previously inserted positions.
+func (m *Matcher) Insert(pos int) {
+	if pos+MinMatch > len(m.src) {
+		return
+	}
+	h := hash4(m.load4(pos))
+	m.prev[pos] = m.head[h]
+	m.head[h] = int32(pos)
+}
+
+// FindMatch returns the longest match for the data at pos against earlier
+// inserted positions within the window, with maximum length maxLen.
+// It returns (0,0) if no match of at least MinMatch exists. Ties prefer
+// smaller distances.
+func (m *Matcher) FindMatch(pos, maxLen int) (dist, length int) {
+	if pos+MinMatch > len(m.src) {
+		return 0, 0
+	}
+	if rem := len(m.src) - pos; maxLen > rem {
+		maxLen = rem
+	}
+	h := hash4(m.load4(pos))
+	cand := m.head[h]
+	limit := pos - m.window
+	src := m.src
+	best := MinMatch - 1
+	for tries := m.depth; cand >= 0 && int(cand) >= limit && tries > 0; tries-- {
+		c := int(cand)
+		if c >= pos {
+			// The matcher may be populated ahead of the query position.
+			cand = m.prev[c]
+			continue
+		}
+		// Quick rejects: check the byte just past the current best.
+		if best < maxLen && src[c+best] == src[pos+best] {
+			l := matchLen(src, c, pos, maxLen)
+			if l > best {
+				best, dist = l, pos-c
+				if l >= maxLen {
+					break
+				}
+			}
+		}
+		cand = m.prev[c]
+	}
+	if best < MinMatch {
+		return 0, 0
+	}
+	return dist, best
+}
+
+// Match is a (distance, length) back-reference candidate.
+type Match struct {
+	Dist, Len int
+}
+
+// FindMatches appends strictly-lengthening match candidates at pos to dst:
+// each entry has the smallest distance seen for its length, and lengths
+// increase along the slice. Candidates at or beyond pos are skipped, so the
+// matcher may be pre-populated ahead of the query position.
+func (m *Matcher) FindMatches(pos, maxLen int, dst []Match) []Match {
+	if pos+MinMatch > len(m.src) {
+		return dst
+	}
+	if rem := len(m.src) - pos; maxLen > rem {
+		maxLen = rem
+	}
+	h := hash4(m.load4(pos))
+	cand := m.head[h]
+	limit := pos - m.window
+	src := m.src
+	best := MinMatch - 1
+	for tries := m.depth; cand >= 0 && int(cand) >= limit && tries > 0; tries-- {
+		c := int(cand)
+		if c >= pos {
+			cand = m.prev[c]
+			continue
+		}
+		if best < maxLen && src[c+best] == src[pos+best] {
+			l := matchLen(src, c, pos, maxLen)
+			if l > best {
+				best = l
+				dst = append(dst, Match{Dist: pos - c, Len: l})
+				if l >= maxLen {
+					break
+				}
+			}
+		}
+		cand = m.prev[c]
+	}
+	return dst
+}
+
+// InsertRange registers positions [from, to) in increasing order.
+func (m *Matcher) InsertRange(from, to int) {
+	for i := from; i < to; i++ {
+		m.Insert(i)
+	}
+}
+
+// matchLen counts equal bytes at a and b, up to max.
+func matchLen(src []byte, a, b, max int) int {
+	n := 0
+	for n < max && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+// MatchLen is the exported equal-prefix counter used by codec encoders for
+// match extension.
+func MatchLen(src []byte, a, b, max int) int { return matchLen(src, a, b, max) }

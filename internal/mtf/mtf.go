@@ -1,0 +1,171 @@
+// Package mtf implements the move-to-front transform and the bzip2-style
+// run-length codings that bracket it: RLE1 (byte-level run clamping applied
+// before the BWT) and the RUNA/RUNB zero-run coding applied after MTF.
+package mtf
+
+import "fmt"
+
+// Encode applies the move-to-front transform in place semantics: the result
+// has the same length as src. Small output values indicate recently used
+// bytes, which is what makes post-BWT data highly compressible.
+func Encode(src []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, b := range src {
+		var j int
+		for table[j] != b {
+			j++
+		}
+		out[i] = byte(j)
+		copy(table[1:j+1], table[:j])
+		table[0] = b
+	}
+	return out
+}
+
+// Decode inverts Encode.
+func Decode(src []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, j := range src {
+		b := table[j]
+		out[i] = b
+		copy(table[1:int(j)+1], table[:j])
+		table[0] = b
+	}
+	return out
+}
+
+// RLE1 applies bzip2's first run-length stage: any run of 4..259 identical
+// bytes becomes the 4 bytes followed by a count byte (run-4). This bounds
+// the damage pathological runs do to the rotation sort.
+func RLE1(src []byte) []byte {
+	out := make([]byte, 0, len(src)+len(src)/4+16)
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		run := 1
+		for i+run < len(src) && src[i+run] == b && run < 259 {
+			run++
+		}
+		if run >= 4 {
+			out = append(out, b, b, b, b, byte(run-4))
+			i += run
+		} else {
+			out = append(out, src[i:i+run]...)
+			i += run
+		}
+	}
+	return out
+}
+
+// UnRLE1 inverts RLE1.
+func UnRLE1(src []byte) ([]byte, error) {
+	out := make([]byte, 0, len(src)*2)
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		run := 1
+		for i+run < len(src) && src[i+run] == b && run < 4 {
+			run++
+		}
+		if run == 4 {
+			if i+4 >= len(src) {
+				return nil, fmt.Errorf("mtf: truncated RLE1 run")
+			}
+			total := 4 + int(src[i+4])
+			for j := 0; j < total; j++ {
+				out = append(out, b)
+			}
+			i += 5
+		} else {
+			out = append(out, src[i:i+run]...)
+			i += run
+		}
+	}
+	return out, nil
+}
+
+// Zero-run symbols produced by EncodeZeroRuns. Symbols RunA and RunB encode
+// zero-run lengths in bijective base 2 (bzip2's RUNA/RUNB scheme); byte
+// value v > 0 becomes symbol v+1. The caller appends its own EOB symbol.
+const (
+	RunA = 0
+	RunB = 1
+)
+
+// EncodeZeroRuns converts an MTF byte stream into zero-run symbols:
+// runs of zeros are emitted as RUNA/RUNB digits (bijective base 2, least
+// significant digit first); a nonzero byte v becomes symbol v+1.
+// The resulting alphabet is 0..256.
+func EncodeZeroRuns(src []byte) []uint16 {
+	out := make([]uint16, 0, len(src))
+	i := 0
+	for i < len(src) {
+		if src[i] != 0 {
+			out = append(out, uint16(src[i])+1)
+			i++
+			continue
+		}
+		run := 0
+		for i < len(src) && src[i] == 0 {
+			run++
+			i++
+		}
+		// Bijective base-2 digits of run: digits in {1,2} -> {RUNA,RUNB}.
+		for run > 0 {
+			d := run & 1 // 1 -> RUNA, 0 (i.e. digit 2) -> RUNB
+			if d == 1 {
+				out = append(out, RunA)
+				run = (run - 1) / 2
+			} else {
+				out = append(out, RunB)
+				run = (run - 2) / 2
+			}
+		}
+	}
+	return out
+}
+
+// DecodeZeroRuns inverts EncodeZeroRuns.
+func DecodeZeroRuns(src []uint16) ([]byte, error) {
+	out := make([]byte, 0, len(src))
+	i := 0
+	for i < len(src) {
+		s := src[i]
+		if s > 1 {
+			if s > 256 {
+				return nil, fmt.Errorf("mtf: symbol %d out of range", s)
+			}
+			out = append(out, byte(s-1))
+			i++
+			continue
+		}
+		// Collect RUNA/RUNB digits.
+		const maxRun = 1 << 31
+		run := 0
+		weight := 1
+		for i < len(src) && src[i] <= 1 {
+			if src[i] == RunA {
+				run += weight
+			} else {
+				run += 2 * weight
+			}
+			weight *= 2
+			if run > maxRun || weight > maxRun {
+				return nil, fmt.Errorf("mtf: zero run too long")
+			}
+			i++
+		}
+		for j := 0; j < run; j++ {
+			out = append(out, 0)
+		}
+	}
+	return out, nil
+}

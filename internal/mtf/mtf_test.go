@@ -1,0 +1,175 @@
+package mtf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMTFKnown(t *testing.T) {
+	// "aaab": a is index 97 first, then 0, 0; b is 98 (a moved to front).
+	got := Encode([]byte("aaab"))
+	want := []byte{97, 0, 0, 98}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if back := Decode(got); !bytes.Equal(back, []byte("aaab")) {
+		t.Fatalf("decode %v", back)
+	}
+}
+
+func TestMTFRoundtripQuick(t *testing.T) {
+	f := func(s []byte) bool { return bytes.Equal(Decode(Encode(s)), s) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMTFEmptyAndAllBytes(t *testing.T) {
+	if len(Encode(nil)) != 0 || len(Decode(nil)) != 0 {
+		t.Fatal("empty")
+	}
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	if !bytes.Equal(Decode(Encode(all)), all) {
+		t.Fatal("all bytes")
+	}
+}
+
+func TestRLE1Roundtrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{1, 1, 1},
+		{1, 1, 1, 1},
+		{1, 1, 1, 1, 1},
+		bytes.Repeat([]byte{7}, 259),
+		bytes.Repeat([]byte{7}, 260),
+		bytes.Repeat([]byte{7}, 600),
+		bytes.Repeat([]byte{0xFF}, 262), // count byte collides with data byte
+		append(bytes.Repeat([]byte{3}, 10), bytes.Repeat([]byte{4}, 10)...),
+		[]byte("abcabcabc"),
+	}
+	for _, c := range cases {
+		enc := RLE1(c)
+		back, err := UnRLE1(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !bytes.Equal(back, c) {
+			t.Fatalf("case len %d: got len %d", len(c), len(back))
+		}
+	}
+}
+
+func TestRLE1Quick(t *testing.T) {
+	f := func(s []byte) bool {
+		back, err := UnRLE1(RLE1(s))
+		return err == nil && bytes.Equal(back, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLE1RunHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := make([]byte, 0, 100000)
+	for len(s) < 100000 {
+		b := byte(rng.Intn(4))
+		run := rng.Intn(1000) + 1
+		for i := 0; i < run; i++ {
+			s = append(s, b)
+		}
+	}
+	enc := RLE1(s)
+	if len(enc) >= len(s) {
+		t.Fatalf("RLE1 did not shrink run-heavy data: %d -> %d", len(s), len(enc))
+	}
+	back, err := UnRLE1(enc)
+	if err != nil || !bytes.Equal(back, s) {
+		t.Fatal("roundtrip failed")
+	}
+}
+
+func TestUnRLE1Truncated(t *testing.T) {
+	if _, err := UnRLE1([]byte{5, 5, 5, 5}); err == nil {
+		t.Fatal("truncated run accepted")
+	}
+}
+
+func TestZeroRunsKnown(t *testing.T) {
+	// run=3 zeros -> RUNA RUNA; value 5 -> symbol 6.
+	got := EncodeZeroRuns([]byte{0, 0, 0, 5})
+	want := []uint16{RunA, RunA, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	back, err := DecodeZeroRuns(got)
+	if err != nil || !bytes.Equal(back, []byte{0, 0, 0, 5}) {
+		t.Fatalf("decode %v %v", back, err)
+	}
+}
+
+func TestZeroRunsLengths(t *testing.T) {
+	for run := 0; run < 600; run++ {
+		src := make([]byte, run, run+1)
+		src = append(src, 9)
+		enc := EncodeZeroRuns(src)
+		back, err := DecodeZeroRuns(enc)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("run %d: got len %d", run, len(back))
+		}
+	}
+}
+
+func TestZeroRunsQuick(t *testing.T) {
+	f := func(s []byte) bool {
+		back, err := DecodeZeroRuns(EncodeZeroRuns(s))
+		return err == nil && bytes.Equal(back, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroRunsBadSymbol(t *testing.T) {
+	if _, err := DecodeZeroRuns([]uint16{300}); err == nil {
+		t.Fatal("symbol out of range accepted")
+	}
+}
+
+func TestZeroRunsOverflowGuard(t *testing.T) {
+	// 64 RUNB digits would decode to an astronomically long run.
+	bad := make([]uint16, 64)
+	for i := range bad {
+		bad[i] = RunB
+	}
+	if _, err := DecodeZeroRuns(bad); err == nil {
+		t.Fatal("overflowing run accepted")
+	}
+}
+
+func BenchmarkMTFEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := make([]byte, 1<<20)
+	for i := range s {
+		s[i] = byte(rng.Intn(8)) // post-BWT-like locality
+	}
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(s)
+	}
+}

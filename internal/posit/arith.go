@@ -1,0 +1,207 @@
+package posit
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Arithmetic on posit bit patterns. All operations are correctly rounded
+// (round-to-nearest-even on the posit pattern, saturating): intermediates
+// are kept exact in 128 bits and rounded once by Encode.
+//
+// NaR is absorbing: any operation with a NaR operand yields NaR, as does
+// any operation whose mathematical result is undefined (x/0, sqrt of a
+// negative value).
+
+const workFracBits = 61 // working fraction precision: hidden bit at bit 61
+
+// widen normalizes decoded parts to the working precision.
+func widen(pt Parts) Parts {
+	pt.Frac <<= workFracBits - pt.FracBits
+	pt.FracBits = workFracBits
+	return pt
+}
+
+// normalize128 builds Parts from an exact 128-bit magnitude (hi,lo) scaled
+// by 2^baseScale, reduced to workFracBits with a sticky flag.
+func normalize128(neg bool, hi, lo uint64, baseScale int) (Parts, bool) {
+	if hi == 0 && lo == 0 {
+		return Parts{}, false
+	}
+	var top int // index of the most significant set bit
+	if hi != 0 {
+		top = 127 - bits.LeadingZeros64(hi)
+	} else {
+		top = 63 - bits.LeadingZeros64(lo)
+	}
+	scale := baseScale + top
+	var frac uint64
+	sticky := false
+	if top <= workFracBits {
+		frac = lo << (workFracBits - uint(top))
+	} else {
+		drop := uint(top) - workFracBits
+		frac = extract128(hi, lo, drop, 64)
+		sticky = lowNonzero128(hi, lo, drop)
+	}
+	return Parts{Neg: neg, Scale: scale, Frac: frac, FracBits: workFracBits}, sticky
+}
+
+// Add returns the correctly rounded sum a+b.
+func (c Config) Add(a, b uint64) uint64 {
+	pa, sa := c.Decode(a)
+	pb, sb := c.Decode(b)
+	if sa == IsNaR || sb == IsNaR {
+		return c.NaR()
+	}
+	if sa == IsZero {
+		return b & c.mask()
+	}
+	if sb == IsZero {
+		return a & c.mask()
+	}
+	pa, pb = widen(pa), widen(pb)
+	if pa.Scale < pb.Scale || (pa.Scale == pb.Scale && pa.Frac < pb.Frac) {
+		pa, pb = pb, pa // pa now has the larger magnitude
+	}
+	d := uint(pa.Scale - pb.Scale)
+	baseScale := pb.Scale - workFracBits
+	// Exact: big = pa.Frac << d, small = pb.Frac, both scaled by 2^baseScale.
+	if d > 63 {
+		// The small operand is more than a full word below the large one:
+		// |small| < |big| * 2^-63 < ulp(big)/2, and big is itself exactly
+		// representable, so the correctly rounded sum is just big.
+		return c.Encode(pa, false)
+	}
+	bigHi, bigLo := shl128(0, pa.Frac, d)
+	var hi, lo uint64
+	neg := pa.Neg
+	if pa.Neg == pb.Neg {
+		var carry uint64
+		lo, carry = bits.Add64(bigLo, pb.Frac, 0)
+		hi, _ = bits.Add64(bigHi, 0, carry)
+	} else {
+		var borrow uint64
+		lo, borrow = bits.Sub64(bigLo, pb.Frac, 0)
+		hi, _ = bits.Sub64(bigHi, 0, borrow)
+		if hi == 0 && lo == 0 {
+			return 0 // exact cancellation
+		}
+	}
+	pt, sticky := normalize128(neg, hi, lo, baseScale)
+	return c.Encode(pt, sticky)
+}
+
+// Sub returns the correctly rounded difference a-b.
+func (c Config) Sub(a, b uint64) uint64 {
+	if c.IsNaR(b) {
+		return c.NaR()
+	}
+	return c.Add(a, c.Neg(b))
+}
+
+// Mul returns the correctly rounded product a*b.
+func (c Config) Mul(a, b uint64) uint64 {
+	pa, sa := c.Decode(a)
+	pb, sb := c.Decode(b)
+	if sa == IsNaR || sb == IsNaR {
+		return c.NaR()
+	}
+	if sa == IsZero || sb == IsZero {
+		return 0
+	}
+	pa, pb = widen(pa), widen(pb)
+	hi, lo := bits.Mul64(pa.Frac, pb.Frac)
+	pt, sticky := normalize128(pa.Neg != pb.Neg, hi, lo, pa.Scale+pb.Scale-2*workFracBits)
+	return c.Encode(pt, sticky)
+}
+
+// Div returns the correctly rounded quotient a/b. Division by zero is NaR.
+func (c Config) Div(a, b uint64) uint64 {
+	pa, sa := c.Decode(a)
+	pb, sb := c.Decode(b)
+	if sa == IsNaR || sb == IsNaR || sb == IsZero {
+		return c.NaR()
+	}
+	if sa == IsZero {
+		return 0
+	}
+	pa, pb = widen(pa), widen(pb)
+	// q = floor(fa * 2^63 / fb); fa/fb in (1/2, 2) so q fits in 64 bits.
+	q, rem := bits.Div64(pa.Frac>>1, pa.Frac<<63, pb.Frac)
+	pt, sticky := normalize128(pa.Neg != pb.Neg, 0, q, pa.Scale-pb.Scale-63)
+	return c.Encode(pt, sticky || rem != 0)
+}
+
+// Sqrt returns the correctly rounded square root of a.
+// Negative inputs and NaR yield NaR; sqrt(0) is 0.
+func (c Config) Sqrt(a uint64) uint64 {
+	pa, sa := c.Decode(a)
+	if sa == IsNaR || (sa == Finite && pa.Neg) {
+		return c.NaR()
+	}
+	if sa == IsZero {
+		return 0
+	}
+	pa = widen(pa)
+	// Arrange an even exponent: value = frac * 2^(scale-61).
+	frac, scale := pa.Frac, pa.Scale
+	// Work with m = frac << s so that (scale - 61 - s) is even, then
+	// sqrt(m * 2^(2t)) = sqrt(m) * 2^t.
+	e := scale - workFracBits
+	if e&1 != 0 {
+		frac <<= 1 // frac < 2^62, safe
+		e--
+	}
+	// m is up to 63 bits; compute isqrt of m << 62 for ~62 result bits.
+	hi, lo := shl128(0, frac, 62)
+	r, exact := isqrt128(hi, lo)
+	pt, sticky := normalize128(false, 0, r, (e-62)/2)
+	return c.Encode(pt, sticky || !exact)
+}
+
+// isqrt128 returns floor(sqrt(hi:lo)) and whether the root is exact.
+func isqrt128(hi, lo uint64) (uint64, bool) {
+	if hi == 0 && lo == 0 {
+		return 0, true
+	}
+	// Initial estimate from a float sqrt, then Newton iterations on the
+	// integer value, finishing with an exact correction.
+	approx := float64(hi)*18446744073709551616.0 + float64(lo)
+	r := uint64(math.Sqrt(approx))
+	for i := 0; i < 6; i++ {
+		if r == 0 {
+			r = 1
+		}
+		// r' = (r + v/r) / 2 computed in 128 bits.
+		qhi := hi
+		if qhi >= r {
+			// v/r would overflow 64 bits; clamp from above.
+			r = ^uint64(0)
+			continue
+		}
+		q, _ := bits.Div64(qhi, lo, r)
+		nr := r/2 + q/2 + (r&1+q&1)/2
+		if nr == r {
+			break
+		}
+		r = nr
+	}
+	// Exact correction: ensure r*r <= v < (r+1)*(r+1).
+	for {
+		sqHi, sqLo := bits.Mul64(r, r)
+		if sqHi > hi || (sqHi == hi && sqLo > lo) {
+			r--
+			continue
+		}
+		// check (r+1)^2 > v
+		r1 := r + 1
+		s1Hi, s1Lo := bits.Mul64(r1, r1)
+		if r1 != 0 && (s1Hi < hi || (s1Hi == hi && s1Lo <= lo)) {
+			r++
+			continue
+		}
+		exact := sqHi == hi && sqLo == lo
+		return r, exact
+	}
+}

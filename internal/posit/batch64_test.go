@@ -1,0 +1,85 @@
+package posit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFloat64SliceRoundtrip(t *testing.T) {
+	c := Config{64, 3}
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float64, 5000)
+	for i := range src {
+		src[i] = math.Ldexp(rng.Float64()+1, rng.Intn(30)-15)
+	}
+	words := c.FromFloat64Slice(nil, src)
+	back := c.ToFloat64Slice(nil, words)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("index %d: %g -> %g", i, src[i], back[i])
+		}
+	}
+	st := c.RoundtripStats64(src)
+	if st.Exact != len(src) {
+		t.Fatalf("exact %d of %d", st.Exact, st.Total)
+	}
+}
+
+func TestRoundtripStats64Lossy(t *testing.T) {
+	c := Config{64, 3}
+	// Scale 500: the regime eats ~65 bits... beyond n, so value saturates
+	// region; pick scale 400 (regime ~51 bits, few fraction bits left).
+	v := math.Ldexp(1.0000000000000002, 400)
+	st := c.RoundtripStats64([]float64{1.0, v, math.NaN()})
+	if st.Total != 3 {
+		t.Fatal("total")
+	}
+	if st.Exact != 2 { // 1.0 and NaN->NaR->NaN count; v is lossy
+		t.Fatalf("exact %d", st.Exact)
+	}
+}
+
+func TestFloat64LE(t *testing.T) {
+	src := []float64{1.5, -2.25, 0, math.Inf(1)}
+	b := EncodeFloat64LE(src)
+	back, err := DecodeFloat64LE(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.Float64bits(back[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("index %d", i)
+		}
+	}
+	if _, err := DecodeFloat64LE([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	words := []uint64{0xDEADBEEFCAFEBABE, 1, 0}
+	wb := EncodeWords64LE(words)
+	wback, err := DecodeWords64LE(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range words {
+		if wback[i] != words[i] {
+			t.Fatalf("word %d", i)
+		}
+	}
+	if _, err := DecodeWords64LE([]byte{1}); err == nil {
+		t.Fatal("ragged word input accepted")
+	}
+}
+
+// posit<64,3> embeds all float64 values whose magnitude and precision fit
+// the short-regime region: near 1.0 the roundtrip must be exact.
+func TestPosit64NearOneExact(t *testing.T) {
+	c := Config{64, 3}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		f := math.Ldexp(rng.Float64()+1, rng.Intn(12)-6)
+		if got := c.ToFloat64(c.FromFloat64(f)); got != f {
+			t.Fatalf("%g -> %g", f, got)
+		}
+	}
+}

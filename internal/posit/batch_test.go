@@ -1,0 +1,155 @@
+package posit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFloat32SliceRoundtrip(t *testing.T) {
+	c := Posit32e3
+	rng := rand.New(rand.NewSource(21))
+	src := make([]float32, 10000)
+	for i := range src {
+		src[i] = float32(math.Ldexp(rng.Float64()+1, rng.Intn(20)-10))
+	}
+	words := c.FromFloat32Slice(nil, src)
+	back := c.ToFloat32Slice(nil, words)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("index %d: %g -> %g", i, src[i], back[i])
+		}
+	}
+}
+
+func TestRoundtripStats(t *testing.T) {
+	c := Posit32e3
+	src := []float32{1.0, 2.0, 0.5, -3.25, 0,
+		// Scale 120: the regime eats 17 bits, leaving 11 fraction bits, so
+		// the low mantissa bit set here is lost in conversion.
+		float32(math.Ldexp(1.0000001, 120)),
+	}
+	st := c.RoundtripStats(src)
+	if st.Total != len(src) {
+		t.Fatalf("total %d", st.Total)
+	}
+	if st.Exact != len(src)-1 {
+		t.Fatalf("exact %d, want %d", st.Exact, len(src)-1)
+	}
+	if st.MaxAbsE <= 0 {
+		t.Fatal("expected nonzero max error")
+	}
+	pct := st.PrecisePct()
+	want := 100 * float64(len(src)-1) / float64(len(src))
+	if math.Abs(pct-want) > 1e-9 {
+		t.Fatalf("pct %g want %g", pct, want)
+	}
+}
+
+func TestRoundtripStatsNaN(t *testing.T) {
+	c := Posit32e3
+	st := c.RoundtripStats([]float32{float32(math.NaN())})
+	if st.Exact != 1 {
+		t.Fatal("NaN -> NaR -> NaN should count as exact")
+	}
+}
+
+func TestPrecisePctEmpty(t *testing.T) {
+	var s ConvertStats
+	if s.PrecisePct() != 100 {
+		t.Fatal("empty stats should be 100% precise")
+	}
+}
+
+func TestLEEncoding(t *testing.T) {
+	src := []float32{1.5, -2.25, 0, float32(math.Inf(1))}
+	b := EncodeFloat32LE(src)
+	if len(b) != 16 {
+		t.Fatalf("len %d", len(b))
+	}
+	back, err := DecodeFloat32LE(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.Float32bits(back[i]) != math.Float32bits(src[i]) {
+			t.Fatalf("index %d", i)
+		}
+	}
+	if _, err := DecodeFloat32LE([]byte{1, 2, 3}); err == nil {
+		t.Fatal("want error for ragged input")
+	}
+
+	words := []uint32{0xDEADBEEF, 1, 0}
+	wb := EncodeWordsLE(words)
+	wback, err := DecodeWordsLE(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range words {
+		if wback[i] != words[i] {
+			t.Fatalf("word %d", i)
+		}
+	}
+	if _, err := DecodeWordsLE([]byte{1}); err == nil {
+		t.Fatal("want error for ragged input")
+	}
+}
+
+func TestConvertFileF32ToPosit(t *testing.T) {
+	c := Posit32e3
+	src := []float32{1, 2, 3, 4.5, -0.125}
+	f32 := EncodeFloat32LE(src)
+	pos, st, err := c.ConvertFileF32ToPosit(f32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != len(f32) {
+		t.Fatalf("posit file must be the same size: %d vs %d", len(pos), len(f32))
+	}
+	if st.Exact != len(src) {
+		t.Fatalf("exact %d", st.Exact)
+	}
+	words, _ := DecodeWordsLE(pos)
+	for i, w := range words {
+		if got := c.ToFloat32(uint64(w)); got != src[i] {
+			t.Fatalf("value %d: %g != %g", i, got, src[i])
+		}
+	}
+	if _, _, err := Posit16.ConvertFileF32ToPosit(f32); err == nil {
+		t.Fatal("non-32-bit config must be rejected")
+	}
+	if _, _, err := c.ConvertFileF32ToPosit([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ragged input must be rejected")
+	}
+}
+
+func BenchmarkFromFloat32(b *testing.B) {
+	c := Posit32e3
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 1<<16)
+	for i := range src {
+		src[i] = float32(math.Ldexp(rng.Float64()+1, rng.Intn(40)-20))
+	}
+	dst := make([]uint32, len(src))
+	b.SetBytes(int64(4 * len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.FromFloat32Slice(dst, src)
+	}
+}
+
+func BenchmarkToFloat32(b *testing.B) {
+	c := Posit32e3
+	rng := rand.New(rand.NewSource(2))
+	src := make([]uint32, 1<<16)
+	for i := range src {
+		src[i] = rng.Uint32()
+	}
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(4 * len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ToFloat32Slice(dst, src)
+	}
+}

@@ -1,0 +1,105 @@
+package posit
+
+import "math/bits"
+
+// Additional conversions and fused operations.
+
+// Fma returns a*b + c with a single rounding (fused multiply-add),
+// implemented through the quire.
+func (c Config) Fma(a, b, addend uint64) uint64 {
+	q := NewQuire(c)
+	q.AddProduct(a, b)
+	q.Add(addend)
+	return q.Posit()
+}
+
+// ConvertFrom re-rounds a posit bit pattern from another configuration
+// into c. Widening conversions between configurations with the same or
+// larger fraction budget are exact (De Dinechin et al.: posits cast
+// without error into sufficiently wider posits); narrowing conversions
+// round to nearest.
+func (c Config) ConvertFrom(src Config, p uint64) uint64 {
+	pt, sp := src.Decode(p)
+	switch sp {
+	case IsZero:
+		return 0
+	case IsNaR:
+		return c.NaR()
+	}
+	return c.Encode(pt, false)
+}
+
+// FromInt64 converts an integer to the nearest posit.
+func (c Config) FromInt64(v int64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	neg := v < 0
+	mag := uint64(v)
+	if neg {
+		mag = uint64(-v) // note: MinInt64 negates to itself, which is correct as a magnitude
+	}
+	top := 63 - bits.LeadingZeros64(mag)
+	// Normalize the magnitude so the hidden bit sits at workFracBits.
+	var frac uint64
+	sticky := false
+	if top <= workFracBits {
+		frac = mag << (workFracBits - uint(top))
+	} else {
+		drop := uint(top) - workFracBits
+		sticky = mag&(1<<drop-1) != 0
+		frac = mag >> drop
+	}
+	return c.Encode(Parts{Neg: neg, Scale: top, Frac: frac, FracBits: workFracBits}, sticky)
+}
+
+// ToInt64 converts a posit to the nearest int64 (ties to even), reporting
+// whether the conversion was exact. NaR returns (0, false); values beyond
+// the int64 range saturate and report false.
+func (c Config) ToInt64(p uint64) (int64, bool) {
+	pt, sp := c.Decode(p)
+	switch sp {
+	case IsZero:
+		return 0, true
+	case IsNaR:
+		return 0, false
+	}
+	// value = Frac * 2^(Scale-FracBits)
+	shift := pt.Scale - int(pt.FracBits)
+	var mag uint64
+	exact := true
+	switch {
+	case shift >= 0:
+		if pt.Scale >= 63 {
+			// -2^63 is exactly representable; everything else saturates.
+			if pt.Neg && pt.Scale == 63 && pt.Frac == 1<<pt.FracBits {
+				return -1 << 63, true
+			}
+			if pt.Neg {
+				return -1 << 63, false
+			}
+			return 1<<63 - 1, false
+		}
+		mag = pt.Frac << uint(shift)
+	default:
+		drop := uint(-shift)
+		if drop >= 64 {
+			// scale <= FracBits-64 < -2, so |v| < 0.25: rounds to zero.
+			return 0, false
+		}
+		mag = pt.Frac >> drop
+		rem := pt.Frac & (1<<drop - 1)
+		half := uint64(1) << (drop - 1)
+		if rem > half || (rem == half && mag&1 == 1) {
+			mag++
+		}
+		exact = rem == 0
+	}
+	if pt.Neg {
+		return -int64(mag), exact
+	}
+	if mag > 1<<63-1 {
+		return 1<<63 - 1, false
+	}
+	return int64(mag), exact
+}

@@ -1,0 +1,182 @@
+package posit
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestFma(t *testing.T) {
+	c := Posit32e3
+	a := c.FromFloat64(3)
+	b := c.FromFloat64(4)
+	d := c.FromFloat64(5)
+	if got := c.ToFloat64(c.Fma(a, b, d)); got != 17 {
+		t.Fatalf("fma(3,4,5) = %g", got)
+	}
+	// Fusion advantage: (2^20+1)^2 = 2^40 + 2^21 + 1 needs 41 significand
+	// bits, beyond posit<32,3>. The fused form keeps it exact until the
+	// final rounding, so subtracting 2^40 recovers 2^21+1 exactly, while
+	// mul-then-add loses the +1.
+	x := c.FromFloat64(float64(1<<20 + 1))
+	big1 := c.FromFloat64(math.Ldexp(1, 40))
+	fused := c.ToFloat64(c.Fma(x, x, c.Neg(big1)))
+	if fused != float64(1<<21+1) {
+		t.Fatalf("fused: %g", fused)
+	}
+	seq := c.ToFloat64(c.Add(c.Mul(x, x), c.Neg(big1)))
+	if seq == fused {
+		t.Fatalf("sequential unexpectedly matched fused: %g", seq)
+	}
+	// NaR propagation.
+	if !c.IsNaR(c.Fma(c.NaR(), a, b)) {
+		t.Fatal("fma NaR")
+	}
+}
+
+func TestFmaExactness(t *testing.T) {
+	c := Posit16
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		a := uint64(rng.Intn(1 << 16))
+		b := uint64(rng.Intn(1 << 16))
+		d := uint64(rng.Intn(1 << 16))
+		if c.IsNaR(a) || c.IsNaR(b) || c.IsNaR(d) {
+			continue
+		}
+		exact := new(big.Rat).Mul(ratOf(c, a), ratOf(c, b))
+		exact.Add(exact, ratOf(c, d))
+		want := nearestPosit(c, exact)
+		if got := c.Fma(a, b, d); got != want {
+			t.Fatalf("fma(%#x,%#x,%#x) = %#x, want %#x", a, b, d, got, want)
+		}
+	}
+}
+
+func TestConvertFrom(t *testing.T) {
+	// Widening posit16 -> posit32 must be exact for every pattern.
+	for p := uint64(0); p < 1<<16; p++ {
+		q := Posit32.ConvertFrom(Posit16, p)
+		if Posit16.IsNaR(p) {
+			if !Posit32.IsNaR(q) {
+				t.Fatal("NaR conversion")
+			}
+			continue
+		}
+		if Posit32.ToFloat64(q) != Posit16.ToFloat64(p) {
+			t.Fatalf("widen %#x: %g != %g", p, Posit32.ToFloat64(q), Posit16.ToFloat64(p))
+		}
+		// Narrowing back must reproduce the original.
+		if back := Posit16.ConvertFrom(Posit32, q); back != p {
+			t.Fatalf("narrow %#x -> %#x", p, back)
+		}
+	}
+}
+
+func TestConvertFromRounding(t *testing.T) {
+	// Narrowing rounds: a posit32 value with too many fraction bits for
+	// posit16 must land on the nearest posit16.
+	c32, c16 := Posit32, Posit16
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		p := uint64(rng.Uint32())
+		if c32.IsNaR(p) {
+			continue
+		}
+		got := c16.ConvertFrom(c32, p)
+		want := nearestPosit(c16, ratOf(c32, p))
+		if got != want {
+			t.Fatalf("narrow %#x: got %#x want %#x", p, got, want)
+		}
+	}
+}
+
+func TestFromInt64(t *testing.T) {
+	c := Posit32e3
+	// All cases fit the posit<32,3> fraction budget at their scale.
+	cases := []int64{0, 1, -1, 2, 42, -100, 1 << 20, -(1 << 30), 1234567}
+	for _, v := range cases {
+		if got := c.ToFloat64(c.FromInt64(v)); got != float64(v) {
+			t.Fatalf("FromInt64(%d) = %g", v, got)
+		}
+	}
+	// Large magnitudes round.
+	huge := int64(1)<<62 + 12345
+	got := c.ToFloat64(c.FromInt64(huge))
+	if math.Abs(got-float64(huge))/float64(huge) > 1e-6 {
+		t.Fatalf("FromInt64(huge) = %g", got)
+	}
+	// Correct rounding vs the rational oracle.
+	c16 := Posit16
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		v := rng.Int63n(1<<40) - 1<<39
+		want := nearestPosit(c16, new(big.Rat).SetInt64(v))
+		if got := c16.FromInt64(v); got != want {
+			t.Fatalf("FromInt64(%d) = %#x, want %#x", v, got, want)
+		}
+	}
+	if c.FromInt64(math.MinInt64) != c.Encode(Parts{Neg: true, Scale: 63, Frac: 1 << workFracBits, FracBits: workFracBits}, false) {
+		t.Fatal("MinInt64")
+	}
+}
+
+func TestToInt64(t *testing.T) {
+	c := Posit32e3
+	cases := []struct {
+		f     float64
+		want  int64
+		exact bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{-3, -3, true},
+		{2.5, 2, false},  // ties to even
+		{3.5, 4, false},  // ties to even
+		{2.75, 3, false}, // round up
+		{-2.5, -2, false},
+		{0.25, 0, false},
+		{1e6, 1000000, true},
+	}
+	for _, tc := range cases {
+		got, exact := c.ToInt64(c.FromFloat64(tc.f))
+		if got != tc.want || exact != tc.exact {
+			t.Fatalf("ToInt64(%g) = %d,%v want %d,%v", tc.f, got, exact, tc.want, tc.exact)
+		}
+	}
+	if v, ok := c.ToInt64(c.NaR()); v != 0 || ok {
+		t.Fatal("NaR")
+	}
+	// Saturation.
+	if v, ok := c.ToInt64(c.MaxPos()); v != 1<<63-1 || ok {
+		t.Fatalf("maxpos: %d %v", v, ok)
+	}
+	if v, ok := c.ToInt64(c.Neg(c.MaxPos())); v != -1<<63 || ok {
+		t.Fatalf("negative saturate: %d %v", v, ok)
+	}
+	// Exact -2^63 via posit<64,2>.
+	c64 := Posit64
+	p := c64.FromFloat64(-math.Ldexp(1, 63))
+	if v, ok := c64.ToInt64(p); v != math.MinInt64 || !ok {
+		t.Fatalf("-2^63: %d %v", v, ok)
+	}
+	// Tiny values round to zero inexactly.
+	if v, ok := c.ToInt64(c.MinPos()); v != 0 || ok {
+		t.Fatalf("minpos: %d %v", v, ok)
+	}
+}
+
+func TestIntRoundtripQuick(t *testing.T) {
+	// posit<64,2> has >= 44 fraction bits for scales up to ~60, so every
+	// integer below 2^40 is exactly representable.
+	c := Config{64, 2}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5000; trial++ {
+		v := rng.Int63n(1<<40) - 1<<39
+		got, exact := c.ToInt64(c.FromInt64(v))
+		if got != v || !exact {
+			t.Fatalf("int roundtrip %d -> %d (%v)", v, got, exact)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package posit
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	for _, c := range []Config{Posit8, Posit16, Posit32, Posit64, Posit32e3} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+	for _, c := range []Config{{2, 2}, {65, 2}, {32, 7}} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%v: want error", c)
+		}
+	}
+}
+
+func TestKnownPatternsPosit32(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		f    float64
+		bits uint64
+	}{
+		{Posit32, 1.0, 0x40000000},
+		{Posit32, -1.0, 0xC0000000},
+		{Posit32, 2.0, 0x48000000},
+		{Posit32, 0.5, 0x38000000},
+		{Posit32, 4.0, 0x50000000},
+		{Posit32, 16.0, 0x60000000},
+		{Posit32, 1.5, 0x44000000},
+		{Posit32, 0, 0},
+		{Posit32e3, 1.0, 0x40000000},
+		{Posit32e3, -1.0, 0xC0000000},
+		{Posit32e3, 256.0, 0x60000000}, // scale 8 = useed^1: regime 110, e=000
+		{Posit8, 1.0, 0x40},
+		{Posit8, -1.0, 0xC0},
+		{Posit16, 1.0, 0x4000},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.FromFloat64(tc.f); got != tc.bits {
+			t.Errorf("%v FromFloat64(%g) = %#x, want %#x", tc.cfg, tc.f, got, tc.bits)
+		}
+		if tc.bits != 0 {
+			if got := tc.cfg.ToFloat64(tc.bits); got != tc.f {
+				t.Errorf("%v ToFloat64(%#x) = %g, want %g", tc.cfg, tc.bits, got, tc.f)
+			}
+		}
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	for _, c := range []Config{Posit8, Posit16, Posit32, Posit32e3, Posit64} {
+		if !c.IsNaR(c.FromFloat64(math.NaN())) {
+			t.Errorf("%v: NaN must convert to NaR", c)
+		}
+		if !c.IsNaR(c.FromFloat64(math.Inf(1))) {
+			t.Errorf("%v: +Inf must convert to NaR", c)
+		}
+		if !c.IsNaR(c.FromFloat64(math.Inf(-1))) {
+			t.Errorf("%v: -Inf must convert to NaR", c)
+		}
+		if !c.IsZero(c.FromFloat64(0)) || !c.IsZero(c.FromFloat64(math.Copysign(0, -1))) {
+			t.Errorf("%v: both IEEE zeros must map to posit zero", c)
+		}
+		if !math.IsNaN(c.ToFloat64(c.NaR())) {
+			t.Errorf("%v: NaR must convert to NaN", c)
+		}
+		if c.ToFloat64(0) != 0 {
+			t.Errorf("%v: zero roundtrip", c)
+		}
+		if c.Neg(c.NaR()) != c.NaR() {
+			t.Errorf("%v: NaR must negate to NaR", c)
+		}
+	}
+}
+
+// Every posit16 pattern must decode and re-encode to itself, and must
+// roundtrip exactly through float64 (posits this narrow embed in binary64).
+func TestExhaustiveRoundtrip16(t *testing.T) {
+	for _, es := range []uint{0, 1, 2, 3} {
+		c := Config{16, es}
+		for p := uint64(0); p < 1<<16; p++ {
+			pt, sp := c.Decode(p)
+			if sp != Finite {
+				continue
+			}
+			back := c.Encode(pt, false)
+			if back != p {
+				t.Fatalf("%v: decode/encode %#x -> %+v -> %#x", c, p, pt, back)
+			}
+			f := c.ToFloat64(p)
+			back2 := c.FromFloat64(f)
+			if back2 != p {
+				t.Fatalf("%v: float roundtrip %#x -> %g -> %#x", c, p, f, back2)
+			}
+		}
+	}
+}
+
+func TestExhaustiveRoundtrip8AllES(t *testing.T) {
+	for _, es := range []uint{0, 1, 2, 3, 4} {
+		c := Config{8, es}
+		for p := uint64(0); p < 1<<8; p++ {
+			f := c.ToFloat64(p)
+			if c.IsNaR(p) {
+				if !math.IsNaN(f) {
+					t.Fatalf("%v: NaR", c)
+				}
+				continue
+			}
+			if back := c.FromFloat64(f); back != p {
+				t.Fatalf("%v: %#x -> %g -> %#x", c, p, f, back)
+			}
+		}
+	}
+}
+
+// Posit patterns are monotonic: larger signed pattern <=> larger value.
+func TestMonotonicity(t *testing.T) {
+	for _, c := range []Config{{16, 1}, {16, 2}, Posit16, {12, 3}} {
+		limit := uint64(1) << c.N
+		prev := math.Inf(1) // start just above NaR (most negative pattern)
+		first := true
+		// Walk patterns in signed order: NaR+1 ... maxpos.
+		for i := uint64(1); i < limit; i++ {
+			p := (c.NaR() + i) & c.mask()
+			v := c.ToFloat64(p)
+			if !first && v <= prev {
+				t.Fatalf("%v: not monotonic at %#x: %g <= %g", c, p, v, prev)
+			}
+			prev, first = v, false
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	c := Posit16
+	vals := []float64{-1000, -2, -1, -0.5, -1e-4, 0, 1e-4, 0.5, 1, 2, 1000}
+	for i, a := range vals {
+		for j, b := range vals {
+			pa, pb := c.FromFloat64(a), c.FromFloat64(b)
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := c.Compare(pa, pb); got != want {
+				t.Errorf("Compare(%g,%g) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	if c.Compare(c.NaR(), c.FromFloat64(-1e30)) != -1 {
+		t.Error("NaR must sort below all reals")
+	}
+}
+
+// Conversion must be correctly rounded under the standard's encoding-space
+// round-to-nearest-even rule, verified against the exact-rational oracle in
+// arith_test.go. In the linear region (results with a nonzero fraction
+// field) this coincides with value-space nearest; in the regime-tapered
+// region the boundary is geometric.
+func TestConversionNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []Config{{16, 1}, Posit16, {16, 3}, {8, 2}} {
+		for trial := 0; trial < 2000; trial++ {
+			f := math.Ldexp(rng.Float64()+1, rng.Intn(80)-40)
+			if rng.Intn(2) == 0 {
+				f = -f
+			}
+			p := c.FromFloat64(f)
+			if c.IsNaR(p) {
+				t.Fatalf("%v: FromFloat64(%g) = NaR", c, f)
+			}
+			r := new(big.Rat).SetFloat64(f)
+			if want := nearestPosit(c, r); p != want {
+				t.Fatalf("%v: FromFloat64(%g) = %#x, want %#x", c, f, p, want)
+			}
+		}
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	c := Posit32e3
+	big := math.Ldexp(1, 300) // beyond maxpos scale 240
+	if got := c.FromFloat64(big); got != c.MaxPos() {
+		t.Errorf("overflow: got %#x want maxpos %#x", got, c.MaxPos())
+	}
+	if got := c.FromFloat64(-big); got != c.Neg(c.MaxPos()) {
+		t.Errorf("negative overflow: got %#x", got)
+	}
+	tiny := math.Ldexp(1, -300)
+	if got := c.FromFloat64(tiny); got != c.MinPos() {
+		t.Errorf("underflow: got %#x want minpos", got)
+	}
+	if got := c.FromFloat64(-tiny); got != c.Neg(c.MinPos()) {
+		t.Errorf("negative underflow: got %#x", got)
+	}
+	// Values just above half of minpos must still round to minpos (never 0).
+	halfish := c.ToFloat64(c.MinPos()) * 0.001
+	if got := c.FromFloat64(halfish); got != c.MinPos() {
+		t.Errorf("tiny nonzero rounded to %#x, want minpos", got)
+	}
+}
+
+// Paper section 4.2: posit<32,3> has enough dynamic range for all normal
+// binary32 values; values near 1.0 roundtrip exactly because short regimes
+// leave >= 23 fraction bits.
+func TestFloat32NearOneExact(t *testing.T) {
+	c := Posit32e3
+	rng := rand.New(rand.NewSource(11))
+	for exp := -16; exp <= 16; exp++ {
+		for trial := 0; trial < 50; trial++ {
+			bits := uint32(exp+127)<<23 | uint32(rng.Intn(1<<23))
+			f := math.Float32frombits(bits)
+			back := c.ToFloat32(uint64(c.FromFloat32(f)))
+			if back != f {
+				t.Fatalf("exp=%d: %g -> %g (bits %#x -> %#x)", exp, f, back,
+					math.Float32bits(f), math.Float32bits(back))
+			}
+		}
+	}
+}
+
+// Far-from-1.0 float32 values must lose fraction bits under posit<32,3> but
+// never by more than the regime growth predicts.
+func TestFloat32FarLoss(t *testing.T) {
+	c := Posit32e3
+	f := math.Float32frombits(uint32(120+127)<<23 | 0x5ABCDE) // scale 120
+	back := c.ToFloat32(uint64(c.FromFloat32(f)))
+	if back == f {
+		t.Fatal("expected precision loss at scale 120")
+	}
+	rel := math.Abs(float64(back-f) / float64(f))
+	if rel > 1e-2 {
+		t.Fatalf("loss too large: rel=%g", rel)
+	}
+}
+
+func TestDecodeEncodeQuick(t *testing.T) {
+	for _, c := range []Config{Posit32, Posit32e3, {24, 1}, {64, 2}} {
+		f := func(p uint64) bool {
+			p &= c.mask()
+			pt, sp := c.Decode(p)
+			if sp != Finite {
+				return true
+			}
+			return c.Encode(pt, false) == p
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+func TestPosit32Float64Roundtrip(t *testing.T) {
+	// Every posit<32,es<=3> value embeds exactly in binary64.
+	for _, c := range []Config{Posit32, Posit32e3} {
+		rng := rand.New(rand.NewSource(13))
+		for trial := 0; trial < 50000; trial++ {
+			p := uint64(rng.Uint32())
+			if c.IsNaR(p) {
+				continue
+			}
+			if back := c.FromFloat64(c.ToFloat64(p)); back != p {
+				t.Fatalf("%v: %#x -> %g -> %#x", c, p, c.ToFloat64(p), back)
+			}
+		}
+	}
+}
+
+func TestAbs(t *testing.T) {
+	c := Posit16
+	p := c.FromFloat64(-3.5)
+	if c.ToFloat64(c.Abs(p)) != 3.5 {
+		t.Fatal("Abs(-3.5)")
+	}
+	if c.Abs(c.NaR()) != c.NaR() {
+		t.Fatal("Abs(NaR)")
+	}
+	if c.Abs(0) != 0 {
+		t.Fatal("Abs(0)")
+	}
+}
+
+func TestMaxScaleAndBounds(t *testing.T) {
+	c := Posit32e3
+	if c.MaxScale() != 240 {
+		t.Fatalf("MaxScale = %d, want 240", c.MaxScale())
+	}
+	if got := c.ToFloat64(c.MaxPos()); got != math.Ldexp(1, 240) {
+		t.Fatalf("maxpos = %g", got)
+	}
+	if got := c.ToFloat64(c.MinPos()); got != math.Ldexp(1, -240) {
+		t.Fatalf("minpos = %g", got)
+	}
+	c2 := Posit32
+	if c2.MaxScale() != 120 {
+		t.Fatalf("es=2 MaxScale = %d, want 120", c2.MaxScale())
+	}
+}

@@ -1,0 +1,131 @@
+package posit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Algebraic properties that correctly rounded posit arithmetic must obey.
+
+// Addition is monotonic: a <= b implies a+c <= b+c for any finite c.
+func TestAddMonotonic(t *testing.T) {
+	c := Posit16
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20000; trial++ {
+		a := uint64(rng.Intn(1 << 16))
+		b := uint64(rng.Intn(1 << 16))
+		x := uint64(rng.Intn(1 << 16))
+		if c.IsNaR(a) || c.IsNaR(b) || c.IsNaR(x) {
+			continue
+		}
+		if c.Compare(a, b) > 0 {
+			a, b = b, a
+		}
+		sa, sb := c.Add(a, x), c.Add(b, x)
+		if c.Compare(sa, sb) > 0 {
+			t.Fatalf("monotonicity broken: %#x+%#x=%#x > %#x+%#x=%#x", a, x, sa, b, x, sb)
+		}
+	}
+}
+
+// Multiplication by a positive value preserves order.
+func TestMulMonotonic(t *testing.T) {
+	c := Posit16
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20000; trial++ {
+		a := uint64(rng.Intn(1 << 16))
+		b := uint64(rng.Intn(1 << 16))
+		x := uint64(rng.Intn(1<<15-1)) + 1 // strictly positive pattern
+		if c.IsNaR(a) || c.IsNaR(b) {
+			continue
+		}
+		if c.Compare(a, b) > 0 {
+			a, b = b, a
+		}
+		pa, pb := c.Mul(a, x), c.Mul(b, x)
+		if c.Compare(pa, pb) > 0 {
+			t.Fatalf("mul monotonicity broken: a=%#x b=%#x x=%#x", a, b, x)
+		}
+	}
+}
+
+// x - x == 0, x / x == 1, x * 1 == x, sqrt(x)^2 ~ x.
+func TestIdentities(t *testing.T) {
+	c := Posit32e3
+	one := c.FromFloat64(1)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5000; trial++ {
+		x := uint64(rng.Uint32())
+		if c.IsNaR(x) || c.IsZero(x) {
+			continue
+		}
+		if !c.IsZero(c.Sub(x, x)) {
+			t.Fatalf("x-x != 0 for %#x", x)
+		}
+		if got := c.Div(x, x); got != one {
+			t.Fatalf("x/x != 1 for %#x: %#x", x, got)
+		}
+		if got := c.Mul(x, one); got != x {
+			t.Fatalf("x*1 != x for %#x: %#x", x, got)
+		}
+		if got := c.Add(x, 0); got != x {
+			t.Fatalf("x+0 != x for %#x", x)
+		}
+	}
+}
+
+// Division and multiplication are consistent: in the golden zone, where
+// the taper is gentle, (a/b)*b stays within a few pattern steps of a (two
+// roundings, each at most one step, amplified at most 2x by a regime
+// transition between the quotient's region and a's).
+func TestDivMulConsistency(t *testing.T) {
+	c := Posit16
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 10000; trial++ {
+		fa := ldexpRand(rng, -8, 8)
+		fb := ldexpRand(rng, -8, 8)
+		a, b := c.FromFloat64(fa), c.FromFloat64(fb)
+		q := c.Div(a, b)
+		back := c.Mul(q, b)
+		if c.IsNaR(back) {
+			t.Fatalf("(a/b)*b = NaR for %g %g", fa, fb)
+		}
+		d := int64(back) - int64(a)
+		if d < 0 {
+			d = -d
+		}
+		if d > 4 {
+			t.Fatalf("(a/b)*b too far from a: %#x -> %#x (dist %d, a=%g b=%g)", a, back, d, fa, fb)
+		}
+	}
+}
+
+// ldexpRand returns a random value with magnitude in [2^lo, 2^hi) and
+// random sign.
+func ldexpRand(rng *rand.Rand, lo, hi int) float64 {
+	v := (1 + rng.Float64()) * float64(int64(1)<<uint(rng.Intn(hi-lo)))
+	v /= float64(int64(1) << uint(-lo))
+	if rng.Intn(2) == 0 {
+		v = -v
+	}
+	return v
+}
+
+// Negation is an exact involution and distributes over multiplication.
+func TestNegationAlgebra(t *testing.T) {
+	c := Posit32e3
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 10000; trial++ {
+		a := uint64(rng.Uint32())
+		b := uint64(rng.Uint32())
+		if c.IsNaR(a) || c.IsNaR(b) {
+			continue
+		}
+		if c.Neg(c.Neg(a)) != a&c.mask() {
+			t.Fatalf("neg not involutive for %#x", a)
+		}
+		if c.Mul(c.Neg(a), b) != c.Neg(c.Mul(a, b)) {
+			t.Fatalf("(-a)b != -(ab) for %#x %#x", a, b)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package posit
+
+import "math/bits"
+
+// Quire is the posit standard's exact accumulator: a wide two's-complement
+// fixed-point register that can absorb sums of posit products without any
+// rounding. A dot product accumulated through a quire incurs exactly one
+// rounding, at the final conversion back to posit.
+//
+// The register spans every product of two finite posits: products scale
+// from 2^(-2*MaxScale) to 2^(2*MaxScale) with up to 2*workFracBits fraction
+// bits, plus carry headroom for 2^32 accumulations.
+type Quire struct {
+	cfg   Config
+	words []uint64 // little-endian limbs, two's complement
+	nar   bool     // poisoned by a NaR operand
+	lsb   int      // exponent of the least significant register bit
+}
+
+// NewQuire returns an empty accumulator for cfg.
+func NewQuire(cfg Config) *Quire {
+	s := cfg.MaxScale()
+	// Fraction LSB of a product: 2^(-2s - 2*workFracBits); headroom above
+	// +2s for carries and the sign.
+	lsb := -2*s - 2*workFracBits
+	msb := 2*s + 64
+	totalBits := msb - lsb + 1
+	nw := (totalBits + 63) / 64
+	return &Quire{cfg: cfg, words: make([]uint64, nw), lsb: lsb}
+}
+
+// Reset clears the accumulator.
+func (q *Quire) Reset() {
+	for i := range q.words {
+		q.words[i] = 0
+	}
+	q.nar = false
+}
+
+// IsNaR reports whether a NaR operand poisoned the accumulator.
+func (q *Quire) IsNaR() bool { return q.nar }
+
+// addShifted adds (or subtracts) a 128-bit magnitude aligned so that its
+// bit 0 has exponent exp.
+func (q *Quire) addShifted(hi, lo uint64, exp int, negate bool) {
+	offset := exp - q.lsb
+	if offset < 0 {
+		// Unreachable for in-range posit operands: the register's LSB was
+		// sized to the smallest possible product. Guard anyway.
+		panic("posit: quire operand below register precision")
+	}
+	word := offset / 64
+	bitOff := uint(offset % 64)
+	var parts [3]uint64
+	parts[0] = lo << bitOff
+	if bitOff == 0 {
+		parts[1] = hi
+	} else {
+		parts[1] = lo>>(64-bitOff) | hi<<bitOff
+		parts[2] = hi >> (64 - bitOff)
+	}
+	if !negate {
+		var carry uint64
+		for i := 0; i < len(parts); i++ {
+			if word+i >= len(q.words) {
+				break
+			}
+			q.words[word+i], carry = bits.Add64(q.words[word+i], parts[i], carry)
+		}
+		for i := word + len(parts); carry != 0 && i < len(q.words); i++ {
+			q.words[i], carry = bits.Add64(q.words[i], 0, carry)
+		}
+	} else {
+		var borrow uint64
+		for i := 0; i < len(parts); i++ {
+			if word+i >= len(q.words) {
+				break
+			}
+			q.words[word+i], borrow = bits.Sub64(q.words[word+i], parts[i], borrow)
+		}
+		for i := word + len(parts); borrow != 0 && i < len(q.words); i++ {
+			q.words[i], borrow = bits.Sub64(q.words[i], 0, borrow)
+		}
+	}
+}
+
+// Add accumulates a posit value exactly.
+func (q *Quire) Add(p uint64) *Quire {
+	pt, sp := q.cfg.Decode(p)
+	switch sp {
+	case IsNaR:
+		q.nar = true
+		return q
+	case IsZero:
+		return q
+	}
+	pt = widen(pt)
+	q.addShifted(0, pt.Frac, pt.Scale-workFracBits, pt.Neg)
+	return q
+}
+
+// Sub subtracts a posit value exactly.
+func (q *Quire) Sub(p uint64) *Quire {
+	if q.cfg.IsNaR(p) {
+		q.nar = true
+		return q
+	}
+	return q.Add(q.cfg.Neg(p))
+}
+
+// AddProduct accumulates a*b exactly (the fused dot-product step).
+func (q *Quire) AddProduct(a, b uint64) *Quire {
+	pa, sa := q.cfg.Decode(a)
+	pb, sb := q.cfg.Decode(b)
+	if sa == IsNaR || sb == IsNaR {
+		q.nar = true
+		return q
+	}
+	if sa == IsZero || sb == IsZero {
+		return q
+	}
+	pa, pb = widen(pa), widen(pb)
+	hi, lo := bits.Mul64(pa.Frac, pb.Frac)
+	q.addShifted(hi, lo, pa.Scale+pb.Scale-2*workFracBits, pa.Neg != pb.Neg)
+	return q
+}
+
+// SubProduct subtracts a*b exactly.
+func (q *Quire) SubProduct(a, b uint64) *Quire {
+	pa, sa := q.cfg.Decode(a)
+	pb, sb := q.cfg.Decode(b)
+	if sa == IsNaR || sb == IsNaR {
+		q.nar = true
+		return q
+	}
+	if sa == IsZero || sb == IsZero {
+		return q
+	}
+	pa, pb = widen(pa), widen(pb)
+	hi, lo := bits.Mul64(pa.Frac, pb.Frac)
+	q.addShifted(hi, lo, pa.Scale+pb.Scale-2*workFracBits, pa.Neg == pb.Neg)
+	return q
+}
+
+// Posit rounds the accumulated value to the nearest posit (the single
+// rounding of a quire computation).
+func (q *Quire) Posit() uint64 {
+	if q.nar {
+		return q.cfg.NaR()
+	}
+	words := q.words
+	neg := words[len(words)-1]>>63 == 1
+	mag := make([]uint64, len(words))
+	if neg {
+		// mag = -value (two's complement negate).
+		var carry uint64 = 1
+		for i := range words {
+			mag[i], carry = bits.Add64(^words[i], 0, carry)
+		}
+	} else {
+		copy(mag, words)
+	}
+	// Find the most significant set bit.
+	top := -1
+	for i := len(mag) - 1; i >= 0; i-- {
+		if mag[i] != 0 {
+			top = i*64 + 63 - bits.LeadingZeros64(mag[i])
+			break
+		}
+	}
+	if top < 0 {
+		return 0
+	}
+	scale := q.lsb + top
+	// Extract workFracBits+1 bits starting below the top bit, plus sticky.
+	frac := extractBits(mag, top-workFracBits, workFracBits+1)
+	sticky := anyBitsBelow(mag, top-workFracBits)
+	return q.cfg.Encode(Parts{Neg: neg, Scale: scale, Frac: frac, FracBits: workFracBits}, sticky)
+}
+
+// extractBits reads width bits starting at bit index from (may be
+// negative, in which case the missing low bits are zeros).
+func extractBits(words []uint64, from, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		idx := from + i
+		if idx < 0 {
+			continue
+		}
+		w := idx / 64
+		if w >= len(words) {
+			continue
+		}
+		if words[w]>>(uint(idx)%64)&1 == 1 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// anyBitsBelow reports whether any bit strictly below index limit is set.
+func anyBitsBelow(words []uint64, limit int) bool {
+	if limit <= 0 {
+		return false
+	}
+	full := limit / 64
+	for i := 0; i < full && i < len(words); i++ {
+		if words[i] != 0 {
+			return true
+		}
+	}
+	rem := uint(limit % 64)
+	if rem > 0 && full < len(words) {
+		if words[full]&(1<<rem-1) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DotProduct computes the exactly accumulated dot product of two posit
+// vectors with a single final rounding.
+func (c Config) DotProduct(a, b []uint64) uint64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	q := NewQuire(c)
+	for i := 0; i < n; i++ {
+		q.AddProduct(a[i], b[i])
+	}
+	return q.Posit()
+}
+
+// Sum computes the exactly accumulated sum of a posit vector with a single
+// final rounding.
+func (c Config) Sum(ps []uint64) uint64 {
+	q := NewQuire(c)
+	for _, p := range ps {
+		q.Add(p)
+	}
+	return q.Posit()
+}

@@ -1,0 +1,157 @@
+package posit
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestQuireExhaustiveDot8(t *testing.T) {
+	// Every posit8 x posit8 product accumulated alone must round exactly
+	// like Mul.
+	c := Posit8
+	for a := uint64(0); a < 256; a++ {
+		if c.IsNaR(a) {
+			continue
+		}
+		for b := uint64(0); b < 256; b++ {
+			if c.IsNaR(b) {
+				continue
+			}
+			got := NewQuire(c).AddProduct(a, b).Posit()
+			want := c.Mul(a, b)
+			if got != want {
+				t.Fatalf("quire product (%#x,%#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestQuireExactAccumulation(t *testing.T) {
+	// Sum of products vs exact rational reference: the quire result must
+	// equal the correctly rounded exact value, which sequential posit
+	// arithmetic generally cannot achieve.
+	for _, c := range []Config{Posit16, Posit32, Posit32e3} {
+		rng := rand.New(rand.NewSource(int64(c.ES)))
+		for trial := 0; trial < 50; trial++ {
+			n := rng.Intn(30) + 2
+			q := NewQuire(c)
+			exact := new(big.Rat)
+			for i := 0; i < n; i++ {
+				a := c.FromFloat64(rng.NormFloat64() * 100)
+				b := c.FromFloat64(rng.NormFloat64() * 100)
+				q.AddProduct(a, b)
+				exact.Add(exact, new(big.Rat).Mul(ratOf(c, a), ratOf(c, b)))
+			}
+			got := q.Posit()
+			want := nearestPosit(c, exact)
+			if got != want {
+				t.Fatalf("%v trial %d: quire %#x, want %#x (exact %v)", c, trial, got, want, exact)
+			}
+		}
+	}
+}
+
+func TestQuireCancellation(t *testing.T) {
+	// A quire must survive catastrophic cancellation exactly.
+	c := Posit32e3
+	big1 := c.FromFloat64(1e20)
+	tiny := c.FromFloat64(3.0)
+	q := NewQuire(c)
+	q.Add(big1).Add(tiny).Sub(big1)
+	if got := c.ToFloat64(q.Posit()); got != 3.0 {
+		t.Fatalf("cancellation: got %g, want 3", got)
+	}
+	// Sequential arithmetic loses the 3 entirely.
+	seq := c.Sub(c.Add(big1, tiny), big1)
+	if c.ToFloat64(seq) == 3.0 {
+		t.Log("note: sequential arithmetic unexpectedly exact here")
+	}
+}
+
+func TestQuireSpecials(t *testing.T) {
+	c := Posit16
+	q := NewQuire(c)
+	q.Add(c.NaR())
+	if !q.IsNaR() || !c.IsNaR(q.Posit()) {
+		t.Fatal("NaR must poison the quire")
+	}
+	q.Reset()
+	if q.IsNaR() {
+		t.Fatal("reset must clear NaR")
+	}
+	if q.Posit() != 0 {
+		t.Fatal("empty quire must be zero")
+	}
+	q.AddProduct(c.FromFloat64(2), 0)
+	if q.Posit() != 0 {
+		t.Fatal("product with zero")
+	}
+	q.AddProduct(c.NaR(), c.FromFloat64(1))
+	if !c.IsNaR(q.Posit()) {
+		t.Fatal("NaR product")
+	}
+	q.Reset()
+	q.SubProduct(c.FromFloat64(2), c.FromFloat64(3))
+	if got := c.ToFloat64(q.Posit()); got != -6 {
+		t.Fatalf("SubProduct: %g", got)
+	}
+	q.Reset()
+	q.Sub(c.NaR())
+	if !q.IsNaR() {
+		t.Fatal("Sub(NaR)")
+	}
+}
+
+func TestQuireExtremes(t *testing.T) {
+	c := Posit32e3
+	// maxpos^2 and minpos^2 must fit the register exactly.
+	q := NewQuire(c)
+	q.AddProduct(c.MaxPos(), c.MaxPos())
+	if got := q.Posit(); got != c.MaxPos() {
+		t.Fatalf("maxpos^2 saturates to maxpos, got %#x", got)
+	}
+	q.Reset()
+	q.AddProduct(c.MinPos(), c.MinPos())
+	if got := q.Posit(); got != c.MinPos() {
+		t.Fatalf("minpos^2 rounds to minpos, got %#x", got)
+	}
+	// minpos^2 - minpos^2 must cancel to exactly zero.
+	q.SubProduct(c.MinPos(), c.MinPos())
+	if got := q.Posit(); got != 0 {
+		t.Fatalf("exact cancellation at register bottom, got %#x", got)
+	}
+}
+
+func TestDotProductAndSum(t *testing.T) {
+	c := Posit32e3
+	a := []uint64{c.FromFloat64(1), c.FromFloat64(2), c.FromFloat64(3)}
+	b := []uint64{c.FromFloat64(4), c.FromFloat64(5), c.FromFloat64(6)}
+	if got := c.ToFloat64(c.DotProduct(a, b)); got != 32 {
+		t.Fatalf("dot = %g", got)
+	}
+	if got := c.ToFloat64(c.Sum(a)); got != 6 {
+		t.Fatalf("sum = %g", got)
+	}
+	// Ragged lengths use the shorter vector.
+	if got := c.ToFloat64(c.DotProduct(a[:2], b)); got != 14 {
+		t.Fatalf("ragged dot = %g", got)
+	}
+}
+
+func BenchmarkQuireDotProduct(b *testing.B) {
+	c := Posit32e3
+	rng := rand.New(rand.NewSource(1))
+	n := 4096
+	va := make([]uint64, n)
+	vb := make([]uint64, n)
+	for i := range va {
+		va[i] = c.FromFloat64(rng.NormFloat64())
+		vb[i] = c.FromFloat64(rng.NormFloat64())
+	}
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DotProduct(va, vb)
+	}
+}

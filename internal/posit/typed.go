@@ -1,0 +1,182 @@
+package posit
+
+import "fmt"
+
+// Typed wrappers: ergonomic fixed-width posit value types in the style of
+// softposit bindings. Each type carries its bit pattern; operations are
+// correctly rounded via the generic Config engine.
+
+// P32e3 is a posit<32,3> value, the representation the paper stores data in.
+type P32e3 uint32
+
+// FromFloat64P32e3 converts a float64 to posit<32,3>.
+func FromFloat64P32e3(f float64) P32e3 { return P32e3(Posit32e3.FromFloat64(f)) }
+
+// Float64 converts back to float64 (exact for every posit32 value).
+func (p P32e3) Float64() float64 { return Posit32e3.ToFloat64(uint64(p)) }
+
+// Add returns the correctly rounded sum.
+func (p P32e3) Add(q P32e3) P32e3 { return P32e3(Posit32e3.Add(uint64(p), uint64(q))) }
+
+// Sub returns the correctly rounded difference.
+func (p P32e3) Sub(q P32e3) P32e3 { return P32e3(Posit32e3.Sub(uint64(p), uint64(q))) }
+
+// Mul returns the correctly rounded product.
+func (p P32e3) Mul(q P32e3) P32e3 { return P32e3(Posit32e3.Mul(uint64(p), uint64(q))) }
+
+// Div returns the correctly rounded quotient.
+func (p P32e3) Div(q P32e3) P32e3 { return P32e3(Posit32e3.Div(uint64(p), uint64(q))) }
+
+// Sqrt returns the correctly rounded square root.
+func (p P32e3) Sqrt() P32e3 { return P32e3(Posit32e3.Sqrt(uint64(p))) }
+
+// Neg returns the negation.
+func (p P32e3) Neg() P32e3 { return P32e3(Posit32e3.Neg(uint64(p))) }
+
+// Abs returns the magnitude.
+func (p P32e3) Abs() P32e3 { return P32e3(Posit32e3.Abs(uint64(p))) }
+
+// IsNaR reports whether p is Not-a-Real.
+func (p P32e3) IsNaR() bool { return Posit32e3.IsNaR(uint64(p)) }
+
+// Cmp orders two posits: -1, 0, +1.
+func (p P32e3) Cmp(q P32e3) int { return Posit32e3.Compare(uint64(p), uint64(q)) }
+
+// String formats the value like a float64 (NaR prints as "NaR").
+func (p P32e3) String() string { return formatPosit(Posit32e3, uint64(p)) }
+
+// Bits returns the raw pattern.
+func (p P32e3) Bits() uint32 { return uint32(p) }
+
+// P32 is a standard posit<32,2> value.
+type P32 uint32
+
+// FromFloat64P32 converts a float64 to posit<32,2>.
+func FromFloat64P32(f float64) P32 { return P32(Posit32.FromFloat64(f)) }
+
+// Float64 converts back to float64 (exact for every posit32 value).
+func (p P32) Float64() float64 { return Posit32.ToFloat64(uint64(p)) }
+
+// Add returns the correctly rounded sum.
+func (p P32) Add(q P32) P32 { return P32(Posit32.Add(uint64(p), uint64(q))) }
+
+// Sub returns the correctly rounded difference.
+func (p P32) Sub(q P32) P32 { return P32(Posit32.Sub(uint64(p), uint64(q))) }
+
+// Mul returns the correctly rounded product.
+func (p P32) Mul(q P32) P32 { return P32(Posit32.Mul(uint64(p), uint64(q))) }
+
+// Div returns the correctly rounded quotient.
+func (p P32) Div(q P32) P32 { return P32(Posit32.Div(uint64(p), uint64(q))) }
+
+// Sqrt returns the correctly rounded square root.
+func (p P32) Sqrt() P32 { return P32(Posit32.Sqrt(uint64(p))) }
+
+// Neg returns the negation.
+func (p P32) Neg() P32 { return P32(Posit32.Neg(uint64(p))) }
+
+// Abs returns the magnitude.
+func (p P32) Abs() P32 { return P32(Posit32.Abs(uint64(p))) }
+
+// IsNaR reports whether p is Not-a-Real.
+func (p P32) IsNaR() bool { return Posit32.IsNaR(uint64(p)) }
+
+// Cmp orders two posits: -1, 0, +1.
+func (p P32) Cmp(q P32) int { return Posit32.Compare(uint64(p), uint64(q)) }
+
+// String formats the value like a float64 (NaR prints as "NaR").
+func (p P32) String() string { return formatPosit(Posit32, uint64(p)) }
+
+// Bits returns the raw pattern.
+func (p P32) Bits() uint32 { return uint32(p) }
+
+// P16 is a standard posit<16,2> value.
+type P16 uint16
+
+// FromFloat64P16 converts a float64 to posit<16,2>.
+func FromFloat64P16(f float64) P16 { return P16(Posit16.FromFloat64(f)) }
+
+// Float64 converts back to float64 (exact for every posit16 value).
+func (p P16) Float64() float64 { return Posit16.ToFloat64(uint64(p)) }
+
+// Add returns the correctly rounded sum.
+func (p P16) Add(q P16) P16 { return P16(Posit16.Add(uint64(p), uint64(q))) }
+
+// Sub returns the correctly rounded difference.
+func (p P16) Sub(q P16) P16 { return P16(Posit16.Sub(uint64(p), uint64(q))) }
+
+// Mul returns the correctly rounded product.
+func (p P16) Mul(q P16) P16 { return P16(Posit16.Mul(uint64(p), uint64(q))) }
+
+// Div returns the correctly rounded quotient.
+func (p P16) Div(q P16) P16 { return P16(Posit16.Div(uint64(p), uint64(q))) }
+
+// Sqrt returns the correctly rounded square root.
+func (p P16) Sqrt() P16 { return P16(Posit16.Sqrt(uint64(p))) }
+
+// Neg returns the negation.
+func (p P16) Neg() P16 { return P16(Posit16.Neg(uint64(p))) }
+
+// Abs returns the magnitude.
+func (p P16) Abs() P16 { return P16(Posit16.Abs(uint64(p))) }
+
+// IsNaR reports whether p is Not-a-Real.
+func (p P16) IsNaR() bool { return Posit16.IsNaR(uint64(p)) }
+
+// Cmp orders two posits: -1, 0, +1.
+func (p P16) Cmp(q P16) int { return Posit16.Compare(uint64(p), uint64(q)) }
+
+// String formats the value like a float64 (NaR prints as "NaR").
+func (p P16) String() string { return formatPosit(Posit16, uint64(p)) }
+
+// Bits returns the raw pattern.
+func (p P16) Bits() uint16 { return uint16(p) }
+
+// P8 is a standard posit<8,2> value.
+type P8 uint8
+
+// FromFloat64P8 converts a float64 to posit<8,2>.
+func FromFloat64P8(f float64) P8 { return P8(Posit8.FromFloat64(f)) }
+
+// Float64 converts back to float64 (exact for every posit8 value).
+func (p P8) Float64() float64 { return Posit8.ToFloat64(uint64(p)) }
+
+// Add returns the correctly rounded sum.
+func (p P8) Add(q P8) P8 { return P8(Posit8.Add(uint64(p), uint64(q))) }
+
+// Sub returns the correctly rounded difference.
+func (p P8) Sub(q P8) P8 { return P8(Posit8.Sub(uint64(p), uint64(q))) }
+
+// Mul returns the correctly rounded product.
+func (p P8) Mul(q P8) P8 { return P8(Posit8.Mul(uint64(p), uint64(q))) }
+
+// Div returns the correctly rounded quotient.
+func (p P8) Div(q P8) P8 { return P8(Posit8.Div(uint64(p), uint64(q))) }
+
+// Sqrt returns the correctly rounded square root.
+func (p P8) Sqrt() P8 { return P8(Posit8.Sqrt(uint64(p))) }
+
+// Neg returns the negation.
+func (p P8) Neg() P8 { return P8(Posit8.Neg(uint64(p))) }
+
+// Abs returns the magnitude.
+func (p P8) Abs() P8 { return P8(Posit8.Abs(uint64(p))) }
+
+// IsNaR reports whether p is Not-a-Real.
+func (p P8) IsNaR() bool { return Posit8.IsNaR(uint64(p)) }
+
+// Cmp orders two posits: -1, 0, +1.
+func (p P8) Cmp(q P8) int { return Posit8.Compare(uint64(p), uint64(q)) }
+
+// String formats the value like a float64 (NaR prints as "NaR").
+func (p P8) String() string { return formatPosit(Posit8, uint64(p)) }
+
+// Bits returns the raw pattern.
+func (p P8) Bits() uint8 { return uint8(p) }
+
+func formatPosit(cfg Config, bits uint64) string {
+	if cfg.IsNaR(bits) {
+		return "NaR"
+	}
+	return fmt.Sprintf("%g", cfg.ToFloat64(bits))
+}

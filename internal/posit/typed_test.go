@@ -1,0 +1,133 @@
+package posit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTypedP32e3(t *testing.T) {
+	a := FromFloat64P32e3(1.5)
+	b := FromFloat64P32e3(2.5)
+	if got := a.Add(b).Float64(); got != 4 {
+		t.Fatalf("add: %g", got)
+	}
+	if got := b.Sub(a).Float64(); got != 1 {
+		t.Fatalf("sub: %g", got)
+	}
+	if got := a.Mul(b).Float64(); got != 3.75 {
+		t.Fatalf("mul: %g", got)
+	}
+	if got := b.Div(a).Float64(); math.Abs(got-5.0/3) > 1e-7 {
+		t.Fatalf("div: %g", got)
+	}
+	if got := FromFloat64P32e3(9).Sqrt().Float64(); got != 3 {
+		t.Fatalf("sqrt: %g", got)
+	}
+	if a.Neg().Float64() != -1.5 || a.Neg().Abs().Float64() != 1.5 {
+		t.Fatal("neg/abs")
+	}
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatal("cmp")
+	}
+	nar := FromFloat64P32e3(math.NaN())
+	if !nar.IsNaR() || nar.String() != "NaR" {
+		t.Fatalf("NaR handling: %q", nar.String())
+	}
+	if a.String() != "1.5" {
+		t.Fatalf("String: %q", a.String())
+	}
+	if a.Bits() != 0x42000000 {
+		t.Fatalf("bits: %#x", a.Bits())
+	}
+}
+
+func TestTypedP32(t *testing.T) {
+	a := FromFloat64P32(3)
+	b := FromFloat64P32(4)
+	if got := a.Mul(a).Add(b.Mul(b)).Sqrt().Float64(); got != 5 {
+		t.Fatalf("hypot(3,4): %g", got)
+	}
+	if a.Sub(a).Float64() != 0 {
+		t.Fatal("sub")
+	}
+	if a.Div(b).Float64() != 0.75 {
+		t.Fatal("div")
+	}
+	if FromFloat64P32(math.Inf(1)).IsNaR() != true {
+		t.Fatal("inf -> NaR")
+	}
+	if a.Neg().Abs().Cmp(a) != 0 {
+		t.Fatal("neg/abs/cmp")
+	}
+	if a.String() != "3" {
+		t.Fatalf("String: %q", a.String())
+	}
+	_ = a.Bits()
+}
+
+func TestTypedP16(t *testing.T) {
+	a := FromFloat64P16(0.5)
+	b := FromFloat64P16(0.25)
+	if a.Add(b).Float64() != 0.75 {
+		t.Fatal("add")
+	}
+	if a.Mul(b).Float64() != 0.125 {
+		t.Fatal("mul")
+	}
+	if a.Sub(b).Float64() != 0.25 {
+		t.Fatal("sub")
+	}
+	if a.Div(b).Float64() != 2 {
+		t.Fatal("div")
+	}
+	if FromFloat64P16(4).Sqrt().Float64() != 2 {
+		t.Fatal("sqrt")
+	}
+	if a.Neg().Cmp(b) != -1 {
+		t.Fatal("cmp")
+	}
+	if a.Abs() != a {
+		t.Fatal("abs")
+	}
+	if a.IsNaR() {
+		t.Fatal("IsNaR")
+	}
+	if a.String() != "0.5" {
+		t.Fatalf("%q", a.String())
+	}
+	if a.Bits() != 0x3800 {
+		t.Fatalf("bits %#x", a.Bits())
+	}
+}
+
+func TestTypedP8(t *testing.T) {
+	a := FromFloat64P8(1)
+	b := FromFloat64P8(2)
+	if a.Add(b).Float64() != 3 {
+		t.Fatal("add")
+	}
+	if b.Mul(b).Float64() != 4 {
+		t.Fatal("mul")
+	}
+	if b.Sub(a).Float64() != 1 {
+		t.Fatal("sub")
+	}
+	if b.Div(a).Float64() != 2 {
+		t.Fatal("div")
+	}
+	if b.Mul(b).Sqrt().Float64() != 2 {
+		t.Fatal("sqrt")
+	}
+	if a.Neg().Abs().Cmp(a) != 0 {
+		t.Fatal("neg/abs")
+	}
+	if a.IsNaR() {
+		t.Fatal("IsNaR")
+	}
+	if b.String() != "2" {
+		t.Fatalf("%q", b.String())
+	}
+	if a.Bits() != 0x40 {
+		t.Fatalf("bits %#x", a.Bits())
+	}
+}

@@ -1,0 +1,375 @@
+// Package positpack implements a special-purpose lossless compressor for
+// 32-bit posit data — the tool the paper's conclusion calls for ("once
+// lossless ... special-purpose compressors for posits have been developed").
+//
+// General-purpose compressors see a posit file as opaque bytes. positpack
+// instead decodes every word into its four fields and codes each as its own
+// stream, exploiting posit-specific structure:
+//
+//   - sign bits: one bit per value, run-length friendly;
+//   - regime lengths: tightly clustered for natural data (values near 1.0
+//     have 2-bit regimes), so a Huffman code over lengths is tiny;
+//   - exponent bits: es bits, biased toward a few values per regime;
+//   - fractions: delta-coded between neighbors (field smoothness survives
+//     the posit re-encoding) and bit-packed to each value's true width.
+//
+// The format is self-contained and lossless for every bit pattern,
+// including NaR and zero.
+package positpack
+
+import (
+	"fmt"
+	"math/bits"
+
+	"positbench/internal/bitio"
+	"positbench/internal/compress"
+	"positbench/internal/huffman"
+	"positbench/internal/posit"
+)
+
+// Codec is the special-purpose posit<32,es> compressor.
+type Codec struct {
+	cfg posit.Config
+}
+
+// New returns a codec for the given 32-bit posit configuration.
+func New(cfg posit.Config) (*Codec, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.N != 32 {
+		return nil, fmt.Errorf("positpack: only 32-bit posits are supported, got %v", cfg)
+	}
+	return &Codec{cfg: cfg}, nil
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string { return "positpack" }
+
+// Info implements compress.Describer.
+func (c *Codec) Info() compress.Info {
+	return compress.Info{Name: "positpack", Version: c.cfg.String(), Source: "special-purpose posit field compressor (this work's extension)"}
+}
+
+// fields is the per-word decomposition used by the coder. run is the
+// number of identical regime bits (1..31); the terminator bit exists iff
+// run < 31. Special patterns use kind 1 (zero) or 2 (NaR).
+type fields struct {
+	kind     uint8 // 0 finite, 1 zero, 2 NaR
+	sign     uint8
+	run      uint8  // regime run length
+	regime1  uint8  // value of the regime bits (0 or 1)
+	exp      uint32 // stored (possibly truncated) exponent bits
+	expBits  uint8
+	frac     uint32 // explicit fraction bits
+	fracBits uint8
+}
+
+// widths derives the exponent and fraction field widths from the regime.
+func (c *Codec) widths(run uint8) (expBits, fracBits uint8) {
+	consumed := run
+	if run < 31 {
+		consumed++ // terminator bit
+	}
+	rem := uint8(31) - consumed
+	eb := uint8(c.cfg.ES)
+	if rem < eb {
+		eb = rem
+	}
+	return eb, rem - eb
+}
+
+// split decomposes the raw two's-complement pattern without rounding: this
+// is a bijective re-layout, not a numeric transform.
+func (c *Codec) split(p uint32) fields {
+	if p == 0 {
+		return fields{kind: 1}
+	}
+	if uint64(p) == c.cfg.NaR() {
+		return fields{kind: 2}
+	}
+	var f fields
+	f.sign = uint8(p >> 31)
+	mag := p
+	if f.sign == 1 {
+		mag = -p // two's complement magnitude pattern
+	}
+	body := mag << 1 // 31 body bits, left-aligned at bit 31
+	first := body >> 31
+	f.regime1 = uint8(first)
+	run := uint8(1)
+	for int(run) < 31 && body<<run>>31 == first {
+		run++
+	}
+	f.run = run
+	f.expBits, f.fracBits = c.widths(run)
+	consumed := run
+	if run < 31 {
+		consumed++
+	}
+	if f.expBits > 0 {
+		f.exp = body << consumed >> (32 - uint32(f.expBits))
+	}
+	if f.fracBits > 0 {
+		f.frac = body << (consumed + f.expBits) >> (32 - uint32(f.fracBits))
+	}
+	return f
+}
+
+// join re-assembles the raw pattern from fields; the exact inverse of split.
+func (c *Codec) join(f fields) uint32 {
+	switch f.kind {
+	case 1:
+		return 0
+	case 2:
+		return uint32(c.cfg.NaR())
+	}
+	var body uint32
+	if f.regime1 == 1 {
+		body = 1<<f.run - 1
+	}
+	if f.run < 31 {
+		body = body<<1 | uint32(1-f.regime1)
+	}
+	body = body<<f.expBits | f.exp
+	body = body<<f.fracBits | f.frac
+	// body now holds exactly 31 bits; the sign bit of the magnitude is 0.
+	if f.sign == 1 {
+		return -body
+	}
+	return body
+}
+
+// Compress implements compress.Codec. The input must be a little-endian
+// stream of 32-bit posit words.
+func (c *Codec) Compress(src []byte) ([]byte, error) {
+	words, err := posit.DecodeWordsLE(src)
+	if err != nil {
+		return nil, fmt.Errorf("positpack: %w", err)
+	}
+	out := bitio.PutUvarint(nil, uint64(len(words)))
+
+	// Pass 1: split and collect statistics. Symbol space for the
+	// length/kind stream: 0 = zero, 1 = NaR, 2+r = finite with regimeLen r
+	// and regime1=0, 34+r = finite with regime1=1.
+	fs := make([]fields, len(words))
+	freqs := make([]int, 2+32+32)
+	for i, w := range words {
+		f := c.split(w)
+		fs[i] = f
+		freqs[symbolOf(f)]++
+	}
+	lengths, err := huffman.BuildLengths(freqs, huffman.MaxBits)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := huffman.NewEncoder(lengths)
+	if err != nil {
+		return nil, err
+	}
+	w := bitio.NewWriter(len(src)/2 + 64)
+	if err := huffman.WriteLengths(w, lengths); err != nil {
+		return nil, err
+	}
+	// Stream 1: per-value (kind, regime shape) symbols.
+	for _, f := range fs {
+		enc.Encode(w, symbolOf(f))
+	}
+	// Stream 2: sign bits of finite values.
+	for _, f := range fs {
+		if f.kind == 0 {
+			w.WriteBit(uint(f.sign))
+		}
+	}
+	// Stream 3: exponent bits.
+	for _, f := range fs {
+		if f.kind == 0 && f.expBits > 0 {
+			w.WriteBits(uint64(f.exp), uint(f.expBits))
+		}
+	}
+	// Stream 4: fractions, XOR-delta against the previous same-width
+	// fraction so smooth data yields small deltas, then coded as a
+	// Huffman-compressed significant-bit count followed by the bits below
+	// the leading one.
+	// Quantized sources leave common trailing zeros in every fraction of a
+	// given width; factor them out per width class before delta coding.
+	var prevFrac [32]uint32 // previous fraction per width
+	var tz [32]uint8
+	for i := range tz {
+		tz[i] = 32
+	}
+	deltas := make([]uint32, 0, len(fs))
+	widths := make([]uint8, 0, len(fs))
+	for _, f := range fs {
+		if f.kind != 0 || f.fracBits == 0 {
+			continue
+		}
+		d := f.frac ^ prevFrac[f.fracBits]
+		prevFrac[f.fracBits] = f.frac
+		deltas = append(deltas, d)
+		widths = append(widths, f.fracBits)
+		if d != 0 {
+			if t := uint8(bits.TrailingZeros32(d)); t < tz[f.fracBits] {
+				tz[f.fracBits] = t
+			}
+		}
+	}
+	lenFreqs := make([]int, 33)
+	for i, d := range deltas {
+		lenFreqs[bits.Len32(d>>tz[widths[i]])]++
+	}
+	lenLengths, err := huffman.BuildLengths(lenFreqs, huffman.MaxBits)
+	if err != nil {
+		return nil, err
+	}
+	lenEnc, err := huffman.NewEncoder(lenLengths)
+	if err != nil {
+		return nil, err
+	}
+	if err := huffman.WriteLengths(w, lenLengths); err != nil {
+		return nil, err
+	}
+	for i := 1; i < 32; i++ {
+		t := tz[i]
+		if t > 31 {
+			t = 31
+		}
+		w.WriteBits(uint64(t), 5)
+	}
+	for i, d := range deltas {
+		d >>= tz[widths[i]]
+		n := bits.Len32(d)
+		lenEnc.Encode(w, n)
+		if n > 1 {
+			w.WriteBits(uint64(d)&(1<<uint(n-1)-1), uint(n-1))
+		}
+	}
+	return append(out, w.Bytes()...), nil
+}
+
+func symbolOf(f fields) int {
+	switch f.kind {
+	case 1:
+		return 0
+	case 2:
+		return 1
+	}
+	return 2 + int(f.regime1)*32 + int(f.run)
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	n64, used, err := bitio.Uvarint(comp)
+	if err != nil {
+		return nil, fmt.Errorf("positpack: %w", err)
+	}
+	comp = comp[used:]
+	n := int(n64)
+	r := bitio.NewReader(comp)
+	if n > r.Remaining() { // each value costs >= 1 bit in the symbol stream
+		return nil, fmt.Errorf("positpack: value count %d exceeds input", n)
+	}
+	lengths, err := huffman.ReadLengths(r, 2+32+32)
+	if err != nil {
+		return nil, fmt.Errorf("positpack: %w", err)
+	}
+	dec, err := huffman.NewDecoder(lengths)
+	if err != nil {
+		return nil, fmt.Errorf("positpack: %w", err)
+	}
+	fs := make([]fields, n)
+	for i := range fs {
+		sym, err := dec.Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("positpack: symbols: %w", err)
+		}
+		switch {
+		case sym == 0:
+			fs[i] = fields{kind: 1}
+		case sym == 1:
+			fs[i] = fields{kind: 2}
+		case sym >= 34:
+			fs[i] = fields{regime1: 1, run: uint8(sym - 34)}
+		default:
+			fs[i] = fields{regime1: 0, run: uint8(sym - 2)}
+		}
+		if fs[i].kind == 0 {
+			run := fs[i].run
+			if run < 1 || run > 31 || (run == 31 && fs[i].regime1 == 0) {
+				return nil, fmt.Errorf("positpack: bad regime run %d", run)
+			}
+			fs[i].expBits, fs[i].fracBits = c.widths(run)
+		}
+	}
+	for i := range fs {
+		if fs[i].kind == 0 {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("positpack: signs: %w", err)
+			}
+			fs[i].sign = uint8(b)
+		}
+	}
+	for i := range fs {
+		if fs[i].kind == 0 && fs[i].expBits > 0 {
+			v, err := r.ReadBits(uint(fs[i].expBits))
+			if err != nil {
+				return nil, fmt.Errorf("positpack: exponents: %w", err)
+			}
+			fs[i].exp = uint32(v)
+		}
+	}
+	lenLengths, err := huffman.ReadLengths(r, 33)
+	if err != nil {
+		return nil, fmt.Errorf("positpack: delta table: %w", err)
+	}
+	lenDec, err := huffman.NewDecoder(lenLengths)
+	if err != nil {
+		return nil, fmt.Errorf("positpack: delta table: %w", err)
+	}
+	var tz [32]uint8
+	for i := 1; i < 32; i++ {
+		v, err := r.ReadBits(5)
+		if err != nil {
+			return nil, fmt.Errorf("positpack: tz table: %w", err)
+		}
+		tz[i] = uint8(v)
+	}
+	var prevFrac [32]uint32
+	for i := range fs {
+		if fs[i].kind != 0 || fs[i].fracBits == 0 {
+			continue
+		}
+		nBits, err := lenDec.Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("positpack: fractions: %w", err)
+		}
+		shift := tz[fs[i].fracBits]
+		if nBits+int(shift) > 32 {
+			return nil, fmt.Errorf("positpack: delta wider than fraction field")
+		}
+		var d uint32
+		if nBits > 0 {
+			d = 1 << uint(nBits-1)
+			if nBits > 1 {
+				low, err := r.ReadBits(uint(nBits - 1))
+				if err != nil {
+					return nil, fmt.Errorf("positpack: fractions: %w", err)
+				}
+				d |= uint32(low)
+			}
+		}
+		d <<= shift
+		frac := d ^ prevFrac[fs[i].fracBits]
+		prevFrac[fs[i].fracBits] = frac
+		fs[i].frac = frac
+	}
+	words := make([]uint32, n)
+	for i, f := range fs {
+		words[i] = c.join(f)
+	}
+	return posit.EncodeWordsLE(words), nil
+}
+
+var _ compress.Codec = (*Codec)(nil)
+var _ compress.Describer = (*Codec)(nil)

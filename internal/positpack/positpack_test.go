@@ -1,0 +1,169 @@
+package positpack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"positbench/internal/compress"
+	"positbench/internal/compress/gzipc"
+	"positbench/internal/posit"
+	"positbench/internal/sdrbench"
+)
+
+func mustNew(t testing.TB, cfg posit.Config) *Codec {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(posit.Posit16); err == nil {
+		t.Fatal("16-bit config accepted")
+	}
+	if _, err := New(posit.Config{N: 32, ES: 9}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := New(posit.Posit32e3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// split/join must be a bijection over all 32-bit patterns.
+func TestSplitJoinBijection(t *testing.T) {
+	for _, cfg := range []posit.Config{posit.Posit32, posit.Posit32e3} {
+		c := mustNew(t, cfg)
+		// Edge patterns plus random sweep.
+		patterns := []uint32{0, 1, 2, 0x7FFFFFFF, 0x80000000, 0x80000001,
+			0xFFFFFFFF, 0x40000000, 0xC0000000, 0x00000003, 0xFFFFFFFE}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 200000; i++ {
+			patterns = append(patterns, rng.Uint32())
+		}
+		for _, p := range patterns {
+			f := c.split(p)
+			if got := c.join(f); got != p {
+				t.Fatalf("%v: split/join %#x -> %+v -> %#x", cfg, p, f, got)
+			}
+		}
+	}
+}
+
+func TestSplitJoinQuick(t *testing.T) {
+	c := mustNew(t, posit.Posit32e3)
+	f := func(p uint32) bool { return c.join(c.split(p)) == p }
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	c := mustNew(t, posit.Posit32e3)
+	cases := [][]uint32{
+		nil,
+		{0},
+		{uint32(posit.Posit32e3.NaR())},
+		{0x40000000, 0x40000001, 0xC0000000},
+	}
+	rng := rand.New(rand.NewSource(2))
+	random := make([]uint32, 5000)
+	for i := range random {
+		random[i] = rng.Uint32()
+	}
+	cases = append(cases, random)
+	for i, words := range cases {
+		src := posit.EncodeWordsLE(words)
+		if _, err := compress.Roundtrip(c, src); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+	if _, err := c.Compress([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestCompressesPositData(t *testing.T) {
+	// On a smooth posit-converted field, positpack must compress, and it
+	// should beat a byte-oriented general-purpose codec, demonstrating the
+	// value of field awareness (the paper's future-work hypothesis).
+	spec, err := sdrbench.ByName("einspline.f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	floats := spec.Generate(1 << 15)
+	words := posit.Posit32e3.FromFloat32Slice(nil, floats)
+	src := posit.EncodeWordsLE(words)
+
+	c := mustNew(t, posit.Posit32e3)
+	packLen, err := compress.Roundtrip(c, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packLen >= len(src) {
+		t.Fatalf("no compression: %d -> %d", len(src), packLen)
+	}
+	gzLen, err := compress.Roundtrip(gzipc.New(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packLen >= gzLen {
+		t.Errorf("positpack (%d) should beat gzip (%d) on smooth posit data", packLen, gzLen)
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	c := mustNew(t, posit.Posit32e3)
+	if _, err := c.Decompress(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		garbage := make([]byte, rng.Intn(200))
+		rng.Read(garbage)
+		c.Decompress(garbage) // must not panic
+	}
+	// Huge declared count must be rejected before allocation.
+	big := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := c.Decompress(big); err == nil {
+		t.Fatal("huge count accepted")
+	}
+}
+
+func TestCrossConfigSafety(t *testing.T) {
+	// Data packed under es=3 must decode identically under the same config
+	// but is allowed to decode differently (not crash) under es=2.
+	c3 := mustNew(t, posit.Posit32e3)
+	words := []uint32{0x40000000, 0x12345678, 0x87654321}
+	src := posit.EncodeWordsLE(words)
+	comp, err := c3.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c3.Decompress(comp)
+	if err != nil || !bytes.Equal(back, src) {
+		t.Fatal("same-config roundtrip failed")
+	}
+	c2 := mustNew(t, posit.Posit32)
+	c2.Decompress(comp) // must not panic
+}
+
+func BenchmarkCompress(b *testing.B) {
+	spec, err := sdrbench.ByName("PRES-98x1200x1200.f32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	floats := spec.Generate(1 << 16)
+	src := posit.EncodeWordsLE(posit.Posit32e3.FromFloat32Slice(nil, floats))
+	c := mustNew(b, posit.Posit32e3)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package rangecoder
+
+// Price estimation: the cost, in 1/16-bit units, of coding a bit under an
+// adaptive context at its current probability. Optimal parsers use these
+// prices to compare encodings without touching coder state (LZMA's
+// GetPrice machinery).
+
+const (
+	// PriceShift is the fixed-point shift of all price values: a price of
+	// 16 is one bit.
+	PriceShift = 4
+	priceScale = 1 << PriceShift
+)
+
+var probPrices [probTotal >> 4]uint32
+
+func init() {
+	// LZMA's ProbPrices construction (LzmaEnc.c): for each quantized
+	// probability p = (16*k + 8)/2048, square w four times, counting
+	// normalization shifts; the result approximates -log2(p) in 1/16 bits.
+	for k := range probPrices {
+		w := uint32(16*k + 8)
+		bitCount := uint32(0)
+		for j := 0; j < PriceShift; j++ {
+			w *= w
+			bitCount <<= 1
+			for w >= 1<<16 {
+				w >>= 1
+				bitCount++
+			}
+		}
+		probPrices[k] = probBits<<PriceShift - 15 - bitCount
+	}
+}
+
+// Price returns the cost of coding bit under context p.
+func (p Prob) Price(bit int) uint32 {
+	if bit == 0 {
+		return probPrices[p>>PriceShift]
+	}
+	return probPrices[(probTotal-p)>>PriceShift]
+}
+
+// Price returns the cost of coding sym through the tree.
+func (t *BitTree) Price(sym uint32) uint32 {
+	price := uint32(0)
+	node := uint32(1)
+	for i := int(t.nbits) - 1; i >= 0; i-- {
+		bit := int(sym >> uint(i) & 1)
+		price += t.probs[node].Price(bit)
+		node = node<<1 | uint32(bit)
+	}
+	return price
+}
+
+// PriceReverse returns the cost of coding sym LSB-first through the tree.
+func (t *BitTree) PriceReverse(sym uint32) uint32 {
+	price := uint32(0)
+	node := uint32(1)
+	for i := 0; i < int(t.nbits); i++ {
+		bit := int(sym & 1)
+		sym >>= 1
+		price += t.probs[node].Price(bit)
+		node = node<<1 | uint32(bit)
+	}
+	return price
+}
+
+// DirectPrice returns the cost of n fixed-probability bits.
+func DirectPrice(n uint) uint32 { return uint32(n) << PriceShift }

@@ -1,0 +1,224 @@
+// Package rangecoder implements an LZMA-style binary range coder with
+// adaptive probability models and bit-tree helpers. It is the entropy
+// engine of the XZ-class codec: context-modelled arithmetic coding is what
+// lets a large-window LZ beat Huffman-based compressors.
+package rangecoder
+
+import "errors"
+
+// ErrTruncated is returned when the decoder runs out of input.
+var ErrTruncated = errors.New("rangecoder: truncated stream")
+
+const (
+	probBits  = 11
+	probInit  = 1 << (probBits - 1) // 1024: p=0.5
+	moveBits  = 5
+	topValue  = 1 << 24
+	probTotal = 1 << probBits
+)
+
+// Prob is an adaptive probability state for one binary context.
+type Prob uint16
+
+// NewProbs allocates n contexts initialized to p=0.5.
+func NewProbs(n int) []Prob {
+	p := make([]Prob, n)
+	for i := range p {
+		p[i] = probInit
+	}
+	return p
+}
+
+// Encoder writes a binary range-coded stream.
+type Encoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+// NewEncoder returns an encoder with the given output capacity hint.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF, cacheSize: 1, out: make([]byte, 0, capacity)}
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		carry := byte(e.low >> 32)
+		for ; e.cacheSize > 0; e.cacheSize-- {
+			e.out = append(e.out, e.cache+carry)
+			e.cache = 0xFF
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = e.low << 8 & 0xFFFFFFFF
+}
+
+// EncodeBit codes one bit under the adaptive context *p.
+func (e *Encoder) EncodeBit(p *Prob, bit int) {
+	bound := e.rng >> probBits * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (probTotal - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeDirect codes n bits of v (MSB first) at fixed probability 0.5.
+func (e *Encoder) EncodeDirect(v uint32, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		e.rng >>= 1
+		bit := v >> uint(i) & 1
+		if bit == 1 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < topValue {
+			e.rng <<= 8
+			e.shiftLow()
+		}
+	}
+}
+
+// Finish flushes the coder and returns the complete byte stream.
+func (e *Encoder) Finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// Len reports the number of bytes emitted so far (excluding pending cache).
+func (e *Encoder) Len() int { return len(e.out) }
+
+// Decoder reads a stream produced by Encoder.
+type Decoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+	err  error
+}
+
+// NewDecoder initializes a decoder over the encoded bytes.
+func NewDecoder(in []byte) *Decoder {
+	d := &Decoder{rng: 0xFFFFFFFF, in: in}
+	d.nextByte() // the first output byte of the encoder is always 0
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return d
+}
+
+func (d *Decoder) nextByte() byte {
+	if d.pos >= len(d.in) {
+		d.err = ErrTruncated
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return b
+}
+
+// Err reports a truncation encountered at any earlier decode step.
+func (d *Decoder) Err() error { return d.err }
+
+// DecodeBit decodes one bit under the adaptive context *p.
+func (d *Decoder) DecodeBit(p *Prob) int {
+	bound := d.rng >> probBits * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (probTotal - *p) >> moveBits
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return bit
+}
+
+// DecodeDirect decodes n fixed-probability bits (MSB first).
+func (d *Decoder) DecodeDirect(n uint) uint32 {
+	var v uint32
+	for i := 0; i < int(n); i++ {
+		d.rng >>= 1
+		d.code -= d.rng
+		t := 0 - (d.code >> 31) // 0xFFFFFFFF if code went negative
+		d.code += d.rng & t
+		v = v<<1 | (t + 1)
+		for d.rng < topValue {
+			d.rng <<= 8
+			d.code = d.code<<8 | uint32(d.nextByte())
+		}
+	}
+	return v
+}
+
+// BitTree codes an n-bit symbol MSB-first through a tree of adaptive
+// contexts (the LZMA literal/length/slot scheme).
+type BitTree struct {
+	probs []Prob
+	nbits uint
+}
+
+// NewBitTree allocates a tree for n-bit symbols.
+func NewBitTree(n uint) *BitTree {
+	return &BitTree{probs: NewProbs(1 << n), nbits: n}
+}
+
+// Encode codes sym (n bits).
+func (t *BitTree) Encode(e *Encoder, sym uint32) {
+	node := uint32(1)
+	for i := int(t.nbits) - 1; i >= 0; i-- {
+		bit := int(sym >> uint(i) & 1)
+		e.EncodeBit(&t.probs[node], bit)
+		node = node<<1 | uint32(bit)
+	}
+}
+
+// Decode reads an n-bit symbol.
+func (t *BitTree) Decode(d *Decoder) uint32 {
+	node := uint32(1)
+	for i := 0; i < int(t.nbits); i++ {
+		bit := d.DecodeBit(&t.probs[node])
+		node = node<<1 | uint32(bit)
+	}
+	return node - 1<<t.nbits
+}
+
+// EncodeReverse codes sym LSB-first (used for LZMA alignment bits).
+func (t *BitTree) EncodeReverse(e *Encoder, sym uint32) {
+	node := uint32(1)
+	for i := 0; i < int(t.nbits); i++ {
+		bit := int(sym & 1)
+		sym >>= 1
+		e.EncodeBit(&t.probs[node], bit)
+		node = node<<1 | uint32(bit)
+	}
+}
+
+// DecodeReverse reads an LSB-first symbol.
+func (t *BitTree) DecodeReverse(d *Decoder) uint32 {
+	node := uint32(1)
+	var sym uint32
+	for i := 0; i < int(t.nbits); i++ {
+		bit := d.DecodeBit(&t.probs[node])
+		node = node<<1 | uint32(bit)
+		sym |= uint32(bit) << uint(i)
+	}
+	return sym
+}

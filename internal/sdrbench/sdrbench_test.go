@@ -1,0 +1,155 @@
+package sdrbench
+
+import (
+	"math"
+	"testing"
+
+	"positbench/internal/ieee"
+	"positbench/internal/posit"
+)
+
+func TestTablesMatchPaper(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 7 {
+		t.Fatalf("want 7 datasets, got %d", len(ds))
+	}
+	ins := Inputs()
+	if len(ins) != 14 {
+		t.Fatalf("want 14 inputs, got %d", len(ins))
+	}
+	// Two inputs per dataset.
+	count := map[string]int{}
+	for _, in := range ins {
+		count[in.Dataset]++
+	}
+	for _, d := range ds {
+		if count[d.Name] != 2 {
+			t.Errorf("dataset %s has %d inputs, want 2", d.Name, count[d.Name])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, in := range Inputs() {
+		a := in.Generate(4096)
+		b := in.Generate(4096)
+		for i := range a {
+			if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+				t.Fatalf("%s: nondeterministic at %d", in.Name, i)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	in, err := ByName("vx.f32")
+	if err != nil || in.Dataset != "HACC" {
+		t.Fatalf("ByName: %v %+v", err, in)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	for _, in := range Inputs() {
+		vals := in.Generate(1 << 15)
+		for i, v := range vals {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: non-finite value at %d: %g", in.Name, i, v)
+			}
+		}
+	}
+}
+
+// The generators must reproduce the paper's qualitative traits.
+func TestInputTraits(t *testing.T) {
+	const n = 1 << 16
+	get := func(name string) []float32 {
+		in, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in.Generate(n)
+	}
+	zeroFrac := func(vs []float32) float64 {
+		z := 0
+		for _, v := range vs {
+			if v == 0 {
+				z++
+			}
+		}
+		return float64(z) / float64(len(vs))
+	}
+
+	// ICEFRAC, CLOUD, QRAIN: many zeros (Figure 5 discussion).
+	for _, name := range []string{"ICEFRAC_1_1800_3600.f32", "CLOUDf48.bin.f32", "QRAINf48.bin.f32"} {
+		if zf := zeroFrac(get(name)); zf < 0.2 {
+			t.Errorf("%s: zero fraction %.2f too low", name, zf)
+		}
+	}
+	// HACC and EXAALT have essentially no zeros.
+	for _, name := range []string{"vx.f32", "dataset1.y.f32.dat"} {
+		if zf := zeroFrac(get(name)); zf > 0.01 {
+			t.Errorf("%s: unexpected zeros: %.3f", name, zf)
+		}
+	}
+	// AEROD: contains extremely large values.
+	s := ieee.Summarize(get("AEROD_v_1_1800_3600.f32"))
+	if s.MaxAbs < math.Ldexp(1, 60) {
+		t.Errorf("AEROD max |v| too small: %g", s.MaxAbs)
+	}
+	// QRAIN: nonzero values are tiny.
+	qs := ieee.Summarize(get("QRAINf48.bin.f32"))
+	if qs.MinAbs > math.Ldexp(1, -16) || qs.MaxAbs > 1 {
+		t.Errorf("QRAIN magnitudes out of profile: %g..%g", qs.MinAbs, qs.MaxAbs)
+	}
+	// Most values of near-1.0 inputs have biased exponent near 127
+	// (Figure 5's dominant mode).
+	var h ieee.Histogram
+	h.AddSlice(get("einspline.f32"))
+	if m := h.Mode(); m < 120 || m > 134 {
+		t.Errorf("einspline exponent mode %d not near 127", m)
+	}
+}
+
+// Posit conversion precision must land near the paper's Section 4.2
+// numbers: lossless files at 100%, AEROD ~90%, QRAIN ~73%, es=3 geomean
+// far above es=2.
+func TestConversionPrecisionProfile(t *testing.T) {
+	const n = 1 << 16
+	es3 := posit.Posit32e3
+	es2 := posit.Posit32
+	var sumLog3, sumLog2 float64
+	for _, in := range Inputs() {
+		vals := in.Generate(n)
+		p3 := es3.RoundtripStats(vals).PrecisePct()
+		p2 := es2.RoundtripStats(vals).PrecisePct()
+		sumLog3 += math.Log(p3)
+		sumLog2 += math.Log(p2)
+		if in.Lossless && p3 < 100 {
+			t.Errorf("%s: declared lossless but %.2f%% precise under es=3", in.Name, p3)
+		}
+		switch in.Name {
+		case "AEROD_v_1_1800_3600.f32":
+			if p3 < 84 || p3 > 96 {
+				t.Errorf("AEROD es=3 precision %.1f%%, want ~90%%", p3)
+			}
+		case "QRAINf48.bin.f32":
+			if p3 < 65 || p3 > 81 {
+				t.Errorf("QRAIN es=3 precision %.1f%%, want ~73%%", p3)
+			}
+		}
+	}
+	g3 := math.Exp(sumLog3 / 14)
+	g2 := math.Exp(sumLog2 / 14)
+	if g3 < 93 || g3 > 99.5 {
+		t.Errorf("es=3 geomean precision %.1f%%, want ~97%%", g3)
+	}
+	if g2 < 75 || g2 > 92 {
+		t.Errorf("es=2 geomean precision %.1f%%, want ~86%%", g2)
+	}
+	if g3-g2 < 5 {
+		t.Errorf("es=3 (%.1f%%) should clearly beat es=2 (%.1f%%)", g3, g2)
+	}
+}
