@@ -1,0 +1,42 @@
+# Build, test, and robustness gates for positbench.
+#
+#   make check       vet + build + unit tests (the tier-1 gate)
+#   make race        unit tests under the race detector
+#   make fuzz-smoke  10 s of fuzzing per fuzz target (seeded with
+#                    known-bad frames; catches decode-path panics fast)
+#   make ci          everything above, in order
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all check vet build test race fuzz-smoke ci
+
+all: check
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every Fuzz* target in the module for FUZZTIME each. `go test -fuzz`
+# only accepts one target per invocation, so targets are discovered with
+# -list and run one by one.
+fuzz-smoke:
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		targets=$$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz' || true); \
+		for t in $$targets; do \
+			echo "fuzz $$pkg $$t"; \
+			$(GO) test -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) $$pkg; \
+		done; \
+	done
+
+ci: check race fuzz-smoke

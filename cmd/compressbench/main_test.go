@@ -67,3 +67,71 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// Corrupt or truncated framed input must yield a one-line error from run
+// (and thus a non-zero exit from main), never a panic or a stack trace.
+func TestFramedRoundtripAndCorruptInput(t *testing.T) {
+	dir := t.TempDir()
+	orig := writeField(t, dir, "in.f32", 3000)
+	blob := filepath.Join(dir, "in.pbcf")
+	var out bytes.Buffer
+	if err := run([]string{"-z", "gzip", orig, blob}, &out); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "back.f32")
+	if err := run([]string{"-d", blob, back}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := os.ReadFile(orig)
+	got, _ := os.ReadFile(back)
+	if !bytes.Equal(want, got) {
+		t.Fatal("framed roundtrip mismatch")
+	}
+
+	frame, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-1] ^= 0x01
+	cases := []struct {
+		name string
+		data []byte
+		args []string
+	}{
+		{"Truncated", frame[:len(frame)/2], nil},
+		{"BitFlip", flipped, nil},
+		{"Garbage", []byte("not a container frame at all"), nil},
+		{"Empty", nil, nil},
+		{"TooSmallLimit", frame, []string{"-max-out", "16"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := filepath.Join(dir, "bad.pbcf")
+			if err := os.WriteFile(bad, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			args := append(append([]string{"-d"}, tc.args...), bad, filepath.Join(dir, "bad.out"))
+			err := run(args, &out)
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("diagnostic is not one line: %q", err.Error())
+			}
+		})
+	}
+}
+
+func TestFramedModeErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-z", "gzip", "-d", "a", "b"}, &out); err == nil {
+		t.Fatal("-z with -d accepted")
+	}
+	if err := run([]string{"-z", "gzip", "only-one-path"}, &out); err == nil {
+		t.Fatal("missing output path accepted")
+	}
+	if err := run([]string{"-z", "nope", os.DevNull, "x"}, &out); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}

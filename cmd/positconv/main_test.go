@@ -99,3 +99,36 @@ func TestErrors(t *testing.T) {
 		t.Fatal("ragged file accepted")
 	}
 }
+
+// Corrupt or truncated input files must produce a one-line error (non-zero
+// exit), never a panic.
+func TestCorruptInput(t *testing.T) {
+	dir := t.TempDir()
+	ragged := filepath.Join(dir, "ragged.bin")
+	if err := os.WriteFile(ragged, []byte{1, 2, 3, 4, 5}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.bin")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"StatsRagged", []string{"-stats", ragged}},
+		{"ToPositRagged", []string{"-to-posit", ragged, out}},
+		{"ToFloatRagged", []string{"-to-float", ragged, out}},
+		{"MissingFile", []string{"-stats", filepath.Join(dir, "missing.f32")}},
+		{"BadES", []string{"-stats", "-es", "40", ragged}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sink bytes.Buffer
+			err := run(tc.args, &sink)
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("diagnostic is not one line: %q", err.Error())
+			}
+		})
+	}
+}

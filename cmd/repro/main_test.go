@@ -63,3 +63,28 @@ func TestUnknownExperiment(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+// Bad arguments must produce a one-line error (non-zero exit), not a usage
+// panic or stack trace.
+func TestBadArguments(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"UnknownExperiment", []string{"-exp", "fig99"}},
+		{"UnknownFlag", []string{"-definitely-not-a-flag"}},
+		{"BadValues", []string{"-values", "not-a-number"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			err := run(tc.args, &out, &errOut)
+			if err == nil {
+				t.Fatal("bad arguments accepted")
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("diagnostic is not one line: %q", err.Error())
+			}
+		})
+	}
+}

@@ -5,12 +5,14 @@ package bitio
 
 import (
 	"encoding/binary"
-	"errors"
-	"fmt"
+
+	"positbench/internal/compress"
 )
 
 // ErrUnexpectedEOF is returned when a read runs past the end of the stream.
-var ErrUnexpectedEOF = errors.New("bitio: unexpected end of stream")
+// It matches compress.ErrTruncated (and therefore compress.ErrCorrupt) under
+// errors.Is, so decoders built on bitio inherit the error taxonomy for free.
+var ErrUnexpectedEOF = compress.Errorf(compress.ErrTruncated, "bitio: unexpected end of stream")
 
 // Writer accumulates bits MSB-first into a byte buffer.
 // The zero value is ready to use.
@@ -172,11 +174,15 @@ func PutUvarint(buf []byte, v uint64) []byte {
 }
 
 // Uvarint decodes an unsigned LEB128 value from buf, returning the value and
-// the number of bytes consumed. It returns an error on truncated input.
+// the number of bytes consumed. A varint that runs off the end of buf is
+// ErrTruncated; one whose continuation bytes overflow 64 bits is ErrCorrupt.
 func Uvarint(buf []byte) (uint64, int, error) {
 	v, n := binary.Uvarint(buf)
-	if n <= 0 {
-		return 0, 0, fmt.Errorf("bitio: bad uvarint (n=%d)", n)
+	if n == 0 {
+		return 0, 0, compress.Errorf(compress.ErrTruncated, "bitio: truncated uvarint")
+	}
+	if n < 0 {
+		return 0, 0, compress.Errorf(compress.ErrCorrupt, "bitio: uvarint overflows 64 bits")
 	}
 	return v, n, nil
 }

@@ -4,7 +4,7 @@
 // O(n log n) time and O(n) auxiliary space.
 package bwt
 
-import "fmt"
+import "positbench/internal/compress"
 
 // Transform returns the last column of the sorted rotation matrix of s and
 // the primary index (the row containing the original string). s is not
@@ -112,7 +112,7 @@ func Inverse(last []byte, primary int) ([]byte, error) {
 		return nil, nil
 	}
 	if primary < 0 || primary >= n {
-		return nil, fmt.Errorf("bwt: primary index %d out of range [0,%d)", primary, n)
+		return nil, compress.Errorf(compress.ErrCorrupt, "bwt: primary index %d out of range [0,%d)", primary, n)
 	}
 	// next[i]: row of the rotation that follows row i's rotation.
 	var cnt [256]int

@@ -13,11 +13,20 @@ import (
 	"positbench/internal/compress/lz4c"
 	"positbench/internal/compress/xzc"
 	"positbench/internal/compress/zstdc"
+	"positbench/internal/container"
 )
 
 // Codecs returns fresh instances of the five general-purpose codecs at
-// maximum-effort settings (the paper's --best flags).
+// maximum-effort settings (the paper's --best flags). Every codec is wrapped
+// in the framed container so its output is self-identifying and its decode
+// path is checksummed and resource-limited.
 func Codecs() []compress.Codec {
+	return wrap(Raw())
+}
+
+// Raw returns the five codecs without the container frame, for callers that
+// need the bare compressed streams (e.g. byte-exact interop tests).
+func Raw() []compress.Codec {
 	return []compress.Codec{
 		bzip2c.New(),
 		gzipc.New(),
@@ -25,6 +34,14 @@ func Codecs() []compress.Codec {
 		xzc.New(),
 		zstdc.New(),
 	}
+}
+
+func wrap(cs []compress.Codec) []compress.Codec {
+	out := make([]compress.Codec, len(cs))
+	for i, c := range cs {
+		out[i] = container.Wrap(c)
+	}
+	return out
 }
 
 // Get returns the named codec, or an error listing the valid names.

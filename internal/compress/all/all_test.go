@@ -1,6 +1,7 @@
 package all
 
 import (
+	"positbench/internal/compress/codectest"
 	"testing"
 )
 
@@ -53,5 +54,18 @@ func TestFreshInstances(t *testing.T) {
 		if a[i] == b[i] {
 			t.Errorf("codec %d shared between calls", i)
 		}
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	// Every registry codec is framed, so the harness's strongest contract
+	// applies: all corruption is detected, nothing panics, nothing
+	// allocates past the decode limits.
+	for _, c := range Codecs() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			t.Parallel()
+			codectest.FaultInjection(t, c)
+		})
 	}
 }

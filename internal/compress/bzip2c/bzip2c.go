@@ -221,11 +221,24 @@ func compressBlock(block []byte) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec with default decode limits.
 func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	return c.DecompressLimits(comp, compress.DecodeLimits{})
+}
+
+// DecompressLimits implements compress.Limited. Block headers are validated
+// against the input length before the block table is allocated, each worker
+// converts panics on hostile data into errors (a panic in a goroutine would
+// otherwise kill the process, bypassing any recover in the caller), and the
+// RLE1 expansion is capped by lim.
+func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
+	maxOut := lim.OutputCap(len(comp))
 	origSize, n, err := bitio.Uvarint(comp)
 	if err != nil {
 		return nil, fmt.Errorf("bzip2: %w", err)
+	}
+	if err := lim.CheckDeclared(origSize, len(comp)); err != nil {
+		return nil, err
 	}
 	comp = comp[n:]
 	nBlocks, n, err := bitio.Uvarint(comp)
@@ -233,6 +246,12 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 		return nil, fmt.Errorf("bzip2: %w", err)
 	}
 	comp = comp[n:]
+	// Each block costs at least one header byte, so a block count beyond the
+	// remaining input is corrupt; checking before make() keeps a tampered
+	// count from allocating an arbitrarily large table.
+	if nBlocks > uint64(len(comp)) {
+		return nil, compress.Errorf(compress.ErrCorrupt, "bzip2: %d blocks declared in %d bytes", nBlocks, len(comp))
+	}
 	blocks := make([][]byte, nBlocks)
 	for i := range blocks {
 		bl, n, err := bitio.Uvarint(comp)
@@ -241,7 +260,7 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 		}
 		comp = comp[n:]
 		if uint64(len(comp)) < bl {
-			return nil, fmt.Errorf("bzip2: block %d truncated", i)
+			return nil, compress.Errorf(compress.ErrTruncated, "bzip2: block %d truncated", i)
 		}
 		blocks[i] = comp[:bl]
 		comp = comp[bl:]
@@ -253,7 +272,12 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 		wg.Add(1)
 		go func(i int, b []byte) {
 			defer wg.Done()
-			decoded[i], errs[i] = decompressBlock(b)
+			defer func() {
+				if p := recover(); p != nil {
+					decoded[i], errs[i] = nil, compress.Errorf(compress.ErrCorrupt, "decoder panic: %v", p)
+				}
+			}()
+			decoded[i], errs[i] = decompressBlock(b, maxOut)
 		}(i, b)
 	}
 	wg.Wait()
@@ -266,17 +290,17 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 	for _, d := range decoded {
 		pre = append(pre, d...)
 	}
-	out, err := mtf.UnRLE1(pre)
+	out, err := mtf.UnRLE1Limit(pre, int(maxOut))
 	if err != nil {
 		return nil, fmt.Errorf("bzip2: %w", err)
 	}
 	if uint64(len(out)) != origSize {
-		return nil, fmt.Errorf("bzip2: size mismatch: got %d want %d", len(out), origSize)
+		return nil, compress.Errorf(compress.ErrCorrupt, "bzip2: size mismatch: got %d want %d", len(out), origSize)
 	}
 	return out, nil
 }
 
-func decompressBlock(b []byte) ([]byte, error) {
+func decompressBlock(b []byte, maxOut int64) ([]byte, error) {
 	primary, n, err := bitio.Uvarint(b)
 	if err != nil {
 		return nil, err
@@ -293,19 +317,24 @@ func decompressBlock(b []byte) ([]byte, error) {
 	}
 	b = b[n:]
 	if blockLen > 1<<26 {
-		return nil, fmt.Errorf("implausible block length %d", blockLen)
+		return nil, compress.Errorf(compress.ErrCorrupt, "implausible block length %d", blockLen)
+	}
+	// RLE1 expands runs of exactly 4 by one count byte (at most +25%), so a
+	// pre-RLE1 block beyond cap*5/4 cannot belong to an in-limit stream.
+	if blockLen > uint64(maxOut)+uint64(maxOut)/4+64 {
+		return nil, compress.Errorf(compress.ErrLimitExceeded, "block length %d exceeds decode cap %d", blockLen, maxOut)
 	}
 	nSyms := int(nSyms64)
 	if nSyms < 1 || uint64(nSyms) > 2*blockLen+16 {
-		return nil, fmt.Errorf("implausible symbol count %d", nSyms)
+		return nil, compress.Errorf(compress.ErrCorrupt, "implausible symbol count %d", nSyms)
 	}
 	if len(b) < 1 {
-		return nil, fmt.Errorf("missing table count")
+		return nil, compress.Errorf(compress.ErrTruncated, "missing table count")
 	}
 	nGroups := int(b[0])
 	b = b[1:]
 	if nGroups < 1 || nGroups > 8 {
-		return nil, fmt.Errorf("bad table count %d", nGroups)
+		return nil, compress.Errorf(compress.ErrCorrupt, "bad table count %d", nGroups)
 	}
 	r := bitio.NewReader(b)
 	decs := make([]*huffman.Decoder, nGroups)
@@ -337,7 +366,7 @@ func decompressBlock(b []byte) ([]byte, error) {
 			}
 			j++
 			if j >= nGroups {
-				return nil, fmt.Errorf("selector out of range")
+				return nil, compress.Errorf(compress.ErrCorrupt, "selector out of range")
 			}
 		}
 		sel := mtfOrder[j]
@@ -353,25 +382,28 @@ func decompressBlock(b []byte) ([]byte, error) {
 		}
 		if s == eobSymbol {
 			if i != nSyms-1 {
-				return nil, fmt.Errorf("early EOB at symbol %d of %d", i, nSyms)
+				return nil, compress.Errorf(compress.ErrCorrupt, "early EOB at symbol %d of %d", i, nSyms)
 			}
 			break
 		}
 		syms = append(syms, uint16(s))
 	}
 	if len(syms) != nSyms-1 {
-		return nil, fmt.Errorf("missing EOB")
+		return nil, compress.Errorf(compress.ErrCorrupt, "missing EOB")
 	}
-	mtfBytes, err := mtf.DecodeZeroRuns(syms)
+	// The zero-run decode must land exactly on blockLen bytes, so blockLen
+	// doubles as the allocation bound for hostile RUNA/RUNB streams.
+	mtfBytes, err := mtf.DecodeZeroRunsLimit(syms, int(blockLen))
 	if err != nil {
 		return nil, err
 	}
 	last := mtf.Decode(mtfBytes)
 	if len(last) != int(blockLen) {
-		return nil, fmt.Errorf("block length mismatch: got %d want %d", len(last), blockLen)
+		return nil, compress.Errorf(compress.ErrCorrupt, "block length mismatch: got %d want %d", len(last), blockLen)
 	}
 	return bwt.Inverse(last, int(primary))
 }
 
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
+var _ compress.Limited = (*Codec)(nil)

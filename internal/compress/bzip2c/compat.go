@@ -3,6 +3,7 @@ package bzip2c
 import (
 	"bytes"
 	"compress/bzip2"
+	"errors"
 	"fmt"
 	"io"
 
@@ -342,17 +343,31 @@ func compatMTF(last []byte, alphabet []byte) []uint16 {
 }
 
 // Decompress implements compress.Codec by delegating to the standard
-// library's reference bzip2 decoder.
+// library's reference bzip2 decoder, with default decode limits.
 func (c *CompatCodec) Decompress(comp []byte) ([]byte, error) {
+	return c.DecompressLimits(comp, compress.DecodeLimits{})
+}
+
+// DecompressLimits implements compress.Limited. The .bz2 container carries
+// no output size, so the cap is enforced with a bounded reader.
+func (c *CompatCodec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
 	if len(comp) == 0 {
-		return nil, fmt.Errorf("bzip2-compat: empty input")
+		return nil, compress.Errorf(compress.ErrTruncated, "bzip2-compat: empty input")
 	}
-	out, err := io.ReadAll(bzip2.NewReader(bytes.NewReader(comp)))
+	maxOut := lim.OutputCap(len(comp))
+	out, err := io.ReadAll(io.LimitReader(bzip2.NewReader(bytes.NewReader(comp)), maxOut+1))
 	if err != nil {
-		return nil, fmt.Errorf("bzip2-compat: %w", err)
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, compress.Errorf(compress.ErrTruncated, "bzip2-compat: %v", err)
+		}
+		return nil, compress.Errorf(compress.ErrCorrupt, "bzip2-compat: %v", err)
+	}
+	if int64(len(out)) > maxOut {
+		return nil, compress.Errorf(compress.ErrLimitExceeded, "bzip2-compat: output exceeds decode cap %d", maxOut)
 	}
 	return out, nil
 }
 
 var _ compress.Codec = (*CompatCodec)(nil)
 var _ compress.Describer = (*CompatCodec)(nil)
+var _ compress.Limited = (*CompatCodec)(nil)

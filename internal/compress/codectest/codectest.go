@@ -117,6 +117,7 @@ func Run(t *testing.T, c compress.Codec) {
 			}
 		}
 	})
+	t.Run("FaultInjection", func(t *testing.T) { FaultInjection(t, c) })
 }
 
 func roundtrip(t *testing.T, c compress.Codec, src []byte) int {

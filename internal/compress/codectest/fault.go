@@ -1,0 +1,160 @@
+package codectest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"positbench/internal/compress"
+	"positbench/internal/container"
+)
+
+// faultLimits bounds every decode attempt in the fault harness: corrupted
+// input may error or (for unframed codecs) misdecode, but it must never
+// make the decoder allocate past this cap.
+func faultLimits(sampleLen int) compress.DecodeLimits {
+	return compress.DecodeLimits{MaxOutputBytes: int64(4*sampleLen + 4096)}
+}
+
+// FaultInjection exercises a codec's decode path against systematically
+// corrupted inputs: truncation at every prefix length, sampled single-bit
+// flips, tampered frame length and checksum fields, and random garbage.
+// Every attempt must return an error or a bounded result — never panic,
+// never allocate past the decode limits. Codecs already wrapped in the
+// container frame are held to the stronger contract that every corruption
+// is detected.
+func FaultInjection(t *testing.T, c compress.Codec) {
+	t.Helper()
+	sample := smoothFloatField(512)
+	comp, err := c.Compress(sample)
+	if err != nil {
+		t.Fatalf("compress sample: %v", err)
+	}
+	lim := faultLimits(len(sample))
+	_, framed := c.(*container.Codec)
+
+	t.Run("TruncateEveryPrefix", func(t *testing.T) {
+		for cut := 0; cut < len(comp); cut++ {
+			out, err := decodeNoPanic(t, c, comp[:cut], lim)
+			if framed && err == nil {
+				t.Fatalf("framed codec decoded a %d/%d-byte prefix without error", cut, len(comp))
+			}
+			if err == nil && bytes.Equal(out, sample) && cut < len(comp) {
+				t.Fatalf("truncation to %d bytes silently decoded to the original", cut)
+			}
+		}
+	})
+
+	t.Run("BitFlips", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(0x5eed))
+		nFlips := 64
+		if totalBits := 8 * len(comp); nFlips > totalBits {
+			nFlips = totalBits
+		}
+		for i := 0; i < nFlips; i++ {
+			pos := rng.Intn(8 * len(comp))
+			mut := append([]byte(nil), comp...)
+			mut[pos/8] ^= 1 << uint(pos%8)
+			if _, err := decodeNoPanic(t, c, mut, lim); framed && err == nil {
+				t.Fatalf("framed codec accepted a bit flip at bit %d", pos)
+			}
+		}
+	})
+
+	t.Run("LengthTamper", func(t *testing.T) {
+		// A frame declaring an absurd original length must trip
+		// ErrLimitExceeded under a small cap — before the decoder commits
+		// memory to it.
+		inner := c
+		if fc, ok := c.(*container.Codec); ok {
+			inner = fc.Unwrap()
+		}
+		payload, err := inner.Compress(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := tamperedFrame(inner.Name(), 1<<40, payload)
+		fc := container.WrapLimits(inner, compress.DecodeLimits{MaxOutputBytes: 4096})
+		out, err := decodeNoPanic(t, fc, frame, compress.DecodeLimits{MaxOutputBytes: 4096})
+		if !errors.Is(err, compress.ErrLimitExceeded) {
+			t.Fatalf("tampered length: got (%d bytes, %v), want ErrLimitExceeded", len(out), err)
+		}
+	})
+
+	t.Run("ChecksumTamper", func(t *testing.T) {
+		inner := c
+		if fc, ok := c.(*container.Codec); ok {
+			inner = fc.Unwrap()
+		}
+		payload, err := inner.Compress(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc := container.Wrap(inner)
+		// Correct length, wrong output checksum: the payload decodes
+		// cleanly, so only the end-to-end CRC can catch it.
+		frame := tamperedFrame(inner.Name(), uint64(len(sample)), payload)
+		if _, err := decodeNoPanic(t, fc, frame, lim); !errors.Is(err, compress.ErrCorrupt) {
+			t.Fatalf("tampered output checksum: got %v, want ErrCorrupt", err)
+		}
+		// Corrupted payload byte: caught by the payload checksum.
+		good, err := fc.Compress(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), good...)
+		mut[len(mut)-1] ^= 0xFF
+		if _, err := decodeNoPanic(t, fc, mut, lim); !errors.Is(err, compress.ErrCorrupt) {
+			t.Fatalf("corrupted payload: got %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("RandomGarbage", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(0xbad))
+		for trial := 0; trial < 128; trial++ {
+			buf := make([]byte, rng.Intn(2048))
+			rng.Read(buf)
+			if trial%4 == 0 && len(buf) >= 4 {
+				copy(buf, container.Magic[:]) // exercise the post-magic parse
+			}
+			_, err := decodeNoPanic(t, c, buf, lim)
+			if framed && err == nil {
+				t.Fatalf("framed codec accepted %d bytes of garbage (trial %d)", len(buf), trial)
+			}
+		}
+	})
+}
+
+// decodeNoPanic runs one decode attempt on possibly-hostile input,
+// converting panics into test failures and enforcing the output cap.
+func decodeNoPanic(t *testing.T, c compress.Codec, data []byte, lim compress.DecodeLimits) (out []byte, err error) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("decode of %d corrupted bytes panicked: %v", len(data), p)
+		}
+	}()
+	out, err = compress.DecompressLimits(c, data, lim)
+	if err == nil {
+		if limit := lim.OutputCap(len(data)); int64(len(out)) > limit {
+			t.Fatalf("decode of %d bytes produced %d bytes, over the %d-byte cap", len(data), len(out), limit)
+		}
+	}
+	return out, err
+}
+
+// tamperedFrame hand-assembles a container frame with an attacker-chosen
+// declared original length and a bogus output checksum; the payload and its
+// checksum are internally consistent so the frame parses.
+func tamperedFrame(codecName string, origLen uint64, payload []byte) []byte {
+	out := append([]byte(nil), container.Magic[:]...)
+	out = append(out, container.Version, byte(len(codecName)))
+	out = append(out, codecName...)
+	out = binary.AppendUvarint(out, origLen)
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, container.Checksum(payload))
+	out = binary.LittleEndian.AppendUint32(out, 0xDEADBEEF)
+	return append(out, payload...)
+}

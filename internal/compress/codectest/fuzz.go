@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"positbench/internal/compress"
+	"positbench/internal/container"
 )
 
 // FuzzRoundtrip drives a codec with fuzzed inputs: every input must
@@ -31,13 +32,34 @@ func FuzzRoundtrip(f *testing.F, c compress.Codec) {
 }
 
 // FuzzDecompress feeds arbitrary bytes to Decompress: it may error but
-// must never panic or hang.
+// must never panic, hang, or allocate past the decode limits. The seed
+// corpus mixes valid streams (framed and bare) with known-bad frames —
+// truncations, bit flips, and a length-tampered container envelope.
 func FuzzDecompress(f *testing.F, c compress.Codec) {
 	f.Add([]byte(nil))
 	f.Add([]byte{0, 1, 2, 3})
 	valid, _ := c.Compress(smoothFloatField(64))
 	f.Add(valid)
+	if len(valid) > 1 {
+		f.Add(valid[:len(valid)/2]) // truncated
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)/3] ^= 0x10
+		f.Add(flipped) // bit-flipped
+	}
+	inner := c
+	if fc, ok := c.(*container.Codec); ok {
+		inner = fc.Unwrap()
+	}
+	if payload, err := inner.Compress(smoothFloatField(64)); err == nil {
+		f.Add(tamperedFrame(inner.Name(), 1<<40, payload)) // hostile declared length
+	}
+	lim := compress.DecodeLimits{MaxOutputBytes: 1 << 24}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		c.Decompress(data) // errors are fine; panics are not
+		out, err := compress.DecompressLimits(c, data, lim) // errors are fine; panics are not
+		if err == nil {
+			if limit := lim.OutputCap(len(data)); int64(len(out)) > limit {
+				t.Fatalf("decode of %d bytes produced %d bytes, over the %d-byte cap", len(data), len(out), limit)
+			}
+		}
 	})
 }

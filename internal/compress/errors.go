@@ -1,0 +1,47 @@
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Structured error taxonomy for the decode path. Every decoder in this
+// repository returns errors that match exactly one of these sentinels under
+// errors.Is, so callers can triage failures without string matching:
+//
+//	ErrCorrupt       the bytes are not a valid stream for this codec
+//	ErrTruncated     the stream ends before the format says it should
+//	ErrBadMagic      a framed container does not start with the magic bytes
+//	ErrVersion       a framed container has an unsupported format version
+//	ErrLimitExceeded decoding would exceed the configured DecodeLimits
+//
+// ErrTruncated, ErrBadMagic, and ErrVersion are refinements of ErrCorrupt:
+// errors.Is(err, ErrCorrupt) is true for all four data-integrity failures,
+// so "is this input bad?" is a single check. ErrLimitExceeded is a separate
+// root because hitting a resource limit does not prove the input is invalid
+// (the caller's limits may simply be smaller than an honest stream).
+var (
+	ErrCorrupt       = errors.New("compress: corrupt data")
+	ErrTruncated     = refine("compress: truncated data", ErrCorrupt)
+	ErrBadMagic      = refine("compress: bad magic bytes", ErrCorrupt)
+	ErrVersion       = refine("compress: unsupported container version", ErrCorrupt)
+	ErrLimitExceeded = errors.New("compress: decode resource limit exceeded")
+)
+
+// refinedError is a sentinel that also matches its parent sentinel.
+type refinedError struct {
+	msg    string
+	parent error
+}
+
+func (e *refinedError) Error() string { return e.msg }
+func (e *refinedError) Unwrap() error { return e.parent }
+
+func refine(msg string, parent error) error { return &refinedError{msg: msg, parent: parent} }
+
+// Errorf builds a decode error carrying both a formatted message and a
+// taxonomy sentinel, e.g. Errorf(ErrCorrupt, "lz4: bad offset %d", d).
+// The result matches the sentinel (and its parents) under errors.Is.
+func Errorf(sentinel error, format string, args ...interface{}) error {
+	return fmt.Errorf(format+": %w", append(args, sentinel)...)
+}

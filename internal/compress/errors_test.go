@@ -1,0 +1,85 @@
+package compress
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTaxonomyRefinement(t *testing.T) {
+	for _, refined := range []error{ErrTruncated, ErrBadMagic, ErrVersion} {
+		if !errors.Is(refined, ErrCorrupt) {
+			t.Errorf("%v should refine ErrCorrupt", refined)
+		}
+	}
+	if errors.Is(ErrLimitExceeded, ErrCorrupt) {
+		t.Error("ErrLimitExceeded must not imply corrupt input")
+	}
+	if errors.Is(ErrCorrupt, ErrTruncated) {
+		t.Error("refinement must not run upward")
+	}
+}
+
+func TestErrorf(t *testing.T) {
+	err := Errorf(ErrTruncated, "lz4: need %d bytes, have %d", 8, 3)
+	if !errors.Is(err, ErrTruncated) || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Errorf lost the sentinel chain: %v", err)
+	}
+	if got := err.Error(); got != "lz4: need 8 bytes, have 3: compress: truncated data" {
+		t.Fatalf("message: %q", got)
+	}
+}
+
+func TestOutputCap(t *testing.T) {
+	var def DecodeLimits
+	if got := def.OutputCap(0); got != expansionSlack {
+		t.Fatalf("empty-input cap %d, want slack %d", got, expansionSlack)
+	}
+	if got := def.OutputCap(10); got != 10*DefaultMaxExpansionRatio+expansionSlack {
+		t.Fatalf("small-input cap %d", got)
+	}
+	// Large inputs saturate at the byte cap rather than ratio*len.
+	if got := def.OutputCap(1 << 30); got != DefaultMaxOutputBytes {
+		t.Fatalf("large-input cap %d, want %d", got, DefaultMaxOutputBytes)
+	}
+	// Ratio overflow must clamp to the byte cap, not wrap negative.
+	big := DecodeLimits{MaxExpansionRatio: 1 << 62}
+	if got := big.OutputCap(1 << 20); got != DefaultMaxOutputBytes {
+		t.Fatalf("overflow cap %d", got)
+	}
+	small := DecodeLimits{MaxOutputBytes: 100, MaxExpansionRatio: 2}
+	if got := small.OutputCap(5); got != 100 {
+		// 5*2+slack exceeds MaxOutputBytes, so the hard cap wins.
+		t.Fatalf("tight cap %d", got)
+	}
+}
+
+func TestCheckDeclared(t *testing.T) {
+	lim := DecodeLimits{MaxOutputBytes: 4096, MaxExpansionRatio: 4}
+	if err := lim.CheckDeclared(40, 10); err != nil {
+		t.Fatalf("honest declaration rejected: %v", err)
+	}
+	err := lim.CheckDeclared(1<<40, 10)
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("tampered declaration: %v", err)
+	}
+}
+
+// postHoc has no DecompressLimits; the dispatcher must bound it after the fact.
+type postHoc struct{ out int }
+
+func (p postHoc) Name() string                        { return "posthoc" }
+func (p postHoc) Compress(src []byte) ([]byte, error) { return src, nil }
+func (p postHoc) Decompress(comp []byte) ([]byte, error) {
+	return make([]byte, p.out), nil
+}
+
+func TestDecompressLimitsFallback(t *testing.T) {
+	lim := DecodeLimits{MaxOutputBytes: 64, MaxExpansionRatio: 1 << 40}
+	if _, err := DecompressLimits(postHoc{out: 32}, []byte{1, 2, 3}, lim); err != nil {
+		t.Fatalf("in-bounds output rejected: %v", err)
+	}
+	_, err := DecompressLimits(postHoc{out: 128}, []byte{1, 2, 3}, lim)
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("oversized output: %v", err)
+	}
+}

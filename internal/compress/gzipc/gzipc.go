@@ -6,6 +6,7 @@ package gzipc
 import (
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"io"
 
 	"positbench/internal/compress"
@@ -46,15 +47,39 @@ func (c *Codec) Compress(src []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec with default decode limits.
 func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	return c.DecompressLimits(comp, compress.DecodeLimits{})
+}
+
+// DecompressLimits implements compress.Limited. DEFLATE streams carry no
+// declared output size, so the cap is enforced with a bounded reader: one
+// byte past the cap aborts the decode with ErrLimitExceeded.
+func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
 	r, err := gzip.NewReader(bytes.NewReader(comp))
 	if err != nil {
-		return nil, err
+		return nil, mapErr(err)
 	}
 	defer r.Close()
-	return io.ReadAll(r)
+	maxOut := lim.OutputCap(len(comp))
+	out, err := io.ReadAll(io.LimitReader(r, maxOut+1))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if int64(len(out)) > maxOut {
+		return nil, compress.Errorf(compress.ErrLimitExceeded, "gzip: output exceeds decode cap %d", maxOut)
+	}
+	return out, nil
+}
+
+// mapErr translates stdlib gzip/flate errors into the decode taxonomy.
+func mapErr(err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return compress.Errorf(compress.ErrTruncated, "gzip: %v", err)
+	}
+	return compress.Errorf(compress.ErrCorrupt, "gzip: %v", err)
 }
 
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
+var _ compress.Limited = (*Codec)(nil)

@@ -1,0 +1,85 @@
+package compress
+
+// DecodeLimits bounds the resources a decoder may commit on behalf of a
+// (possibly hostile) compressed input. A tampered length field must trip
+// ErrLimitExceeded before the decoder allocates, not OOM the process.
+//
+// The zero value selects the package defaults, so DecodeLimits{} is a safe
+// "default limits" literal and plumbing code never branches on "no limits".
+type DecodeLimits struct {
+	// MaxOutputBytes caps the total decompressed size. 0 selects
+	// DefaultMaxOutputBytes.
+	MaxOutputBytes int64
+	// MaxExpansionRatio caps decompressed size relative to the compressed
+	// input (output <= input*ratio + a small slack for headers). 0 selects
+	// DefaultMaxExpansionRatio.
+	MaxExpansionRatio int64
+}
+
+const (
+	// DefaultMaxOutputBytes bounds a single decode to 2 GiB.
+	DefaultMaxOutputBytes = int64(2) << 30
+	// DefaultMaxExpansionRatio is generous: the best real-world ratios on
+	// float data are ~4x, and even pathological all-zero streams stay far
+	// below 16384x per chunk at our block sizes.
+	DefaultMaxExpansionRatio = int64(16384)
+	// expansionSlack lets tiny inputs (empty payloads, bare headers)
+	// decode without tripping the ratio check.
+	expansionSlack = int64(1024)
+)
+
+// OutputCap resolves the effective output-byte cap for an input of
+// inputLen compressed bytes: min(MaxOutputBytes, inputLen*ratio+slack).
+func (l DecodeLimits) OutputCap(inputLen int) int64 {
+	maxOut := l.MaxOutputBytes
+	if maxOut <= 0 {
+		maxOut = DefaultMaxOutputBytes
+	}
+	ratio := l.MaxExpansionRatio
+	if ratio <= 0 {
+		ratio = DefaultMaxExpansionRatio
+	}
+	in := int64(inputLen)
+	if in > 0 && ratio > (maxOut-expansionSlack)/in {
+		return maxOut // inputLen*ratio would overflow or exceed the hard cap
+	}
+	byRatio := in*ratio + expansionSlack
+	if byRatio > maxOut {
+		return maxOut
+	}
+	return byRatio
+}
+
+// CheckDeclared validates a length field read from untrusted input against
+// the cap for inputLen compressed bytes, returning ErrLimitExceeded if the
+// declared output could not have come from an honest stream within limits.
+func (l DecodeLimits) CheckDeclared(declared uint64, inputLen int) error {
+	if limit := l.OutputCap(inputLen); declared > uint64(limit) {
+		return Errorf(ErrLimitExceeded, "declared output %d exceeds decode cap %d", declared, limit)
+	}
+	return nil
+}
+
+// Limited is implemented by codecs whose decoder enforces DecodeLimits
+// internally (bounding allocation, not just validating after the fact).
+type Limited interface {
+	DecompressLimits(comp []byte, lim DecodeLimits) ([]byte, error)
+}
+
+// DecompressLimits decompresses with resource limits. Codecs implementing
+// Limited enforce the limits during decoding; for others the output is
+// checked after the fact (which still bounds what callers hold on to, but
+// not the decoder's transient allocation).
+func DecompressLimits(c Codec, comp []byte, lim DecodeLimits) ([]byte, error) {
+	if lc, ok := c.(Limited); ok {
+		return lc.DecompressLimits(comp, lim)
+	}
+	out, err := c.Decompress(comp)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(out)) > lim.OutputCap(len(comp)) {
+		return nil, Errorf(ErrLimitExceeded, "%s: output %d exceeds decode cap %d", c.Name(), len(out), lim.OutputCap(len(comp)))
+	}
+	return out, nil
+}

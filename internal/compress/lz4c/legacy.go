@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"positbench/internal/compress"
+	"positbench/internal/lz77"
 )
 
 // LegacyCodec emits LZ4's "legacy frame" container (the `lz4 -l` format):
@@ -53,16 +54,26 @@ func (c *LegacyCodec) Compress(src []byte) ([]byte, error) {
 	return out, nil
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec with default decode limits.
 func (c *LegacyCodec) Decompress(comp []byte) ([]byte, error) {
-	if len(comp) < 4 || binary.LittleEndian.Uint32(comp) != legacyMagic {
-		return nil, fmt.Errorf("lz4-legacy: bad magic")
+	return c.DecompressLimits(comp, compress.DecodeLimits{})
+}
+
+// DecompressLimits implements compress.Limited. The legacy frame carries no
+// uncompressed size, so the cap is enforced as blocks accumulate.
+func (c *LegacyCodec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
+	if len(comp) < 4 {
+		return nil, compress.Errorf(compress.ErrTruncated, "lz4-legacy: input shorter than magic")
 	}
+	if binary.LittleEndian.Uint32(comp) != legacyMagic {
+		return nil, compress.Errorf(compress.ErrBadMagic, "lz4-legacy: magic %08x", binary.LittleEndian.Uint32(comp))
+	}
+	maxOut := lim.OutputCap(len(comp))
 	comp = comp[4:]
 	var out []byte
 	for len(comp) > 0 {
 		if len(comp) < 4 {
-			return nil, fmt.Errorf("lz4-legacy: truncated block header")
+			return nil, compress.Errorf(compress.ErrTruncated, "lz4-legacy: truncated block header")
 		}
 		n := int(binary.LittleEndian.Uint32(comp))
 		comp = comp[4:]
@@ -71,9 +82,13 @@ func (c *LegacyCodec) Decompress(comp []byte) ([]byte, error) {
 			continue
 		}
 		if n < 0 || n > len(comp) {
-			return nil, fmt.Errorf("lz4-legacy: block length %d exceeds input", n)
+			return nil, compress.Errorf(compress.ErrTruncated, "lz4-legacy: block length %d exceeds input", n)
 		}
-		block, err := decompressBlockLZ4(comp[:n], legacyBlockSize)
+		blockCap := legacyBlockSize
+		if rem := maxOut - int64(len(out)); rem < int64(blockCap) {
+			blockCap = int(rem)
+		}
+		block, err := decompressBlockLZ4(comp[:n], blockCap)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +131,10 @@ func decompressBlockLZ4(block []byte, maxOut int) ([]byte, error) {
 			}
 		}
 		if i+nLit > len(block) {
-			return nil, fmt.Errorf("lz4-legacy: literal overrun")
+			return nil, compress.Errorf(compress.ErrTruncated, "lz4-legacy: literal overrun")
+		}
+		if len(out)+nLit > maxOut {
+			return nil, compress.Errorf(compress.ErrLimitExceeded, "lz4-legacy: block exceeds %d bytes", maxOut)
 		}
 		out = append(out, block[i:i+nLit]...)
 		i += nLit
@@ -124,13 +142,10 @@ func decompressBlockLZ4(block []byte, maxOut int) ([]byte, error) {
 			break // final literal-only sequence
 		}
 		if i+2 > len(block) {
-			return nil, fmt.Errorf("lz4-legacy: missing offset")
+			return nil, compress.Errorf(compress.ErrTruncated, "lz4-legacy: missing offset")
 		}
 		dist := int(binary.LittleEndian.Uint16(block[i:]))
 		i += 2
-		if dist == 0 || dist > len(out) {
-			return nil, fmt.Errorf("lz4-legacy: bad offset %d", dist)
-		}
 		mlen := int(token&0xF) + minMatch
 		if token&0xF == tokenEscape {
 			var ext int
@@ -140,12 +155,9 @@ func decompressBlockLZ4(block []byte, maxOut int) ([]byte, error) {
 			}
 			mlen += ext
 		}
-		if len(out)+mlen > maxOut {
-			return nil, fmt.Errorf("lz4-legacy: block exceeds %d bytes", maxOut)
-		}
-		start := len(out) - dist
-		for j := 0; j < mlen; j++ {
-			out = append(out, out[start+j])
+		out, err = lz77.AppendMatch(out, dist, mlen, maxOut)
+		if err != nil {
+			return nil, fmt.Errorf("lz4-legacy: %w", err)
 		}
 	}
 	return out, nil
@@ -154,7 +166,7 @@ func decompressBlockLZ4(block []byte, maxOut int) ([]byte, error) {
 func uvarintLen(p []byte) (uint64, int, error) {
 	v, n := binary.Uvarint(p)
 	if n <= 0 {
-		return 0, 0, fmt.Errorf("lz4-legacy: bad length prefix")
+		return 0, 0, compress.Errorf(compress.ErrCorrupt, "lz4-legacy: bad length prefix")
 	}
 	return v, n, nil
 }
@@ -168,3 +180,4 @@ func min(a, b int) int {
 
 var _ compress.Codec = (*LegacyCodec)(nil)
 var _ compress.Describer = (*LegacyCodec)(nil)
+var _ compress.Limited = (*LegacyCodec)(nil)

@@ -106,11 +106,20 @@ func appendLenExt(out []byte, v int) []byte {
 	return append(out, byte(v))
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec with default decode limits.
 func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	return c.DecompressLimits(comp, compress.DecodeLimits{})
+}
+
+// DecompressLimits implements compress.Limited: the declared size is checked
+// against lim before any allocation, and every match copy is bounded.
+func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
 	size, n, err := bitio.Uvarint(comp)
 	if err != nil {
 		return nil, fmt.Errorf("lz4: %w", err)
+	}
+	if err := lim.CheckDeclared(size, len(comp)); err != nil {
+		return nil, err
 	}
 	comp = comp[n:]
 	// Cap the initial allocation: size is attacker-controlled input.
@@ -122,7 +131,7 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 	i := 0
 	for uint64(len(out)) < size {
 		if i >= len(comp) {
-			return nil, fmt.Errorf("lz4: truncated stream")
+			return nil, compress.Errorf(compress.ErrTruncated, "lz4: truncated stream")
 		}
 		token := comp[i]
 		i++
@@ -134,7 +143,10 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 			}
 		}
 		if i+nLit > len(comp) {
-			return nil, fmt.Errorf("lz4: literal overrun")
+			return nil, compress.Errorf(compress.ErrTruncated, "lz4: literal overrun")
+		}
+		if uint64(len(out)+nLit) > size {
+			return nil, compress.Errorf(compress.ErrCorrupt, "lz4: literals overrun declared size")
 		}
 		out = append(out, comp[i:i+nLit]...)
 		i += nLit
@@ -142,13 +154,10 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 			break // final sequence has no match part
 		}
 		if i+2 > len(comp) {
-			return nil, fmt.Errorf("lz4: missing offset")
+			return nil, compress.Errorf(compress.ErrTruncated, "lz4: missing offset")
 		}
 		dist := int(binary.LittleEndian.Uint16(comp[i:]))
 		i += 2
-		if dist == 0 || dist > len(out) {
-			return nil, fmt.Errorf("lz4: bad offset %d at output %d", dist, len(out))
-		}
 		mlen := int(token&0xF) + minMatch
 		if token&0xF == tokenEscape {
 			var ext int
@@ -159,16 +168,16 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 			mlen += ext
 		}
 		if uint64(len(out)+mlen) > size {
-			return nil, fmt.Errorf("lz4: match overruns declared size")
+			return nil, compress.Errorf(compress.ErrCorrupt, "lz4: match overruns declared size")
 		}
-		// Byte-by-byte copy: overlapping matches are the RLE mechanism.
-		start := len(out) - dist
-		for j := 0; j < mlen; j++ {
-			out = append(out, out[start+j])
+		// Overlapping matches are the RLE mechanism; AppendMatch handles them.
+		out, err = lz77.AppendMatch(out, dist, mlen, int(size))
+		if err != nil {
+			return nil, fmt.Errorf("lz4: %w", err)
 		}
 	}
 	if uint64(len(out)) != size {
-		return nil, fmt.Errorf("lz4: size mismatch: got %d want %d", len(out), size)
+		return nil, compress.Errorf(compress.ErrCorrupt, "lz4: size mismatch: got %d want %d", len(out), size)
 	}
 	return out, nil
 }
@@ -177,7 +186,7 @@ func readLenExt(comp []byte, i, base int) (int, int, error) {
 	v := base
 	for {
 		if i >= len(comp) {
-			return 0, i, fmt.Errorf("lz4: truncated length")
+			return 0, i, compress.Errorf(compress.ErrTruncated, "lz4: truncated length")
 		}
 		b := comp[i]
 		i++
@@ -186,10 +195,11 @@ func readLenExt(comp []byte, i, base int) (int, int, error) {
 			return v, i, nil
 		}
 		if v > 1<<31 {
-			return 0, i, fmt.Errorf("lz4: length overflow")
+			return 0, i, compress.Errorf(compress.ErrCorrupt, "lz4: length overflow")
 		}
 	}
 }
 
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
+var _ compress.Limited = (*Codec)(nil)

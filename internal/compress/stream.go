@@ -92,15 +92,23 @@ func (w *Writer) Close() error {
 type Reader struct {
 	codec Codec
 	src   *bufio.Reader
+	lim   DecodeLimits
 	buf   []byte
 	done  bool
 	err   error
 }
 
-// NewReader returns a streaming decompressor over src. The codec must
-// match the one used for writing.
+// NewReader returns a streaming decompressor over src with default decode
+// limits. The codec must match the one used for writing.
 func NewReader(codec Codec, src io.Reader) *Reader {
-	return &Reader{codec: codec, src: bufio.NewReader(src)}
+	return NewReaderLimits(codec, src, DecodeLimits{})
+}
+
+// NewReaderLimits returns a streaming decompressor that enforces lim on
+// every chunk: a tampered chunk-length prefix cannot trigger an allocation
+// past the limits, and each chunk decompresses under them.
+func NewReaderLimits(codec Codec, src io.Reader, lim DecodeLimits) *Reader {
+	return &Reader{codec: codec, src: bufio.NewReader(src), lim: lim}
 }
 
 // Read implements io.Reader.
@@ -127,7 +135,7 @@ func (r *Reader) nextChunk() error {
 	length, err := binary.ReadUvarint(r.src)
 	if err != nil {
 		if err == io.EOF {
-			return fmt.Errorf("compress: missing stream terminator: %w", io.ErrUnexpectedEOF)
+			return Errorf(ErrTruncated, "compress: missing stream terminator")
 		}
 		return err
 	}
@@ -135,14 +143,27 @@ func (r *Reader) nextChunk() error {
 		r.done = true
 		return nil
 	}
-	comp := make([]byte, length-1)
-	if _, err := io.ReadFull(r.src, comp); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
+	compLen := length - 1
+	// A compressed chunk cannot usefully exceed the output cap by more than
+	// the worst-case incompressible overhead; a tampered prefix past that is
+	// rejected before any proportional allocation.
+	maxOut := r.lim.MaxOutputBytes
+	if maxOut <= 0 {
+		maxOut = DefaultMaxOutputBytes
+	}
+	if compLen > uint64(maxOut)+uint64(expansionSlack) {
+		return Errorf(ErrLimitExceeded, "compress: chunk declares %d compressed bytes, limit %d", compLen, maxOut)
+	}
+	// ReadAll over a LimitReader grows with the data actually present, so a
+	// large declared length on a short stream costs nothing.
+	comp, err := io.ReadAll(io.LimitReader(r.src, int64(compLen)))
+	if err != nil {
 		return fmt.Errorf("compress: chunk body: %w", err)
 	}
-	out, err := r.codec.Decompress(comp)
+	if uint64(len(comp)) < compLen {
+		return Errorf(ErrTruncated, "compress: chunk body: %d of %d bytes", len(comp), compLen)
+	}
+	out, err := DecompressLimits(r.codec, comp, r.lim)
 	if err != nil {
 		return err
 	}

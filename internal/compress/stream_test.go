@@ -2,6 +2,8 @@ package compress
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -125,5 +127,62 @@ func TestStreamSmallReads(t *testing.T) {
 	// Reads after EOF keep returning EOF.
 	if _, err := r.Read(one); err != io.EOF {
 		t.Fatalf("post-EOF read: %v", err)
+	}
+}
+
+// failing decompresses nothing: every chunk decode fails.
+type failing struct{ passthrough }
+
+func (failing) Decompress(comp []byte) ([]byte, error) {
+	return nil, Errorf(ErrCorrupt, "failing: always")
+}
+
+func TestStreamDecompressFailure(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(passthrough{}, &sink, 16)
+	w.Write([]byte("payload that will not decode"))
+	w.Close()
+	r := NewReader(failing{}, &sink)
+	_, err := io.ReadAll(r)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("decode failure surfaced as %v, want ErrCorrupt", err)
+	}
+	// The error is sticky across subsequent reads.
+	if _, err2 := r.Read(make([]byte, 1)); err2 != err {
+		t.Fatalf("second read: %v, want the original error", err2)
+	}
+}
+
+func TestStreamMismatchedLength(t *testing.T) {
+	// A chunk whose uvarint prefix declares more bytes than the stream
+	// holds must surface ErrTruncated, not hang or misdecode.
+	var sink bytes.Buffer
+	w := NewWriter(passthrough{}, &sink, 16)
+	w.Write([]byte("0123456789abcdef0123"))
+	w.Close()
+	full := sink.Bytes()
+	mut := append([]byte(nil), full...)
+	mut[0] += 40 // inflate the first chunk's declared length
+	if _, err := io.ReadAll(NewReader(passthrough{}, bytes.NewReader(mut))); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("inflated chunk length: %v, want ErrTruncated", err)
+	}
+	// Deflating the prefix leaves trailing bytes that misparse; any error is
+	// acceptable, silence is not.
+	mut = append([]byte(nil), full...)
+	mut[0] -= 5
+	if back, err := io.ReadAll(NewReader(passthrough{}, bytes.NewReader(mut))); err == nil {
+		t.Fatalf("deflated chunk length silently decoded %d bytes", len(back))
+	}
+}
+
+func TestStreamChunkLengthBomb(t *testing.T) {
+	// A forged 1 EiB chunk-length prefix must trip the limit check before
+	// any allocation proportional to it.
+	var stream []byte
+	stream = binary.AppendUvarint(stream, 1<<60)
+	stream = append(stream, 0xA5, 1, 2, 3)
+	r := NewReaderLimits(passthrough{}, bytes.NewReader(stream), DecodeLimits{MaxOutputBytes: 1 << 20})
+	if _, err := io.ReadAll(r); !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("chunk bomb: %v, want ErrLimitExceeded", err)
 	}
 }

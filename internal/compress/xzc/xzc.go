@@ -640,11 +640,20 @@ func (o *optEncoder) parseChunk() {
 	}
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec with default decode limits.
 func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	return c.DecompressLimits(comp, compress.DecodeLimits{})
+}
+
+// DecompressLimits implements compress.Limited: the declared output size is
+// validated against lim before the output buffer grows.
+func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
 	size, n, err := bitio.Uvarint(comp)
 	if err != nil {
 		return nil, fmt.Errorf("xz: %w", err)
+	}
+	if err := lim.CheckDeclared(size, len(comp)); err != nil {
+		return nil, err
 	}
 	if size == 0 {
 		return []byte{}, nil
@@ -689,15 +698,12 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 			dist = decodeDistance(d, m, lenToCtx(length))
 			reps[3], reps[2], reps[1], reps[0] = reps[2], reps[1], reps[0], dist
 		}
-		if dist <= 0 || dist > len(out) {
-			return nil, fmt.Errorf("xz: bad distance %d at output %d", dist, len(out))
-		}
 		if uint64(len(out)+length) > size {
-			return nil, fmt.Errorf("xz: match overruns output")
+			return nil, compress.Errorf(compress.ErrCorrupt, "xz: match overruns output")
 		}
-		start := len(out) - dist
-		for j := 0; j < length; j++ {
-			out = append(out, out[start+j])
+		out, err = lz77.AppendMatch(out, dist, length, int(size))
+		if err != nil {
+			return nil, fmt.Errorf("xz: %w", err)
 		}
 		prevMatch = 1
 	}
@@ -709,3 +715,4 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
+var _ compress.Limited = (*Codec)(nil)

@@ -169,8 +169,15 @@ func (c *Codec) Compress(src []byte) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec with default decode limits.
 func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	return c.DecompressLimits(comp, compress.DecodeLimits{})
+}
+
+// DecompressLimits implements compress.Limited: the declared output size is
+// validated against lim before literals or sequences are materialized.
+func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
+	inputLen := len(comp)
 	var hdr [4]uint64
 	for i := range hdr {
 		v, n, err := bitio.Uvarint(comp)
@@ -181,8 +188,11 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 		comp = comp[n:]
 	}
 	origSize, nSeq, nLits, lastLits := hdr[0], hdr[1], hdr[2], hdr[3]
+	if err := lim.CheckDeclared(origSize, inputLen); err != nil {
+		return nil, err
+	}
 	if nLits > origSize || lastLits > nLits {
-		return nil, fmt.Errorf("zstd: inconsistent header")
+		return nil, compress.Errorf(compress.ErrCorrupt, "zstd: inconsistent header")
 	}
 	r := bitio.NewReader(comp)
 	var decs [4]*huffman.Decoder
@@ -199,7 +209,7 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 	}
 	litDec, llDec, mlDec, ofDec := decs[0], decs[1], decs[2], decs[3]
 	if nLits > uint64(r.Remaining()) {
-		return nil, fmt.Errorf("zstd: literal count %d exceeds input bits", nLits)
+		return nil, compress.Errorf(compress.ErrTruncated, "zstd: literal count %d exceeds input bits", nLits)
 	}
 	lits := make([]byte, nLits)
 	for i := range lits {
@@ -215,7 +225,7 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 			return 0, err
 		}
 		if code >= numValCodes {
-			return 0, fmt.Errorf("zstd: bad value code %d", code)
+			return 0, compress.Errorf(compress.ErrCorrupt, "zstd: bad value code %d", code)
 		}
 		extra, err := r.ReadBits(uint(code))
 		if err != nil {
@@ -246,30 +256,28 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 		ml += minMatch
 		of++
 		if litPos+ll > len(lits) {
-			return nil, fmt.Errorf("zstd: literal overrun")
+			return nil, compress.Errorf(compress.ErrCorrupt, "zstd: literal overrun")
 		}
 		out = append(out, lits[litPos:litPos+ll]...)
 		litPos += ll
-		if of > len(out) {
-			return nil, fmt.Errorf("zstd: offset %d beyond output %d", of, len(out))
-		}
 		if uint64(len(out)+ml) > origSize {
-			return nil, fmt.Errorf("zstd: match overruns output")
+			return nil, compress.Errorf(compress.ErrCorrupt, "zstd: match overruns output")
 		}
-		start := len(out) - of
-		for j := 0; j < ml; j++ {
-			out = append(out, out[start+j])
+		out, err = lz77.AppendMatch(out, of, ml, int(origSize))
+		if err != nil {
+			return nil, fmt.Errorf("zstd: %w", err)
 		}
 	}
 	if litPos+int(lastLits) != len(lits) {
-		return nil, fmt.Errorf("zstd: trailing literal accounting mismatch")
+		return nil, compress.Errorf(compress.ErrCorrupt, "zstd: trailing literal accounting mismatch")
 	}
 	out = append(out, lits[litPos:]...)
 	if uint64(len(out)) != origSize {
-		return nil, fmt.Errorf("zstd: size mismatch: got %d want %d", len(out), origSize)
+		return nil, compress.Errorf(compress.ErrCorrupt, "zstd: size mismatch: got %d want %d", len(out), origSize)
 	}
 	return out, nil
 }
 
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
+var _ compress.Limited = (*Codec)(nil)

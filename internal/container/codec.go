@@ -1,0 +1,89 @@
+package container
+
+import (
+	"positbench/internal/compress"
+)
+
+// Codec wraps an inner compress.Codec so every compressed blob travels in a
+// verified frame: Compress appends the envelope, Decompress validates
+// magic, version, codec identity, declared length (against DecodeLimits),
+// and both checksums before returning data. Any panic escaping the inner
+// decoder is converted to ErrCorrupt, so a framed codec never takes down
+// its caller on hostile input.
+type Codec struct {
+	inner compress.Codec
+	lim   compress.DecodeLimits
+}
+
+// Wrap frames c with default decode limits. If c is already framed it is
+// returned unchanged.
+func Wrap(c compress.Codec) *Codec { return WrapLimits(c, compress.DecodeLimits{}) }
+
+// WrapLimits frames c with explicit decode limits.
+func WrapLimits(c compress.Codec, lim compress.DecodeLimits) *Codec {
+	if fc, ok := c.(*Codec); ok {
+		return &Codec{inner: fc.inner, lim: lim}
+	}
+	return &Codec{inner: c, lim: lim}
+}
+
+// Unwrap returns the inner, unframed codec.
+func (c *Codec) Unwrap() compress.Codec { return c.inner }
+
+// Name implements compress.Codec; the frame is transparent in result tables.
+func (c *Codec) Name() string { return c.inner.Name() }
+
+// Info implements compress.Describer when the inner codec does.
+func (c *Codec) Info() compress.Info {
+	if d, ok := c.inner.(compress.Describer); ok {
+		return d.Info()
+	}
+	return compress.Info{Name: c.inner.Name()}
+}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(src []byte) ([]byte, error) {
+	payload, err := c.inner.Compress(src)
+	if err != nil {
+		return nil, err
+	}
+	return Encode(c.inner.Name(), src, payload)
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	return c.DecompressLimits(comp, c.lim)
+}
+
+// DecompressLimits implements compress.Limited.
+func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) (out []byte, err error) {
+	h, payload, err := Decode(comp)
+	if err != nil {
+		return nil, err
+	}
+	if h.Codec != c.inner.Name() {
+		return nil, compress.Errorf(compress.ErrCorrupt, "container: frame for codec %q, decoder is %q", h.Codec, c.inner.Name())
+	}
+	if err := lim.CheckDeclared(h.OrigLen, len(comp)); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, compress.Errorf(compress.ErrCorrupt, "container: %s decoder panic: %v", h.Codec, p)
+		}
+	}()
+	out, err = compress.DecompressLimits(c.inner, payload, lim)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyOutput(h, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var (
+	_ compress.Codec     = (*Codec)(nil)
+	_ compress.Describer = (*Codec)(nil)
+	_ compress.Limited   = (*Codec)(nil)
+)

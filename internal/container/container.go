@@ -1,0 +1,157 @@
+// Package container defines the framed envelope every compressed blob
+// travels in: magic bytes, a format version, the codec identifier, the
+// declared original length, and CRC-32C checksums of both the compressed
+// payload and the decompressed output. The frame is what lets the serving
+// path distinguish "wrong codec" from "bit rot" from "truncated upload" and
+// reject all three with a typed error before committing resources.
+//
+// Layout (all integers little-endian; varints are unsigned LEB128):
+//
+//	offset 0   magic "PBCF" (4 bytes)
+//	offset 4   version (1 byte, currently 1)
+//	offset 5   codec-name length m (1 byte, 1..MaxCodecName)
+//	offset 6   codec name (m bytes, e.g. "xz")
+//	...        uvarint original (decompressed) length
+//	...        uvarint payload (compressed) length
+//	...        CRC-32C of the payload (4 bytes)
+//	...        CRC-32C of the original data (4 bytes)
+//	...        payload
+//
+// Wrap turns any compress.Codec into one that emits and verifies this
+// envelope end-to-end.
+package container
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"positbench/internal/compress"
+)
+
+// Version is the current frame format version.
+const Version = 1
+
+// MaxCodecName bounds the codec-identifier field.
+const MaxCodecName = 32
+
+// Magic identifies a positbench container frame.
+var Magic = [4]byte{'P', 'B', 'C', 'F'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum is the frame's CRC-32C.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, crcTable) }
+
+// Header is the parsed frame metadata.
+type Header struct {
+	Codec      string // codec name the payload was compressed with
+	OrigLen    uint64 // declared decompressed length
+	PayloadCRC uint32 // CRC-32C of the compressed payload
+	OrigCRC    uint32 // CRC-32C of the decompressed output
+}
+
+// Encode frames payload, recording orig's length and checksum so Decode +
+// VerifyOutput can prove end-to-end integrity.
+func Encode(codecName string, orig, payload []byte) ([]byte, error) {
+	if codecName == "" || len(codecName) > MaxCodecName {
+		return nil, compress.Errorf(compress.ErrCorrupt, "container: codec name %q out of range", codecName)
+	}
+	out := make([]byte, 0, len(payload)+len(codecName)+32)
+	out = append(out, Magic[:]...)
+	out = append(out, Version)
+	out = append(out, byte(len(codecName)))
+	out = append(out, codecName...)
+	out = binary.AppendUvarint(out, uint64(len(orig)))
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, Checksum(payload))
+	out = binary.LittleEndian.AppendUint32(out, Checksum(orig))
+	return append(out, payload...), nil
+}
+
+// Decode parses and validates a frame, returning the header and the payload
+// (aliasing frame). It verifies the magic, version, structural lengths, and
+// the payload checksum; the output-side checks happen in VerifyOutput once
+// the payload has been decompressed.
+func Decode(frame []byte) (Header, []byte, error) {
+	var h Header
+	for i := 0; i < len(Magic); i++ {
+		if i >= len(frame) {
+			return h, nil, compress.Errorf(compress.ErrTruncated, "container: %d-byte frame shorter than magic", len(frame))
+		}
+		if frame[i] != Magic[i] {
+			return h, nil, compress.Errorf(compress.ErrBadMagic, "container: magic %q", frame[:i+1])
+		}
+	}
+	rest := frame[len(Magic):]
+	if len(rest) < 2 {
+		return h, nil, compress.Errorf(compress.ErrTruncated, "container: missing version/name header")
+	}
+	if rest[0] != Version {
+		return h, nil, compress.Errorf(compress.ErrVersion, "container: version %d (supported: %d)", rest[0], Version)
+	}
+	nameLen := int(rest[1])
+	rest = rest[2:]
+	if nameLen < 1 || nameLen > MaxCodecName {
+		return h, nil, compress.Errorf(compress.ErrCorrupt, "container: codec name length %d", nameLen)
+	}
+	if len(rest) < nameLen {
+		return h, nil, compress.Errorf(compress.ErrTruncated, "container: truncated codec name")
+	}
+	h.Codec = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	var used int
+	if h.OrigLen, used = binary.Uvarint(rest); used <= 0 {
+		return h, nil, uvarintErr("original length", used)
+	}
+	rest = rest[used:]
+	var payloadLen uint64
+	if payloadLen, used = binary.Uvarint(rest); used <= 0 {
+		return h, nil, uvarintErr("payload length", used)
+	}
+	rest = rest[used:]
+	if len(rest) < 8 {
+		return h, nil, compress.Errorf(compress.ErrTruncated, "container: truncated checksums")
+	}
+	h.PayloadCRC = binary.LittleEndian.Uint32(rest)
+	h.OrigCRC = binary.LittleEndian.Uint32(rest[4:])
+	rest = rest[8:]
+	if payloadLen > uint64(len(rest)) {
+		return h, nil, compress.Errorf(compress.ErrTruncated, "container: payload %d bytes declared, %d present", payloadLen, len(rest))
+	}
+	if payloadLen < uint64(len(rest)) {
+		return h, nil, compress.Errorf(compress.ErrCorrupt, "container: %d trailing bytes after payload", uint64(len(rest))-payloadLen)
+	}
+	if got := Checksum(rest); got != h.PayloadCRC {
+		return h, nil, compress.Errorf(compress.ErrCorrupt, "container: payload checksum %08x, want %08x", got, h.PayloadCRC)
+	}
+	return h, rest, nil
+}
+
+func uvarintErr(field string, n int) error {
+	if n == 0 {
+		return compress.Errorf(compress.ErrTruncated, "container: truncated %s", field)
+	}
+	return compress.Errorf(compress.ErrCorrupt, "container: overlong %s varint", field)
+}
+
+// VerifyOutput checks the decompressed output against the header's declared
+// length and checksum, completing the end-to-end integrity proof.
+func VerifyOutput(h Header, out []byte) error {
+	if uint64(len(out)) != h.OrigLen {
+		return compress.Errorf(compress.ErrCorrupt, "container: decoded %d bytes, frame declares %d", len(out), h.OrigLen)
+	}
+	if got := Checksum(out); got != h.OrigCRC {
+		return compress.Errorf(compress.ErrCorrupt, "container: output checksum %08x, want %08x", got, h.OrigCRC)
+	}
+	return nil
+}
+
+// Identify returns the codec name of a frame without validating the
+// payload; cmd tools use it to route a file to the right decoder.
+func Identify(frame []byte) (string, error) {
+	h, _, err := Decode(frame)
+	if err != nil && h.Codec == "" {
+		return "", err
+	}
+	return h.Codec, nil
+}

@@ -1,0 +1,158 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"positbench/internal/compress"
+)
+
+// stub is a trivial codec: payload = 0xEE marker + src.
+type stub struct{}
+
+func (stub) Name() string { return "stub" }
+func (stub) Compress(src []byte) ([]byte, error) {
+	return append([]byte{0xEE}, src...), nil
+}
+func (stub) Decompress(comp []byte) ([]byte, error) {
+	if len(comp) < 1 || comp[0] != 0xEE {
+		return nil, compress.Errorf(compress.ErrCorrupt, "stub: bad marker")
+	}
+	return append([]byte(nil), comp[1:]...), nil
+}
+
+// panicky always panics on decode; the frame wrapper must contain it.
+type panicky struct{ stub }
+
+func (panicky) Decompress([]byte) ([]byte, error) { panic("panicky: boom") }
+
+func TestFrameRoundtrip(t *testing.T) {
+	c := Wrap(stub{})
+	for _, src := range [][]byte{nil, {0}, []byte("hello container"), bytes.Repeat([]byte{7}, 10000)} {
+		frame, err := c.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(frame, Magic[:]) {
+			t.Fatalf("frame missing magic: % x", frame[:8])
+		}
+		back, err := c.Decompress(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("roundtrip mismatch: %d in, %d out", len(src), len(back))
+		}
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	frame, err := Wrap(stub{}).Compress([]byte("the payload under test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"Empty", func(f []byte) []byte { return nil }, compress.ErrTruncated},
+		{"MagicPrefix", func(f []byte) []byte { return f[:3] }, compress.ErrTruncated},
+		{"WrongMagic", func(f []byte) []byte { f[0] ^= 0xFF; return f }, compress.ErrBadMagic},
+		{"Version", func(f []byte) []byte { f[4] = 99; return f }, compress.ErrVersion},
+		{"NameLenZero", func(f []byte) []byte { f[5] = 0; return f }, compress.ErrCorrupt},
+		{"TruncatedHeader", func(f []byte) []byte { return f[:7] }, compress.ErrTruncated},
+		{"TruncatedPayload", func(f []byte) []byte { return f[:len(f)-5] }, compress.ErrTruncated},
+		{"TrailingGarbage", func(f []byte) []byte { return append(f, 0xAB) }, compress.ErrCorrupt},
+		{"PayloadFlip", func(f []byte) []byte { f[len(f)-1] ^= 1; return f }, compress.ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.mutate(append([]byte(nil), frame...))
+			_, _, err := Decode(buf)
+			if err == nil {
+				t.Fatal("corrupt frame accepted")
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err %v, want %v", err, tc.wantErr)
+			}
+			if !errors.Is(err, compress.ErrCorrupt) {
+				t.Fatalf("err %v should refine ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestWrongCodecName(t *testing.T) {
+	frame, err := Wrap(stub{}).Compress([]byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := Identify(frame)
+	if err != nil || name != "stub" {
+		t.Fatalf("Identify: %q, %v", name, err)
+	}
+	// A frame for codec "stub" handed to a differently-named decoder.
+	other := Wrap(passthroughNamed{"other"})
+	if _, err := other.Decompress(frame); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("cross-codec decode: %v", err)
+	}
+}
+
+type passthroughNamed struct{ name string }
+
+func (p passthroughNamed) Name() string                          { return p.name }
+func (p passthroughNamed) Compress(src []byte) ([]byte, error)   { return src, nil }
+func (p passthroughNamed) Decompress(comp []byte) ([]byte, error) { return comp, nil }
+
+func TestDeclaredLengthLimit(t *testing.T) {
+	// A frame whose declared original length is far beyond the limit must
+	// trip ErrLimitExceeded before the inner decoder runs.
+	huge := make([]byte, 1<<16)
+	frame, err := Encode("stub", huge, append([]byte{0xEE}, huge...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := WrapLimits(stub{}, compress.DecodeLimits{MaxOutputBytes: 4096})
+	if _, err := c.Decompress(frame); !errors.Is(err, compress.ErrLimitExceeded) {
+		t.Fatalf("want ErrLimitExceeded, got %v", err)
+	}
+	// The same frame decodes under default limits.
+	if out, err := Wrap(stub{}).Decompress(frame); err != nil || len(out) != len(huge) {
+		t.Fatalf("default limits: %d bytes, %v", len(out), err)
+	}
+}
+
+func TestOutputVerification(t *testing.T) {
+	// A payload that decodes fine but to the wrong bytes must be caught by
+	// the output checksum. Craft a frame whose orig metadata disagrees with
+	// the payload's true content.
+	frame, err := Encode("stub", []byte("expected content"), append([]byte{0xEE}, []byte("actual content")...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Wrap(stub{}).Decompress(frame); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestPanicContainment(t *testing.T) {
+	frame, err := Wrap(panicky{}).Compress([]byte("boom fodder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Wrap(panicky{}).Decompress(frame)
+	if out != nil || !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("panic not contained: %v", err)
+	}
+}
+
+func TestWrapIdempotent(t *testing.T) {
+	inner := stub{}
+	w := Wrap(inner)
+	ww := Wrap(w)
+	if ww.Unwrap() != compress.Codec(inner) {
+		t.Fatal("double Wrap nested frames")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"positbench/internal/bitio"
+	"positbench/internal/compress"
 )
 
 // MaxBits is the default code-length limit.
@@ -159,7 +160,7 @@ func canonicalCodes(lengths []uint8) ([]uint32, error) {
 		}
 	}
 	if kraft > 1<<uint(maxLen) {
-		return nil, fmt.Errorf("huffman: over-subscribed length table")
+		return nil, compress.Errorf(compress.ErrCorrupt, "huffman: over-subscribed length table")
 	}
 	codes := make([]uint32, len(lengths))
 	for sym, l := range lengths {
@@ -267,7 +268,7 @@ func (d *Decoder) Decode(r *bitio.Reader) (int, error) {
 			return d.syms[d.firstSym[l]+int(code-d.firstCode[l])], nil
 		}
 	}
-	return 0, fmt.Errorf("huffman: invalid code")
+	return 0, compress.Errorf(compress.ErrCorrupt, "huffman: invalid code")
 }
 
 // WriteLengths serializes a length table compactly: 4 bits per nonzero
@@ -314,7 +315,7 @@ func ReadLengths(r *bitio.Reader, n int) ([]uint8, error) {
 		}
 		i += int(run) + 1
 		if i > n {
-			return nil, fmt.Errorf("huffman: zero run overflows alphabet")
+			return nil, compress.Errorf(compress.ErrCorrupt, "huffman: zero run overflows alphabet")
 		}
 	}
 	return lengths, nil

@@ -5,9 +5,34 @@ import (
 	"math/bits"
 
 	"positbench/internal/bitio"
+	"positbench/internal/compress"
 	"positbench/internal/huffman"
 	"positbench/internal/mtf"
 )
+
+// LimitedInverter is implemented by components whose Inverse can allocate
+// output much larger than its input (the word counts in RZE/RARE/RAZE/HUF
+// headers and RLE runs are attacker-controlled). InverseLimit must return
+// compress.ErrLimitExceeded before materializing output beyond maxOut bytes;
+// maxOut <= 0 means unbounded.
+type LimitedInverter interface {
+	InverseLimit(src []byte, maxOut int) ([]byte, error)
+}
+
+// checkDeclaredWords validates output sizes declared in a stage header
+// (nWords words of four bytes plus tailLen ragged bytes) against the stage's
+// output cap. Counts beyond 2^56 are rejected outright so the size math
+// cannot overflow.
+func checkDeclaredWords(stage string, nWords, tailLen uint64, maxOut int) error {
+	const absurd = uint64(1) << 56
+	if nWords > absurd || tailLen > absurd {
+		return compress.Errorf(compress.ErrCorrupt, "lc/%s: absurd declared size (%d words, %d tail)", stage, nWords, tailLen)
+	}
+	if maxOut > 0 && nWords*4+tailLen > uint64(maxOut) {
+		return compress.Errorf(compress.ErrLimitExceeded, "lc/%s: declared output %d exceeds cap %d", stage, nWords*4+tailLen, maxOut)
+	}
+	return nil
+}
 
 // Coder components: size-reducing stages. RZE/RARE/RAZE implement the
 // zero/repeat suppression schemes the paper describes, including the
@@ -46,13 +71,13 @@ func encodeBitmapBody(b []byte) []byte {
 // encoded bytes consumed.
 func decodeBitmapBody(src []byte, n int) ([]byte, int, error) {
 	if len(src) < 1 {
-		return nil, 0, fmt.Errorf("lc: truncated bitmap")
+		return nil, 0, compress.Errorf(compress.ErrTruncated, "lc: truncated bitmap")
 	}
 	flag := src[0]
 	switch flag {
 	case 0:
 		if len(src) < 1+n {
-			return nil, 0, fmt.Errorf("lc: truncated stored bitmap")
+			return nil, 0, compress.Errorf(compress.ErrTruncated, "lc: truncated stored bitmap")
 		}
 		return src[1 : 1+n], 1 + n, nil
 	case 1:
@@ -66,7 +91,7 @@ func decodeBitmapBody(src []byte, n int) ([]byte, int, error) {
 		for i := 0; i < n; i++ {
 			if sub[i/8]>>(7-i%8)&1 == 1 {
 				if pos >= len(src) {
-					return nil, 0, fmt.Errorf("lc: truncated bitmap payload")
+					return nil, 0, compress.Errorf(compress.ErrTruncated, "lc: truncated bitmap payload")
 				}
 				out[i] = src[pos]
 				pos++
@@ -74,7 +99,7 @@ func decodeBitmapBody(src []byte, n int) ([]byte, int, error) {
 		}
 		return out, pos, nil
 	default:
-		return nil, 0, fmt.Errorf("lc: bad bitmap flag %d", flag)
+		return nil, 0, compress.Errorf(compress.ErrCorrupt, "lc: bad bitmap flag %d", flag)
 	}
 }
 
@@ -99,6 +124,10 @@ func (rle) Name() string { return "RLE" }
 
 func (rle) Forward(src []byte) ([]byte, error) { return mtf.RLE1(src), nil }
 func (rle) Inverse(src []byte) ([]byte, error) { return mtf.UnRLE1(src) }
+
+func (rle) InverseLimit(src []byte, maxOut int) ([]byte, error) {
+	return mtf.UnRLE1Limit(src, maxOut)
+}
 
 // --- RZE ---------------------------------------------------------------------
 
@@ -126,7 +155,9 @@ func (rze) Forward(src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func (rze) Inverse(src []byte) ([]byte, error) {
+func (rze) Inverse(src []byte) ([]byte, error) { return rze{}.InverseLimit(src, 0) }
+
+func (rze) InverseLimit(src []byte, maxOut int) ([]byte, error) {
 	n64, k, err := bitio.Uvarint(src)
 	if err != nil {
 		return nil, fmt.Errorf("lc/RZE: %w", err)
@@ -137,6 +168,12 @@ func (rze) Inverse(src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("lc/RZE: %w", err)
 	}
 	src = src[k:]
+	// An all-zero occupancy bitmap compresses recursively to a few bytes, so
+	// a tiny input can declare an enormous word count; bound it before the
+	// bitmap (and the word slice) are allocated.
+	if err := checkDeclaredWords("RZE", n64, tailLen, maxOut); err != nil {
+		return nil, err
+	}
 	n := int(n64)
 	bm, used, err := decodeBitmapBody(src, (n+7)/8)
 	if err != nil {
@@ -148,14 +185,14 @@ func (rze) Inverse(src []byte) ([]byte, error) {
 	for i := 0; i < n; i++ {
 		if bm[i/8]>>(7-i%8)&1 == 1 {
 			if pos+4 > len(src) {
-				return nil, fmt.Errorf("lc/RZE: truncated words")
+				return nil, compress.Errorf(compress.ErrTruncated, "lc/RZE: truncated words")
 			}
 			words[i] = uint32(src[pos]) | uint32(src[pos+1])<<8 | uint32(src[pos+2])<<16 | uint32(src[pos+3])<<24
 			pos += 4
 		}
 	}
 	if len(src)-pos != int(tailLen) {
-		return nil, fmt.Errorf("lc/RZE: tail mismatch")
+		return nil, compress.Errorf(compress.ErrCorrupt, "lc/RZE: tail mismatch")
 	}
 	return joinWords(words, src[pos:]), nil
 }
@@ -224,7 +261,9 @@ func (t topCoder) Forward(src []byte) ([]byte, error) {
 	return append(out, tail...), nil
 }
 
-func (t topCoder) Inverse(src []byte) ([]byte, error) {
+func (t topCoder) Inverse(src []byte) ([]byte, error) { return t.InverseLimit(src, 0) }
+
+func (t topCoder) InverseLimit(src []byte, maxOut int) ([]byte, error) {
 	n64, used, err := bitio.Uvarint(src)
 	if err != nil {
 		return nil, fmt.Errorf("lc/%s: %w", t.name, err)
@@ -236,12 +275,15 @@ func (t topCoder) Inverse(src []byte) ([]byte, error) {
 	}
 	src = src[used:]
 	if len(src) < 1 {
-		return nil, fmt.Errorf("lc/%s: missing k", t.name)
+		return nil, compress.Errorf(compress.ErrTruncated, "lc/%s: missing k", t.name)
 	}
 	k := int(src[0])
 	src = src[1:]
 	if k < 1 || k > 31 {
-		return nil, fmt.Errorf("lc/%s: bad k=%d", t.name, k)
+		return nil, compress.Errorf(compress.ErrCorrupt, "lc/%s: bad k=%d", t.name, k)
+	}
+	if err := checkDeclaredWords(t.name, n64, tailLen64, maxOut); err != nil {
+		return nil, err
 	}
 	n := int(n64)
 	bm, used, err := decodeBitmapBody(src, (n+7)/8)
@@ -255,14 +297,14 @@ func (t topCoder) Inverse(src []byte) ([]byte, error) {
 	}
 	src = src[used:]
 	topsLen := int(topsLen64)
-	if topsLen > len(src) {
-		return nil, fmt.Errorf("lc/%s: truncated tops", t.name)
+	if topsLen64 > uint64(len(src)) {
+		return nil, compress.Errorf(compress.ErrTruncated, "lc/%s: truncated tops", t.name)
 	}
 	tops := bitio.NewReader(src[:topsLen])
 	src = src[topsLen:]
 	bottomBytes := (n*(32-k) + 7) / 8
 	if len(src) != bottomBytes+int(tailLen64) {
-		return nil, fmt.Errorf("lc/%s: have %d bytes, need %d", t.name, len(src), bottomBytes+int(tailLen64))
+		return nil, compress.Errorf(compress.ErrCorrupt, "lc/%s: have %d bytes, need %d", t.name, len(src), bottomBytes+int(tailLen64))
 	}
 	bottoms := bitio.NewReader(src[:bottomBytes])
 	words := make([]uint32, n)
@@ -357,9 +399,11 @@ func (huf) Forward(src []byte) ([]byte, error) {
 	return append(bitio.PutUvarint([]byte{1}, uint64(len(src))), body...), nil
 }
 
-func (huf) Inverse(src []byte) ([]byte, error) {
+func (huf) Inverse(src []byte) ([]byte, error) { return huf{}.InverseLimit(src, 0) }
+
+func (huf) InverseLimit(src []byte, maxOut int) ([]byte, error) {
 	if len(src) < 1 {
-		return nil, fmt.Errorf("lc/HUF: empty input")
+		return nil, compress.Errorf(compress.ErrTruncated, "lc/HUF: empty input")
 	}
 	mode := src[0]
 	n64, used, err := bitio.Uvarint(src[1:])
@@ -367,11 +411,20 @@ func (huf) Inverse(src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("lc/HUF: %w", err)
 	}
 	src = src[1+used:]
+	// Every coded symbol costs at least one bit, so an honest n never
+	// exceeds 8x the remaining input; checking it (and the cap) before the
+	// output allocation keeps a tampered count from forcing a huge make.
+	if n64 > uint64(len(src))*8 {
+		return nil, compress.Errorf(compress.ErrCorrupt, "lc/HUF: declared length %d exceeds 8x input", n64)
+	}
+	if maxOut > 0 && n64 > uint64(maxOut) {
+		return nil, compress.Errorf(compress.ErrLimitExceeded, "lc/HUF: declared length %d exceeds cap %d", n64, maxOut)
+	}
 	n := int(n64)
 	switch mode {
 	case 0:
 		if len(src) != n {
-			return nil, fmt.Errorf("lc/HUF: stored length mismatch")
+			return nil, compress.Errorf(compress.ErrCorrupt, "lc/HUF: stored length mismatch")
 		}
 		return append([]byte(nil), src...), nil
 	case 1:
@@ -394,6 +447,6 @@ func (huf) Inverse(src []byte) ([]byte, error) {
 		}
 		return out, nil
 	default:
-		return nil, fmt.Errorf("lc/HUF: bad mode %d", mode)
+		return nil, compress.Errorf(compress.ErrCorrupt, "lc/HUF: bad mode %d", mode)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"math"
 	"math/rand"
+	"positbench/internal/compress/codectest"
 	"testing"
 	"testing/quick"
 )
@@ -345,4 +346,12 @@ func BenchmarkPaperFloatPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	p, err := NewPipeline("DIFFMS", "RARE", "RAZE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	codectest.FaultInjection(t, NewCodec(p))
 }

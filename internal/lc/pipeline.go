@@ -53,15 +53,31 @@ func (p Pipeline) Apply(src []byte) ([]byte, error) {
 	return cur, nil
 }
 
-// Invert runs all inverse stages in reverse order.
+// Invert runs all inverse stages in reverse order with no output bound; use
+// InvertLimit on untrusted input.
 func (p Pipeline) Invert(comp []byte) ([]byte, error) {
+	return p.InvertLimit(comp, 0)
+}
+
+// InvertLimit runs all inverse stages in reverse order, holding every
+// intermediate (and the final output) under maxOut bytes (maxOut <= 0 means
+// unbounded). Stages implementing LimitedInverter enforce the bound before
+// allocating; for the rest the intermediate is checked after the stage runs.
+func (p Pipeline) InvertLimit(comp []byte, maxOut int) ([]byte, error) {
 	cur := comp
 	for i := len(p.Stages) - 1; i >= 0; i-- {
 		s := p.Stages[i]
 		var err error
-		cur, err = s.Inverse(cur)
+		if li, ok := s.(LimitedInverter); ok && maxOut > 0 {
+			cur, err = li.InverseLimit(cur, maxOut)
+		} else {
+			cur, err = s.Inverse(cur)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("lc: inverse stage %s: %w", s.Name(), err)
+		}
+		if maxOut > 0 && len(cur) > maxOut {
+			return nil, compress.Errorf(compress.ErrLimitExceeded, "lc: stage %s output %d exceeds cap %d", s.Name(), len(cur), maxOut)
 		}
 	}
 	return cur, nil
@@ -114,26 +130,38 @@ func (c *Codec) Compress(src []byte) ([]byte, error) {
 	return append(out, body...), nil
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec with default decode limits.
 func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	return c.DecompressLimits(comp, compress.DecodeLimits{})
+}
+
+// DecompressLimits implements compress.Limited: the self-describing header
+// is validated and every inverse stage runs under the resolved output cap.
+func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
 	if len(comp) < 1 {
-		return nil, fmt.Errorf("lc: empty container")
+		return nil, compress.Errorf(compress.ErrTruncated, "lc: empty container")
 	}
 	nStages := int(comp[0])
 	if len(comp) < 1+nStages {
-		return nil, fmt.Errorf("lc: truncated header")
+		return nil, compress.Errorf(compress.ErrTruncated, "lc: truncated header")
 	}
 	lib := Components()
 	p := Pipeline{Stages: make([]Component, nStages)}
 	for i := 0; i < nStages; i++ {
 		id := int(comp[1+i])
 		if id >= len(lib) {
-			return nil, fmt.Errorf("lc: bad component id %d", id)
+			return nil, compress.Errorf(compress.ErrCorrupt, "lc: bad component id %d", id)
 		}
 		p.Stages[i] = lib[id]
 	}
-	return p.Invert(comp[1+nStages:])
+	maxOut := lim.OutputCap(len(comp))
+	outCap := int(^uint(0) >> 1)
+	if maxOut < int64(outCap) {
+		outCap = int(maxOut)
+	}
+	return p.InvertLimit(comp[1+nStages:], outCap)
 }
 
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
+var _ compress.Limited = (*Codec)(nil)

@@ -3,6 +3,8 @@
 // are the knobs that differentiate those codecs' design points.
 package lz77
 
+import "positbench/internal/compress"
+
 const (
 	// MinMatch is the shortest match the finder reports.
 	MinMatch = 4
@@ -165,3 +167,26 @@ func matchLen(src []byte, a, b, max int) int {
 // MatchLen is the exported equal-prefix counter used by codec encoders for
 // match extension.
 func MatchLen(src []byte, a, b, max int) int { return matchLen(src, a, b, max) }
+
+// AppendMatch copies an LZ back-reference (dist bytes back, mlen bytes long,
+// possibly overlapping) onto out, validating the reference against the bytes
+// decoded so far and capping the total output at maxOut (maxOut <= 0 means
+// unbounded). Every LZ-family decoder in this repository resolves matches
+// through this helper so a tampered distance or length becomes a typed error
+// instead of an out-of-bounds copy or an unbounded allocation.
+func AppendMatch(out []byte, dist, mlen, maxOut int) ([]byte, error) {
+	if mlen < 0 {
+		return nil, compress.Errorf(compress.ErrCorrupt, "lz77: negative match length %d", mlen)
+	}
+	if dist <= 0 || dist > len(out) {
+		return nil, compress.Errorf(compress.ErrCorrupt, "lz77: match distance %d outside %d decoded bytes", dist, len(out))
+	}
+	if maxOut > 0 && mlen > maxOut-len(out) {
+		return nil, compress.Errorf(compress.ErrLimitExceeded, "lz77: match output exceeds %d bytes", maxOut)
+	}
+	start := len(out) - dist
+	for i := 0; i < mlen; i++ {
+		out = append(out, out[start+i])
+	}
+	return out, nil
+}

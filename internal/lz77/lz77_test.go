@@ -2,8 +2,11 @@ package lz77
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
+
+	"positbench/internal/compress"
 )
 
 func TestFindsObviousMatch(t *testing.T) {
@@ -149,5 +152,22 @@ func BenchmarkFindMatch(b *testing.B) {
 			m.FindMatch(p, len(src)-p)
 			m.Insert(p)
 		}
+	}
+}
+
+func TestAppendMatch(t *testing.T) {
+	out := []byte("abcd")
+	out, err := AppendMatch(out, 4, 8, 0) // overlapping copy: abcdabcdabcd
+	if err != nil || string(out) != "abcdabcdabcd" {
+		t.Fatalf("overlap copy: %q, %v", out, err)
+	}
+	if _, err := AppendMatch([]byte("ab"), 3, 4, 0); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("distance past start: %v", err)
+	}
+	if _, err := AppendMatch([]byte("ab"), 0, 4, 0); !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("zero distance: %v", err)
+	}
+	if _, err := AppendMatch([]byte("ab"), 1, 100, 50); !errors.Is(err, compress.ErrLimitExceeded) {
+		t.Fatalf("capped output: %v", err)
 	}
 }

@@ -3,7 +3,7 @@
 // before the BWT) and the RUNA/RUNB zero-run coding applied after MTF.
 package mtf
 
-import "fmt"
+import "positbench/internal/compress"
 
 // Encode applies the move-to-front transform in place semantics: the result
 // has the same length as src. Small output values indicate recently used
@@ -65,8 +65,17 @@ func RLE1(src []byte) []byte {
 	return out
 }
 
-// UnRLE1 inverts RLE1.
+// UnRLE1 inverts RLE1 with no output bound; use UnRLE1Limit on untrusted
+// input.
 func UnRLE1(src []byte) ([]byte, error) {
+	return UnRLE1Limit(src, 0)
+}
+
+// UnRLE1Limit inverts RLE1, failing with compress.ErrLimitExceeded once the
+// output would exceed maxOut bytes (maxOut <= 0 means unbounded). The bound
+// is enforced before each run is materialized, so a hostile stream cannot
+// force a large allocation.
+func UnRLE1Limit(src []byte, maxOut int) ([]byte, error) {
 	out := make([]byte, 0, len(src)*2)
 	i := 0
 	for i < len(src) {
@@ -77,14 +86,20 @@ func UnRLE1(src []byte) ([]byte, error) {
 		}
 		if run == 4 {
 			if i+4 >= len(src) {
-				return nil, fmt.Errorf("mtf: truncated RLE1 run")
+				return nil, compress.Errorf(compress.ErrTruncated, "mtf: truncated RLE1 run")
 			}
 			total := 4 + int(src[i+4])
+			if maxOut > 0 && len(out)+total > maxOut {
+				return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: RLE1 output exceeds %d bytes", maxOut)
+			}
 			for j := 0; j < total; j++ {
 				out = append(out, b)
 			}
 			i += 5
 		} else {
+			if maxOut > 0 && len(out)+run > maxOut {
+				return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: RLE1 output exceeds %d bytes", maxOut)
+			}
 			out = append(out, src[i:i+run]...)
 			i += run
 		}
@@ -133,15 +148,28 @@ func EncodeZeroRuns(src []byte) []uint16 {
 	return out
 }
 
-// DecodeZeroRuns inverts EncodeZeroRuns.
+// DecodeZeroRuns inverts EncodeZeroRuns with no output bound; use
+// DecodeZeroRunsLimit on untrusted input.
 func DecodeZeroRuns(src []uint16) ([]byte, error) {
+	return DecodeZeroRunsLimit(src, 0)
+}
+
+// DecodeZeroRunsLimit inverts EncodeZeroRuns, failing with
+// compress.ErrLimitExceeded once the output would exceed maxOut bytes
+// (maxOut <= 0 means unbounded). A handful of RUNA/RUNB symbols can encode a
+// multi-gigabyte zero run, so the bound is checked before the run is
+// materialized.
+func DecodeZeroRunsLimit(src []uint16, maxOut int) ([]byte, error) {
 	out := make([]byte, 0, len(src))
 	i := 0
 	for i < len(src) {
 		s := src[i]
 		if s > 1 {
 			if s > 256 {
-				return nil, fmt.Errorf("mtf: symbol %d out of range", s)
+				return nil, compress.Errorf(compress.ErrCorrupt, "mtf: symbol %d out of range", s)
+			}
+			if maxOut > 0 && len(out) >= maxOut {
+				return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: zero-run output exceeds %d bytes", maxOut)
 			}
 			out = append(out, byte(s-1))
 			i++
@@ -159,9 +187,12 @@ func DecodeZeroRuns(src []uint16) ([]byte, error) {
 			}
 			weight *= 2
 			if run > maxRun || weight > maxRun {
-				return nil, fmt.Errorf("mtf: zero run too long")
+				return nil, compress.Errorf(compress.ErrCorrupt, "mtf: zero run too long")
 			}
 			i++
+		}
+		if maxOut > 0 && len(out)+run > maxOut {
+			return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: zero-run output exceeds %d bytes", maxOut)
 		}
 		for j := 0; j < run; j++ {
 			out = append(out, 0)

@@ -2,9 +2,12 @@ package mtf
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"positbench/internal/compress"
 )
 
 func TestMTFKnown(t *testing.T) {
@@ -171,5 +174,32 @@ func BenchmarkMTFEncode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Encode(s)
+	}
+}
+
+func TestUnRLE1Limit(t *testing.T) {
+	enc := RLE1(bytes.Repeat([]byte{9}, 200))
+	if _, err := UnRLE1Limit(enc, 50); !errors.Is(err, compress.ErrLimitExceeded) {
+		t.Fatalf("want ErrLimitExceeded, got %v", err)
+	}
+	out, err := UnRLE1Limit(enc, 200)
+	if err != nil || len(out) != 200 {
+		t.Fatalf("in-bounds decode: %d bytes, %v", len(out), err)
+	}
+}
+
+func TestDecodeZeroRunsLimit(t *testing.T) {
+	// ~30 RUNB digits declare a zero run of about 2^31 bytes.
+	syms := make([]uint16, 30)
+	for i := range syms {
+		syms[i] = RunB
+	}
+	if _, err := DecodeZeroRunsLimit(syms, 1<<16); !errors.Is(err, compress.ErrLimitExceeded) {
+		t.Fatalf("want ErrLimitExceeded, got %v", err)
+	}
+	enc := EncodeZeroRuns(make([]byte, 1000))
+	out, err := DecodeZeroRunsLimit(enc, 1000)
+	if err != nil || len(out) != 1000 {
+		t.Fatalf("in-bounds decode: %d bytes, %v", len(out), err)
 	}
 }

@@ -1,6 +1,16 @@
 package posit
 
-import "math/bits"
+import (
+	"errors"
+	"math/bits"
+)
+
+// ErrQuirePrecision reports an accumulation whose operand fell below the
+// quire register's least significant bit. The register is sized so this is
+// unreachable for in-range posit operands; it indicates a decoder bug or a
+// hand-built Parts value. The accumulator records it stickily instead of
+// panicking: Err returns it and Posit returns NaR.
+var ErrQuirePrecision = errors.New("posit: quire operand below register precision")
 
 // Quire is the posit standard's exact accumulator: a wide two's-complement
 // fixed-point register that can absorb sums of posit products without any
@@ -14,6 +24,7 @@ type Quire struct {
 	cfg   Config
 	words []uint64 // little-endian limbs, two's complement
 	nar   bool     // poisoned by a NaR operand
+	err   error    // sticky ErrQuirePrecision; forces NaR
 	lsb   int      // exponent of the least significant register bit
 }
 
@@ -29,16 +40,22 @@ func NewQuire(cfg Config) *Quire {
 	return &Quire{cfg: cfg, words: make([]uint64, nw), lsb: lsb}
 }
 
-// Reset clears the accumulator.
+// Reset clears the accumulator, including any sticky error.
 func (q *Quire) Reset() {
 	for i := range q.words {
 		q.words[i] = 0
 	}
 	q.nar = false
+	q.err = nil
 }
 
 // IsNaR reports whether a NaR operand poisoned the accumulator.
 func (q *Quire) IsNaR() bool { return q.nar }
+
+// Err returns the sticky accumulation error, if any. A non-nil value means
+// some operand could not be represented in the register; the accumulated
+// value is unreliable and Posit reports NaR.
+func (q *Quire) Err() error { return q.err }
 
 // addShifted adds (or subtracts) a 128-bit magnitude aligned so that its
 // bit 0 has exponent exp.
@@ -46,8 +63,10 @@ func (q *Quire) addShifted(hi, lo uint64, exp int, negate bool) {
 	offset := exp - q.lsb
 	if offset < 0 {
 		// Unreachable for in-range posit operands: the register's LSB was
-		// sized to the smallest possible product. Guard anyway.
-		panic("posit: quire operand below register precision")
+		// sized to the smallest possible product. Record the fault stickily
+		// rather than panicking; the accumulator answers NaR from here on.
+		q.err = ErrQuirePrecision
+		return
 	}
 	word := offset / 64
 	bitOff := uint(offset % 64)
@@ -145,7 +164,7 @@ func (q *Quire) SubProduct(a, b uint64) *Quire {
 // Posit rounds the accumulated value to the nearest posit (the single
 // rounding of a quire computation).
 func (q *Quire) Posit() uint64 {
-	if q.nar {
+	if q.nar || q.err != nil {
 		return q.cfg.NaR()
 	}
 	words := q.words

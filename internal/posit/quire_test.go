@@ -1,6 +1,7 @@
 package posit
 
 import (
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -153,5 +154,32 @@ func BenchmarkQuireDotProduct(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.DotProduct(va, vb)
+	}
+}
+
+// An operand below the register's LSB must not panic: the fault is recorded
+// stickily, Err reports it, and Posit answers NaR until Reset.
+func TestQuirePrecisionFault(t *testing.T) {
+	q := NewQuire(Posit32e3)
+	q.addShifted(0, 1, q.lsb-1, false)
+	if !errors.Is(q.Err(), ErrQuirePrecision) {
+		t.Fatalf("Err() = %v, want ErrQuirePrecision", q.Err())
+	}
+	if got := q.Posit(); got != Posit32e3.NaR() {
+		t.Fatalf("Posit() after precision fault = %#x, want NaR", got)
+	}
+	// The fault is sticky across further valid accumulations...
+	q.Add(Posit32e3.FromFloat64(1.0))
+	if q.Err() == nil {
+		t.Fatal("precision fault was not sticky")
+	}
+	// ...and cleared by Reset.
+	q.Reset()
+	if q.Err() != nil {
+		t.Fatalf("Err() after Reset = %v", q.Err())
+	}
+	q.Add(Posit32e3.FromFloat64(2.5))
+	if got := Posit32e3.ToFloat64(q.Posit()); got != 2.5 {
+		t.Fatalf("accumulator unusable after Reset: got %v", got)
 	}
 }

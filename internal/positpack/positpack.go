@@ -257,17 +257,30 @@ func symbolOf(f fields) int {
 	return 2 + int(f.regime1)*32 + int(f.run)
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec with default decode limits.
 func (c *Codec) Decompress(comp []byte) ([]byte, error) {
+	return c.DecompressLimits(comp, compress.DecodeLimits{})
+}
+
+// DecompressLimits implements compress.Limited: the declared word count is
+// validated against both the input size and the resolved output cap before
+// any allocation proportional to it.
+func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
 	n64, used, err := bitio.Uvarint(comp)
 	if err != nil {
+		return nil, fmt.Errorf("positpack: %w", err)
+	}
+	if n64 > uint64(len(comp))*8 { // each value costs >= 1 bit in the symbol stream
+		return nil, compress.Errorf(compress.ErrCorrupt, "positpack: value count %d exceeds input", n64)
+	}
+	if err := lim.CheckDeclared(4*n64, len(comp)); err != nil {
 		return nil, fmt.Errorf("positpack: %w", err)
 	}
 	comp = comp[used:]
 	n := int(n64)
 	r := bitio.NewReader(comp)
-	if n > r.Remaining() { // each value costs >= 1 bit in the symbol stream
-		return nil, fmt.Errorf("positpack: value count %d exceeds input", n)
+	if n > r.Remaining() {
+		return nil, compress.Errorf(compress.ErrCorrupt, "positpack: value count %d exceeds input", n)
 	}
 	lengths, err := huffman.ReadLengths(r, 2+32+32)
 	if err != nil {
@@ -296,7 +309,7 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 		if fs[i].kind == 0 {
 			run := fs[i].run
 			if run < 1 || run > 31 || (run == 31 && fs[i].regime1 == 0) {
-				return nil, fmt.Errorf("positpack: bad regime run %d", run)
+				return nil, compress.Errorf(compress.ErrCorrupt, "positpack: bad regime run %d", run)
 			}
 			fs[i].expBits, fs[i].fracBits = c.widths(run)
 		}
@@ -346,7 +359,7 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 		}
 		shift := tz[fs[i].fracBits]
 		if nBits+int(shift) > 32 {
-			return nil, fmt.Errorf("positpack: delta wider than fraction field")
+			return nil, compress.Errorf(compress.ErrCorrupt, "positpack: delta wider than fraction field")
 		}
 		var d uint32
 		if nBits > 0 {
@@ -373,3 +386,4 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
+var _ compress.Limited = (*Codec)(nil)

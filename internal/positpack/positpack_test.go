@@ -3,6 +3,7 @@ package positpack
 import (
 	"bytes"
 	"math/rand"
+	"positbench/internal/compress/codectest"
 	"testing"
 	"testing/quick"
 
@@ -166,4 +167,8 @@ func BenchmarkCompress(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	codectest.FaultInjection(t, mustNew(t, posit.Posit32e3))
 }

@@ -4,10 +4,11 @@
 // lets a large-window LZ beat Huffman-based compressors.
 package rangecoder
 
-import "errors"
+import "positbench/internal/compress"
 
-// ErrTruncated is returned when the decoder runs out of input.
-var ErrTruncated = errors.New("rangecoder: truncated stream")
+// ErrTruncated is returned when the decoder runs out of input. It matches
+// compress.ErrTruncated (and compress.ErrCorrupt) under errors.Is.
+var ErrTruncated = compress.Errorf(compress.ErrTruncated, "rangecoder: truncated stream")
 
 const (
 	probBits  = 11
