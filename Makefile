@@ -4,12 +4,16 @@
 #   make race        unit tests under the race detector
 #   make fuzz-smoke  10 s of fuzzing per fuzz target (seeded with
 #                    known-bad frames; catches decode-path panics fast)
+#   make test-parallel  the parallel-engine test layer, race-enabled and
+#                    run twice (catches order-dependent scheduling bugs)
+#   make bench       serial-vs-parallel throughput; writes BENCH_compress.json
 #   make ci          everything above, in order
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCH_WORKERS ?= 4
 
-.PHONY: all check vet build test race fuzz-smoke ci
+.PHONY: all check vet build test race test-parallel bench fuzz-smoke ci
 
 all: check
 
@@ -27,6 +31,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The concurrency layer, twice under the race detector: the second run sees
+# different goroutine schedules, which is what shakes out ordering bugs.
+test-parallel:
+	$(GO) test -race -count=2 -run 'Parallel|Stream|Equivalence' ./internal/compress/...
+
+# One pass of each throughput benchmark, recorded to BENCH_compress.json so
+# serial-vs-parallel speedups are diffable across commits.
+bench:
+	$(GO) test ./internal/compress -run '^$$' -bench '^BenchmarkStream' -benchtime 2x \
+		-args -bench-json=$(CURDIR)/BENCH_compress.json -bench-workers=$(BENCH_WORKERS)
+
 # Run every Fuzz* target in the module for FUZZTIME each. `go test -fuzz`
 # only accepts one target per invocation, so targets are discovered with
 # -list and run one by one.
@@ -39,4 +54,4 @@ fuzz-smoke:
 		done; \
 	done
 
-ci: check race fuzz-smoke
+ci: check race test-parallel fuzz-smoke

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	compressbench [-codecs xz,bzip2] [-verify] file1 [file2 ...]
+//	compressbench [-codecs xz,bzip2] [-p N] [-verify] file1 [file2 ...]
 //	compressbench -z xz input output.pbcf
 //	compressbench -d [-max-out N] input.pbcf output
 package main
@@ -19,7 +19,9 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"positbench/internal/compress"
 	"positbench/internal/compress/all"
@@ -42,6 +44,7 @@ func run(args []string, stdout io.Writer) error {
 	names := fs.String("codecs", strings.Join(all.Names(), ","),
 		"comma-separated codec subset (add 'lc' for the LC pipeline search)")
 	verify := fs.Bool("verify", false, "roundtrip-verify every compression")
+	workers := fs.Int("p", 0, "max concurrent file x codec runs (0 = GOMAXPROCS)")
 	zName := fs.String("z", "", "compress one file into a framed blob with the named codec")
 	dFlag := fs.Bool("d", false, "decompress a framed blob, routing by its frame header")
 	maxOut := fs.Int64("max-out", 0, "decode size limit in bytes for -d (0 = default)")
@@ -71,48 +74,104 @@ func run(args []string, stdout io.Writer) error {
 		codecs = append(codecs, c)
 	}
 
-	table := stats.NewTable(append([]string{"File", "Size"}, codecNames(codecs, wantLC)...)...)
-	ratios := map[string][]float64{}
-	for _, path := range files {
-		data, err := os.ReadFile(path)
+	// Every file x codec cell (plus one LC search per file) runs in a
+	// bounded worker pool; results land in per-cell slots so the rendered
+	// table is deterministic regardless of completion order.
+	nFiles, nCols := len(files), len(codecs)
+	if wantLC {
+		nCols++
+	}
+	type cell struct {
+		ratio float64
+		label string
+	}
+	cells := make([]cell, nFiles*nCols)
+	errs := make([]error, nFiles*nCols)
+	data := make([][]byte, nFiles)
+	for i, path := range files {
+		var err error
+		if data[i], err = os.ReadFile(path); err != nil {
+			return err
+		}
+	}
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, nw)
+	var wg sync.WaitGroup
+	runCell := func(idx int, fn func() (cell, error)) {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cells[idx], errs[idx] = fn()
+		}()
+	}
+	for fi := range files {
+		fi := fi
+		for ci, c := range codecs {
+			c := c
+			runCell(fi*nCols+ci, func() (cell, error) {
+				var compLen int
+				var err error
+				if *verify {
+					compLen, err = compress.Roundtrip(c, data[fi])
+				} else {
+					var comp []byte
+					comp, err = c.Compress(data[fi])
+					compLen = len(comp)
+				}
+				if err != nil {
+					return cell{}, err
+				}
+				r := compress.Ratio(len(data[fi]), compLen)
+				return cell{ratio: r, label: fmt.Sprintf("%.3f", r)}, nil
+			})
+		}
+		if wantLC {
+			runCell(fi*nCols+len(codecs), func() (cell, error) {
+				rs, err := lc.SearchAll(data[fi])
+				if err != nil {
+					return cell{}, err
+				}
+				best := rs[0]
+				if *verify {
+					pipe, err := best.Pipeline()
+					if err != nil {
+						return cell{}, err
+					}
+					if _, err := compress.Roundtrip(lc.NewCodec(pipe), data[fi]); err != nil {
+						return cell{}, err
+					}
+				}
+				return cell{ratio: best.Ratio, label: fmt.Sprintf("%.3f (%s|%s|%s)",
+					best.Ratio, best.Names[0], best.Names[1], best.Names[2])}, nil
+			})
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
-		row := []interface{}{filepath.Base(path), len(data)}
-		for _, c := range codecs {
-			var compLen int
-			if *verify {
-				compLen, err = compress.Roundtrip(c, data)
-			} else {
-				var comp []byte
-				comp, err = c.Compress(data)
-				compLen = len(comp)
-			}
-			if err != nil {
-				return err
-			}
-			r := compress.Ratio(len(data), compLen)
-			ratios[c.Name()] = append(ratios[c.Name()], r)
-			row = append(row, fmt.Sprintf("%.3f", r))
+	}
+
+	table := stats.NewTable(append([]string{"File", "Size"}, codecNames(codecs, wantLC)...)...)
+	ratios := map[string][]float64{}
+	colName := func(ci int) string {
+		if ci < len(codecs) {
+			return codecs[ci].Name()
 		}
-		if wantLC {
-			rs, err := lc.SearchAll(data)
-			if err != nil {
-				return err
-			}
-			best := rs[0]
-			if *verify {
-				pipe, err := best.Pipeline()
-				if err != nil {
-					return err
-				}
-				if _, err := compress.Roundtrip(lc.NewCodec(pipe), data); err != nil {
-					return err
-				}
-			}
-			ratios["lc"] = append(ratios["lc"], best.Ratio)
-			row = append(row, fmt.Sprintf("%.3f (%s|%s|%s)", best.Ratio,
-				best.Names[0], best.Names[1], best.Names[2]))
+		return "lc"
+	}
+	for fi, path := range files {
+		row := []interface{}{filepath.Base(path), len(data[fi])}
+		for ci := 0; ci < nCols; ci++ {
+			cl := cells[fi*nCols+ci]
+			ratios[colName(ci)] = append(ratios[colName(ci)], cl.ratio)
+			row = append(row, cl.label)
 		}
 		table.AddRow(row...)
 	}

@@ -13,7 +13,7 @@
 // Usage:
 //
 //	repro [-exp all|table1|table2|table3|precision|fig3|fig4|fig5|fig6|ext]
-//	      [-values N] [-verify] [-v]
+//	      [-values N] [-p N] [-verify] [-v]
 //
 // The "ext" experiment runs this work's extension: the special-purpose
 // posit field compressor (internal/positpack) against the best
@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"positbench/internal/core"
+	"positbench/internal/posit"
 	"positbench/internal/sdrbench"
 )
 
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	exp := fs.String("exp", "all", "experiment to reproduce")
 	values := fs.Int("values", sdrbench.DefaultValues, "float32 values per input")
 	verify := fs.Bool("verify", false, "roundtrip-verify every compression")
+	workers := fs.Int("p", 0, "worker parallelism for input prep and codec runs (0 = GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "print per-measurement progress")
 	csvDir := fs.String("csv", "", "also write per-figure CSV files into this directory")
 	if err := fs.Parse(args); err != nil {
@@ -71,10 +73,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 
+	// -p bounds both the study's goroutines and the posit batch converters
+	// they call into (otherwise each converter fans out to GOMAXPROCS on
+	// its own and the effective parallelism multiplies).
+	posit.SetBatchWorkers(*workers)
 	opts := core.Options{
 		ValuesPerInput: *values,
 		WithLC:         needLC[*exp],
 		Verify:         *verify,
+		Workers:        *workers,
 	}
 	if *verbose {
 		opts.Progress = func(format string, args ...interface{}) {

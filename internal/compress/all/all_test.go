@@ -57,6 +57,18 @@ func TestFreshInstances(t *testing.T) {
 	}
 }
 
+func TestStreamEquivalence(t *testing.T) {
+	// The serial-vs-parallel equivalence contract must hold for every
+	// registry codec, framed exactly as the study runs them.
+	for _, c := range Codecs() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			t.Parallel()
+			codectest.StreamEquivalence(t, c)
+		})
+	}
+}
+
 func TestFaultInjection(t *testing.T) {
 	// Every registry codec is framed, so the harness's strongest contract
 	// applies: all corruption is detected, nothing panics, nothing

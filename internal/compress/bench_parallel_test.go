@@ -1,0 +1,174 @@
+package compress_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"positbench/internal/compress"
+	"positbench/internal/compress/all"
+	"positbench/internal/stats"
+)
+
+// Serial-vs-parallel throughput regression benchmarks. Run via `make bench`,
+// which passes -bench-json so the run leaves a diffable BENCH_compress.json
+// behind; plain `go test -bench` works too and just skips the report.
+// Speedups are relative to GOMAXPROCS on the measuring machine — the report
+// records it so a ~1.0x result on a 1-CPU runner is not misread as a
+// regression.
+
+var (
+	benchJSONPath = flag.String("bench-json", "", "write a BENCH_compress.json report to this path after the run")
+	benchWorkers  = flag.Int("bench-workers", 4, "parallel worker count measured against the serial baseline")
+)
+
+const (
+	benchBytes = 4 << 20
+	benchChunk = 1 << 20
+)
+
+var benchRecorder = struct {
+	sync.Mutex
+	results map[string]*stats.BenchResult
+}{results: map[string]*stats.BenchResult{}}
+
+func recordBench(codec string, parallel bool, mbps float64) {
+	benchRecorder.Lock()
+	defer benchRecorder.Unlock()
+	r := benchRecorder.results[codec]
+	if r == nil {
+		r = &stats.BenchResult{
+			Codec:      codec,
+			Workers:    *benchWorkers,
+			InputBytes: benchBytes,
+			ChunkBytes: benchChunk,
+		}
+		benchRecorder.results[codec] = r
+	}
+	if parallel {
+		r.ParallelMBps = mbps
+	} else {
+		r.SerialMBps = mbps
+	}
+}
+
+func throughputMBps(b *testing.B, n int) float64 {
+	if e := b.Elapsed(); e > 0 {
+		return float64(n) * float64(b.N) / e.Seconds() / 1e6
+	}
+	return 0
+}
+
+// benchInput is a smooth float32 field with light noise — the same flavour of
+// data as the SDRBench-style study inputs, so per-codec ratios are realistic.
+var benchInput = sync.OnceValue(func() []byte {
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]byte, 0, benchBytes)
+	for i := 0; i < benchBytes/4; i++ {
+		v := float32(math.Sin(float64(i)/97) + 0.01*rng.NormFloat64())
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+})
+
+func BenchmarkStreamCompress(b *testing.B) {
+	data := benchInput()
+	for _, c := range all.Raw() {
+		c := c
+		b.Run(c.Name()+"/serial", func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var dst bytes.Buffer
+			for i := 0; i < b.N; i++ {
+				dst.Reset()
+				w := compress.NewWriter(c, &dst, benchChunk)
+				if _, err := w.Write(data); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordBench(c.Name(), false, throughputMBps(b, len(data)))
+		})
+		b.Run(fmt.Sprintf("%s/parallel-w%d", c.Name(), *benchWorkers), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var dst bytes.Buffer
+			for i := 0; i < b.N; i++ {
+				dst.Reset()
+				w := compress.NewParallelWriter(c, &dst, benchChunk, *benchWorkers)
+				if _, err := w.Write(data); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordBench(c.Name(), true, throughputMBps(b, len(data)))
+		})
+	}
+}
+
+// BenchmarkStreamDecompress covers the read side; it does not feed the JSON
+// report (the regression gate tracks the compress direction) but keeps decode
+// throughput visible in ordinary -bench runs.
+func BenchmarkStreamDecompress(b *testing.B) {
+	data := benchInput()
+	for _, c := range all.Raw() {
+		c := c
+		var enc bytes.Buffer
+		w := compress.NewWriter(c, &enc, benchChunk)
+		if _, err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		stream := enc.Bytes()
+		out := make([]byte, len(data))
+		b.Run(c.Name()+"/serial", func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				r := compress.NewReader(c, bytes.NewReader(stream))
+				if _, err := io.ReadFull(r, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/parallel-w%d", c.Name(), *benchWorkers), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				r := compress.NewParallelReader(c, bytes.NewReader(stream), *benchWorkers)
+				if _, err := io.ReadFull(r, out); err != nil {
+					r.Close()
+					b.Fatal(err)
+				}
+				r.Close()
+			}
+		})
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if *benchJSONPath != "" && len(benchRecorder.results) > 0 {
+		report := &stats.BenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		for _, r := range benchRecorder.results {
+			report.Results = append(report.Results, *r)
+		}
+		if err := stats.WriteBenchJSON(*benchJSONPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}

@@ -118,6 +118,7 @@ func Run(t *testing.T, c compress.Codec) {
 		}
 	})
 	t.Run("FaultInjection", func(t *testing.T) { FaultInjection(t, c) })
+	t.Run("StreamEquivalence", func(t *testing.T) { StreamEquivalence(t, c) })
 }
 
 func roundtrip(t *testing.T, c compress.Codec, src []byte) int {

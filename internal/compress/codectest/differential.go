@@ -1,0 +1,31 @@
+package codectest
+
+import "bytes"
+
+// Input is one named payload for differential (cross-implementation)
+// testing: our encoder against an independent reference decoder and vice
+// versa. The families mirror what the study feeds the codecs: pure noise,
+// SDRBench-like smooth float fields, and adversarial shapes (runs, cycles,
+// degenerate sizes) that stress block and window boundaries.
+type Input struct {
+	Name string
+	Data []byte
+}
+
+// DifferentialInputs returns the standard payload families. Data is
+// deterministic, so failures reproduce.
+func DifferentialInputs() []Input {
+	cycle := make([]byte, 256)
+	for i := range cycle {
+		cycle[i] = byte(i)
+	}
+	return []Input{
+		{"Empty", nil},
+		{"OneByte", []byte{42}},
+		{"Random", randomBytes(64<<10, 31)},
+		{"SDRBenchLike", smoothFloatField(16 << 10)}, // 64 KiB float32 field
+		{"Adversarial", runsAndNoise(64<<10, 33)},
+		{"AllZero", make([]byte, 32<<10)},
+		{"ByteCycle", bytes.Repeat(cycle, 128)},
+	}
+}

@@ -1,0 +1,156 @@
+package codectest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"positbench/internal/compress"
+)
+
+// StreamEquivalence asserts that the parallel streaming engine is
+// indistinguishable from the serial one for codec c:
+//
+//   - ParallelWriter output is byte-identical to serial Writer output for
+//     every tested chunk size and worker count (ordering guarantee);
+//   - each side's Reader decodes the other side's stream (wire
+//     compatibility), and the ParallelReader reproduces the data at every
+//     worker count;
+//   - on fault-injected streams (truncations, bit flips) the serial and
+//     parallel readers agree on success vs failure, on the delivered
+//     prefix, and on the error taxonomy class (first-error-wins).
+func StreamEquivalence(t *testing.T, c compress.Codec) {
+	t.Helper()
+	inputs := []struct {
+		name string
+		data []byte
+	}{
+		{"Empty", nil},
+		{"OneByte", []byte{42}},
+		{"Smooth", smoothFloatField(12 << 10)}, // 48 KiB of float structure
+		{"Random", randomBytes(32<<10, 21)},
+		{"Adversarial", runsAndNoise(32<<10, 22)},
+	}
+	workerCounts := []int{1, 2, 4}
+	for _, in := range inputs {
+		in := in
+		t.Run(in.name, func(t *testing.T) {
+			for _, chunk := range []int{8 << 10, 13000} {
+				serial := serialStream(t, c, in.data, chunk)
+				for _, w := range workerCounts {
+					if got := parallelStream(t, c, in.data, chunk, w); !bytes.Equal(got, serial) {
+						t.Fatalf("chunk=%d workers=%d: parallel stream differs from serial (%d vs %d bytes)",
+							chunk, w, len(got), len(serial))
+					}
+				}
+				// Cross-read both directions.
+				for _, w := range workerCounts {
+					r := compress.NewParallelReader(c, bytes.NewReader(serial), w)
+					back, err := io.ReadAll(r)
+					r.Close()
+					if err != nil {
+						t.Fatalf("chunk=%d workers=%d: parallel read of serial stream: %v", chunk, w, err)
+					}
+					if !bytes.Equal(back, in.data) {
+						t.Fatalf("chunk=%d workers=%d: parallel read mismatch", chunk, w)
+					}
+				}
+				back, err := io.ReadAll(compress.NewReader(c, bytes.NewReader(serial)))
+				if err != nil || !bytes.Equal(back, in.data) {
+					t.Fatalf("chunk=%d: serial re-read failed: %v", chunk, err)
+				}
+			}
+		})
+	}
+	t.Run("FaultEquivalence", func(t *testing.T) { streamFaultEquivalence(t, c) })
+}
+
+// streamFaultEquivalence corrupts a small multi-chunk stream and checks
+// that the serial and parallel decode paths fail identically.
+func streamFaultEquivalence(t *testing.T, c compress.Codec) {
+	t.Helper()
+	data := smoothFloatField(2 << 10) // 8 KiB over 2 KiB chunks -> 4 chunks
+	stream := serialStream(t, c, data, 2<<10)
+	lim := faultLimits(len(data))
+
+	check := func(desc string, mut []byte) {
+		sOut, sErr := io.ReadAll(compress.NewReaderLimits(c, bytes.NewReader(mut), lim))
+		r := compress.NewParallelReaderLimits(c, bytes.NewReader(mut), lim, 4)
+		pOut, pErr := io.ReadAll(r)
+		r.Close()
+		if (sErr == nil) != (pErr == nil) {
+			t.Fatalf("%s: serial err %v, parallel err %v", desc, sErr, pErr)
+		}
+		if !bytes.Equal(sOut, pOut) {
+			t.Fatalf("%s: serial delivered %d bytes, parallel %d", desc, len(sOut), len(pOut))
+		}
+		for _, sentinel := range []error{compress.ErrCorrupt, compress.ErrTruncated, compress.ErrLimitExceeded} {
+			if errors.Is(sErr, sentinel) != errors.Is(pErr, sentinel) {
+				t.Fatalf("%s: taxonomy mismatch for %v: serial %v, parallel %v", desc, sentinel, sErr, pErr)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(0xfa17))
+	for i := 0; i < 10; i++ {
+		cut := rng.Intn(len(stream))
+		check("truncation", stream[:cut])
+	}
+	for i := 0; i < 24; i++ {
+		pos := rng.Intn(8 * len(stream))
+		mut := append([]byte(nil), stream...)
+		mut[pos/8] ^= 1 << uint(pos%8)
+		check("bit flip", mut)
+	}
+}
+
+func serialStream(t *testing.T, c compress.Codec, data []byte, chunk int) []byte {
+	t.Helper()
+	var sink bytes.Buffer
+	w := compress.NewWriter(c, &sink, chunk)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Bytes()
+}
+
+func parallelStream(t *testing.T, c compress.Codec, data []byte, chunk, workers int) []byte {
+	t.Helper()
+	var sink bytes.Buffer
+	w := compress.NewParallelWriter(c, &sink, chunk, workers)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Bytes()
+}
+
+func randomBytes(n int, seed int64) []byte {
+	buf := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(buf)
+	return buf
+}
+
+// runsAndNoise interleaves long runs with noise bursts, the stress shape
+// the conformance suite uses.
+func runsAndNoise(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var buf []byte
+	for len(buf) < n {
+		if rng.Intn(3) == 0 {
+			chunk := make([]byte, rng.Intn(100)+1)
+			rng.Read(chunk)
+			buf = append(buf, chunk...)
+		} else {
+			buf = append(buf, bytes.Repeat([]byte{byte(rng.Intn(4))}, rng.Intn(500)+1)...)
+		}
+	}
+	return buf[:n]
+}

@@ -1,0 +1,95 @@
+package gzipc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+
+	"positbench/internal/compress/codectest"
+)
+
+// Differential tests against the standard library's gzip implementation:
+// every stream our codec emits must decode with compress/gzip, and every
+// stream compress/gzip emits (at any level, with or without header
+// metadata) must decode with our codec. The two directions together pin
+// the codec to the RFC 1952 wire format, not merely to itself.
+
+func TestDifferentialOursToStdlib(t *testing.T) {
+	c := New()
+	for _, in := range codectest.DifferentialInputs() {
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			comp, err := c.Compress(in.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zr, err := gzip.NewReader(bytes.NewReader(comp))
+			if err != nil {
+				t.Fatalf("stdlib rejected our header: %v", err)
+			}
+			back, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatalf("stdlib decode: %v", err)
+			}
+			if err := zr.Close(); err != nil {
+				t.Fatalf("stdlib checksum verification: %v", err)
+			}
+			if !bytes.Equal(back, in.Data) {
+				t.Fatalf("stdlib decoded %d bytes, want %d", len(back), len(in.Data))
+			}
+		})
+	}
+}
+
+func TestDifferentialStdlibToOurs(t *testing.T) {
+	c := New()
+	for _, in := range codectest.DifferentialInputs() {
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			for _, level := range []int{gzip.BestSpeed, 6, gzip.BestCompression} {
+				var buf bytes.Buffer
+				zw, err := gzip.NewWriterLevel(&buf, level)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := zw.Write(in.Data); err != nil {
+					t.Fatal(err)
+				}
+				if err := zw.Close(); err != nil {
+					t.Fatal(err)
+				}
+				back, err := c.Decompress(buf.Bytes())
+				if err != nil {
+					t.Fatalf("level %d: our decode: %v", level, err)
+				}
+				if !bytes.Equal(back, in.Data) {
+					t.Fatalf("level %d: decoded %d bytes, want %d", level, len(back), len(in.Data))
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentialStdlibHeaderMetadata(t *testing.T) {
+	// RFC 1952 headers may carry a name, comment, and mtime; our decoder
+	// must skip them transparently.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Name = "input.f32"
+	zw.Comment = "sdrbench sample"
+	payload := []byte("posit streams under test")
+	if _, err := zw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := New().Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatal("metadata-bearing stream misdecoded")
+	}
+}

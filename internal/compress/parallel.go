@@ -1,0 +1,390 @@
+package compress
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Parallel execution engine for the streaming layer. ParallelWriter and
+// ParallelReader speak exactly the chunked container of Writer/Reader
+// (uvarint compressed-chunk length prefixes, zero-length terminator), so the
+// serial and parallel paths are interchangeable on the wire: a stream
+// written by either is read by either, byte for byte.
+//
+// Ordering guarantee: chunks are compressed out of order across a bounded
+// worker pool but frames are emitted strictly in submission order, so for a
+// deterministic codec the parallel output is byte-identical to the serial
+// output at the same chunk size.
+//
+// Memory bound: at most workers+1 chunks are in flight on either side (one
+// filling/draining plus the pool's queue), so peak buffering is
+// O(workers x chunkSize) plus the compressed copies of those same chunks.
+//
+// Error semantics: first error in stream order wins and is sticky,
+// matching the serial path; ErrCorrupt/ErrTruncated/ErrLimitExceeded
+// surface identically because both paths share the same frame parser and
+// per-chunk DecompressLimits call.
+
+// pwJob is one chunk moving through the writer's pool: src is the raw
+// chunk, comp/err the compression result, ready closed when comp is set.
+type pwJob struct {
+	src   []byte
+	comp  []byte
+	err   error
+	ready chan struct{}
+}
+
+// ParallelWriter compresses a stream chunk by chunk on a bounded worker
+// pool, emitting frames in order. It is not safe for concurrent Write
+// calls (like any io.Writer); the parallelism is internal.
+type ParallelWriter struct {
+	codec   Codec
+	dst     io.Writer
+	chunk   int
+	workers int
+
+	buf   []byte
+	order chan *pwJob // submission order; capacity bounds in-flight chunks
+	jobs  chan *pwJob // work queue for the compressors
+	done  chan struct{}
+	wg    sync.WaitGroup
+	pool  sync.Pool
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// NewParallelWriter returns a parallel streaming compressor writing to dst.
+// chunkSize <= 0 selects DefaultChunkSize; workers <= 0 selects
+// runtime.GOMAXPROCS(0). With workers == 1 the output is still produced by
+// a pool of one, byte-identical to the serial Writer. Close must be called
+// to terminate the stream and release the pool's goroutines.
+func NewParallelWriter(codec Codec, dst io.Writer, chunkSize, workers int) *ParallelWriter {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	w := &ParallelWriter{
+		codec:   codec,
+		dst:     dst,
+		chunk:   chunkSize,
+		workers: workers,
+		order:   make(chan *pwJob, workers),
+		jobs:    make(chan *pwJob, workers),
+		done:    make(chan struct{}),
+	}
+	w.pool.New = func() interface{} { return make([]byte, 0, chunkSize) }
+	for i := 0; i < workers; i++ {
+		w.wg.Add(1)
+		go w.compressor()
+	}
+	go w.emitter()
+	return w
+}
+
+func (w *ParallelWriter) compressor() {
+	defer w.wg.Done()
+	for job := range w.jobs {
+		job.comp, job.err = w.codec.Compress(job.src)
+		close(job.ready)
+	}
+}
+
+// emitter writes frames in submission order. After the first error it keeps
+// draining so blocked producers and compressors always make progress, but
+// emits nothing further.
+func (w *ParallelWriter) emitter() {
+	defer close(w.done)
+	for job := range w.order {
+		<-job.ready
+		if err := w.firstErr(); err == nil {
+			if job.err != nil {
+				w.setErr(job.err)
+			} else {
+				w.setErr(writeFrame(w.dst, job.comp))
+			}
+		}
+		w.pool.Put(job.src[:0])
+	}
+}
+
+// writeFrame emits one chunk frame: uvarint(len+1) then the payload.
+func writeFrame(dst io.Writer, comp []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(comp))+1) // +1: 0 is the terminator
+	if _, err := dst.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := dst.Write(comp)
+	return err
+}
+
+func (w *ParallelWriter) setErr(err error) {
+	if err == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+func (w *ParallelWriter) firstErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Write implements io.Writer. A compression or sink error from an earlier
+// chunk surfaces on the next Write (or at Close) and is sticky.
+func (w *ParallelWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("compress: write after Close")
+	}
+	if err := w.firstErr(); err != nil {
+		return 0, err
+	}
+	if w.buf == nil {
+		w.buf = w.pool.Get().([]byte)[:0]
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := w.chunk - len(w.buf)
+		if room > len(p) {
+			room = len(p)
+		}
+		w.buf = append(w.buf, p[:room]...)
+		p = p[room:]
+		if len(w.buf) == w.chunk {
+			w.submit()
+		}
+	}
+	return total, nil
+}
+
+// submit hands the current chunk to the pool. Sending on order first
+// preserves emission order; its capacity is the back-pressure bound.
+func (w *ParallelWriter) submit() {
+	job := &pwJob{src: w.buf, ready: make(chan struct{})}
+	w.buf = nil
+	w.order <- job
+	w.jobs <- job
+}
+
+// Close flushes the final chunk, waits for the pool to drain, writes the
+// stream terminator, and releases all goroutines. It is idempotent.
+func (w *ParallelWriter) Close() error {
+	if w.closed {
+		return w.firstErr()
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		w.submit()
+	}
+	close(w.jobs)
+	close(w.order)
+	w.wg.Wait()
+	<-w.done
+	if err := w.firstErr(); err != nil {
+		return err
+	}
+	_, err := w.dst.Write([]byte{0})
+	w.setErr(err)
+	return err
+}
+
+// prSlot is one chunk moving through the reader's pool, in stream order.
+type prSlot struct {
+	comp  []byte
+	out   []byte
+	err   error // io.EOF marks the clean end of stream
+	ready chan struct{}
+}
+
+// ParallelReader decompresses a chunked stream with read-ahead workers:
+// frames are fetched and decompressed concurrently while Read returns
+// bytes strictly in stream order. It is not safe for concurrent Read
+// calls; the parallelism is internal.
+type ParallelReader struct {
+	slots chan *prSlot
+	jobs  chan *prSlot
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	buf []byte
+	err error
+}
+
+// NewParallelReader returns a parallel streaming decompressor over src with
+// default decode limits. workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewParallelReader(codec Codec, src io.Reader, workers int) *ParallelReader {
+	return NewParallelReaderLimits(codec, src, DecodeLimits{}, workers)
+}
+
+// NewParallelReaderLimits returns a parallel streaming decompressor that
+// enforces lim on every chunk, exactly as the serial Reader does. The
+// reader shuts its pool down on EOF or first error; call Close to release
+// it early when abandoning a stream mid-read.
+func NewParallelReaderLimits(codec Codec, src io.Reader, lim DecodeLimits, workers int) *ParallelReader {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &ParallelReader{
+		slots: make(chan *prSlot, workers),
+		jobs:  make(chan *prSlot, workers),
+		stop:  make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.fetch(bufio.NewReader(src), lim)
+	for i := 0; i < workers; i++ {
+		r.wg.Add(1)
+		go r.decompressor(codec, lim)
+	}
+	return r
+}
+
+// fetch parses frames in stream order, queueing each chunk for
+// decompression. The terminal condition (terminator, truncation, limit
+// trip, or I/O error) travels as a final pre-resolved slot so Read
+// surfaces it after every earlier chunk, matching the serial path.
+func (r *ParallelReader) fetch(src *bufio.Reader, lim DecodeLimits) {
+	defer r.wg.Done()
+	defer close(r.slots)
+	defer close(r.jobs)
+	for {
+		comp, err := readFrame(src, lim)
+		if err != nil || comp == nil {
+			if err == nil {
+				err = io.EOF // clean terminator
+			}
+			slot := &prSlot{err: err, ready: make(chan struct{})}
+			close(slot.ready)
+			select {
+			case r.slots <- slot:
+			case <-r.stop:
+			}
+			return
+		}
+		slot := &prSlot{comp: comp, ready: make(chan struct{})}
+		select {
+		case r.slots <- slot:
+		case <-r.stop:
+			return
+		}
+		select {
+		case r.jobs <- slot:
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+func (r *ParallelReader) decompressor(codec Codec, lim DecodeLimits) {
+	defer r.wg.Done()
+	for slot := range r.jobs {
+		select {
+		case <-r.stop:
+			slot.err = fmt.Errorf("compress: parallel reader closed")
+		default:
+			slot.out, slot.err = DecompressLimits(codec, slot.comp, lim)
+		}
+		slot.comp = nil
+		close(slot.ready)
+	}
+}
+
+// readFrame reads one chunk frame: the compressed payload, or (nil, nil) at
+// the stream terminator. Errors carry the same taxonomy as the serial path.
+func readFrame(src *bufio.Reader, lim DecodeLimits) ([]byte, error) {
+	length, err := binary.ReadUvarint(src)
+	if err != nil {
+		if err == io.EOF {
+			return nil, Errorf(ErrTruncated, "compress: missing stream terminator")
+		}
+		return nil, err
+	}
+	if length == 0 {
+		return nil, nil
+	}
+	compLen := length - 1
+	// A compressed chunk cannot usefully exceed the output cap by more than
+	// the worst-case incompressible overhead; a tampered prefix past that is
+	// rejected before any proportional allocation.
+	maxOut := lim.MaxOutputBytes
+	if maxOut <= 0 {
+		maxOut = DefaultMaxOutputBytes
+	}
+	if compLen > uint64(maxOut)+uint64(expansionSlack) {
+		return nil, Errorf(ErrLimitExceeded, "compress: chunk declares %d compressed bytes, limit %d", compLen, maxOut)
+	}
+	// ReadAll over a LimitReader grows with the data actually present, so a
+	// large declared length on a short stream costs nothing.
+	comp, err := io.ReadAll(io.LimitReader(src, int64(compLen)))
+	if err != nil {
+		return nil, fmt.Errorf("compress: chunk body: %w", err)
+	}
+	if uint64(len(comp)) < compLen {
+		return nil, Errorf(ErrTruncated, "compress: chunk body: %d of %d bytes", len(comp), compLen)
+	}
+	return comp, nil
+}
+
+// Read implements io.Reader. The first error in stream order is sticky and
+// shuts the pool down; a clean end of stream returns io.EOF likewise.
+func (r *ParallelReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.buf) == 0 {
+		slot, ok := <-r.slots
+		if !ok { // only after Close
+			r.err = fmt.Errorf("compress: read after Close")
+			return 0, r.err
+		}
+		<-slot.ready
+		if slot.err != nil {
+			r.err = slot.err
+			r.shutdown()
+			return 0, r.err
+		}
+		r.buf = slot.out
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+func (r *ParallelReader) shutdown() {
+	r.once.Do(func() { close(r.stop) })
+	// Unblock any pending slots so the fetcher and workers can exit, then
+	// wait for them: after shutdown returns, no goroutines remain.
+	go func() {
+		for range r.slots {
+		}
+	}()
+	r.wg.Wait()
+}
+
+// Close releases the read-ahead pool without consuming the rest of the
+// stream. It is safe after EOF or an error, and idempotent.
+func (r *ParallelReader) Close() error {
+	if r.err == nil {
+		r.err = fmt.Errorf("compress: read after Close")
+	}
+	r.shutdown()
+	return nil
+}
+
+var (
+	_ io.WriteCloser = (*ParallelWriter)(nil)
+	_ io.ReadCloser  = (*ParallelReader)(nil)
+)

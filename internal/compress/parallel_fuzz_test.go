@@ -1,0 +1,40 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzParallelReader differentially fuzzes the parallel decode path against
+// the serial Reader on arbitrary stream bytes: both must agree on success
+// vs failure and on the decoded prefix, and neither may panic, hang, or
+// leak goroutines. Run by `make fuzz-smoke` along with every other target.
+func FuzzParallelReader(f *testing.F) {
+	// Valid streams of 0, 1, and several chunks.
+	for _, size := range []int{0, 10, 3000} {
+		var sink bytes.Buffer
+		w := NewWriter(passthrough{}, &sink, 64)
+		w.Write(parallelData(size))
+		w.Close()
+		f.Add(sink.Bytes())
+	}
+	// Known-bad frames: truncation, garbage, and a chunk-length bomb.
+	f.Add([]byte{})
+	f.Add([]byte{5, 0xA5, 1})
+	f.Add(append(binary.AppendUvarint(nil, 1<<60), 0xA5, 1, 2, 3))
+	lim := DecodeLimits{MaxOutputBytes: 1 << 20}
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		serialOut, serialErr := io.ReadAll(NewReaderLimits(passthrough{}, bytes.NewReader(stream), lim))
+		r := NewParallelReaderLimits(passthrough{}, bytes.NewReader(stream), lim, 4)
+		parOut, parErr := io.ReadAll(r)
+		r.Close()
+		if (serialErr == nil) != (parErr == nil) {
+			t.Fatalf("decode disagreement: serial err %v, parallel err %v", serialErr, parErr)
+		}
+		if !bytes.Equal(serialOut, parOut) {
+			t.Fatalf("output disagreement: serial %d bytes, parallel %d bytes", len(serialOut), len(parOut))
+		}
+	})
+}

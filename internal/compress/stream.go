@@ -2,7 +2,6 @@ package compress
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 )
@@ -61,12 +60,7 @@ func (w *Writer) flush() error {
 	if err != nil {
 		return err
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(comp))+1) // +1: 0 is the terminator
-	if _, err := w.dst.Write(hdr[:n]); err != nil {
-		return err
-	}
-	if _, err := w.dst.Write(comp); err != nil {
+	if err := writeFrame(w.dst, comp); err != nil {
 		return err
 	}
 	w.buf = w.buf[:0]
@@ -132,36 +126,13 @@ func (r *Reader) Read(p []byte) (int, error) {
 }
 
 func (r *Reader) nextChunk() error {
-	length, err := binary.ReadUvarint(r.src)
+	comp, err := readFrame(r.src, r.lim)
 	if err != nil {
-		if err == io.EOF {
-			return Errorf(ErrTruncated, "compress: missing stream terminator")
-		}
 		return err
 	}
-	if length == 0 {
+	if comp == nil {
 		r.done = true
 		return nil
-	}
-	compLen := length - 1
-	// A compressed chunk cannot usefully exceed the output cap by more than
-	// the worst-case incompressible overhead; a tampered prefix past that is
-	// rejected before any proportional allocation.
-	maxOut := r.lim.MaxOutputBytes
-	if maxOut <= 0 {
-		maxOut = DefaultMaxOutputBytes
-	}
-	if compLen > uint64(maxOut)+uint64(expansionSlack) {
-		return Errorf(ErrLimitExceeded, "compress: chunk declares %d compressed bytes, limit %d", compLen, maxOut)
-	}
-	// ReadAll over a LimitReader grows with the data actually present, so a
-	// large declared length on a short stream costs nothing.
-	comp, err := io.ReadAll(io.LimitReader(r.src, int64(compLen)))
-	if err != nil {
-		return fmt.Errorf("compress: chunk body: %w", err)
-	}
-	if uint64(len(comp)) < compLen {
-		return Errorf(ErrTruncated, "compress: chunk body: %d of %d bytes", len(comp), compLen)
 	}
 	out, err := DecompressLimits(r.codec, comp, r.lim)
 	if err != nil {

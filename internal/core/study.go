@@ -39,6 +39,9 @@ type Options struct {
 	WithLC bool
 	// Verify roundtrips every compression and fails on any mismatch.
 	Verify bool
+	// Workers bounds the concurrent input preparations and codec runs
+	// (default GOMAXPROCS; the CLIs' -p flag lands here).
+	Workers int
 	// Progress, if non-nil, receives one line per completed step.
 	Progress func(format string, args ...interface{})
 }
@@ -46,6 +49,9 @@ type Options struct {
 func (o *Options) fill() {
 	if o.ValuesPerInput == 0 {
 		o.ValuesPerInput = sdrbench.DefaultValues
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Codecs == nil {
 		o.Codecs = all.Codecs()
@@ -99,14 +105,18 @@ type Study struct {
 }
 
 // PrepareInputs generates the 14 synthetic inputs and their posit
-// conversions in parallel.
-func PrepareInputs(nValues int, progress func(string, ...interface{})) []*Input {
+// conversions in parallel, at most workers at a time (<= 0 means
+// GOMAXPROCS).
+func PrepareInputs(nValues, workers int, progress func(string, ...interface{})) []*Input {
 	if progress == nil {
 		progress = func(string, ...interface{}) {}
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	specs := sdrbench.Inputs()
 	inputs := make([]*Input, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, spec := range specs {
 		wg.Add(1)
@@ -137,7 +147,7 @@ func PrepareInputs(nValues int, progress func(string, ...interface{})) []*Input 
 func Run(opts Options) (*Study, error) {
 	opts.fill()
 	st := &Study{Opts: opts}
-	st.Inputs = PrepareInputs(opts.ValuesPerInput, opts.Progress)
+	st.Inputs = PrepareInputs(opts.ValuesPerInput, opts.Workers, opts.Progress)
 
 	// General-purpose codecs: every codec x input x encoding cell runs in
 	// its own goroutine slot; results land in preallocated indices.
@@ -157,7 +167,7 @@ func Run(opts Options) (*Study, error) {
 	}
 	st.Measurements = make([]Measurement, len(cells))
 	errs := make([]error, len(cells))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, opts.Workers)
 	var wg sync.WaitGroup
 	for _, cl := range cells {
 		wg.Add(1)

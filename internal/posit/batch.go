@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Batch conversion between IEEE-754 binary32 streams and 32-bit posit
@@ -166,9 +167,27 @@ func (c Config) ConvertFileF32ToPosit(f32 []byte) ([]byte, ConvertStats, error) 
 	return EncodeWordsLE(words), stats, nil
 }
 
+// batchWorkers, when positive, caps the goroutine count of the batch
+// converters; zero means "use GOMAXPROCS".
+var batchWorkers atomic.Int32
+
+// SetBatchWorkers caps the worker count used by the slice converters and
+// RoundtripStats (the CLIs' -p flag lands here). n <= 0 restores the
+// GOMAXPROCS default. Safe to call concurrently with conversions; running
+// conversions keep the count they started with.
+func SetBatchWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	batchWorkers.Store(int32(n))
+}
+
 // workers picks a worker count for n items.
 func workers(n int) int {
-	nw := runtime.GOMAXPROCS(0)
+	nw := int(batchWorkers.Load())
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
 	if nw > n {
 		nw = n
 	}

@@ -1,0 +1,98 @@
+package posit
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate posit golden vector files")
+
+// Golden conversion vectors: for every grid configuration a checked-in file
+// pins float32 -> posit -> float32 down to the bit. The files freeze
+// today's (property- and anchor-verified) behaviour so any future change
+// to rounding, saturation, or special-value handling shows up as a diff,
+// not a silent drift. Regenerate deliberately with:
+//
+//	go test ./internal/posit -run TestGoldenVectors -update
+
+// goldenFloat32s is the deterministic input set: every boundary value plus
+// a seeded sample of ordinary magnitudes.
+func goldenFloat32s() []float32 {
+	vals := boundaryFloat32s()
+	vals = append(vals,
+		float32(math.Pi), float32(-math.Pi), float32(1.0/3.0), 0.1, -0.1,
+		123456.789, -123456.789, 65535, 1e-30, -1e30,
+	)
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 48; i++ {
+		vals = append(vals, float32(ldexpRand(rng, -24, 24)))
+	}
+	return vals
+}
+
+func goldenPath(c Config) string {
+	return filepath.Join("testdata", fmt.Sprintf("golden_p%de%d.txt", c.N, c.ES))
+}
+
+// goldenLine renders one vector: input float32 bits, posit bits, and the
+// bits of the float32 produced by converting back.
+func goldenLine(c Config, f float32) string {
+	p := c.FromFloat32(f)
+	back := c.ToFloat32(p)
+	return fmt.Sprintf("%08x %0*x %08x", math.Float32bits(f), int(c.N)/4, p, math.Float32bits(back))
+}
+
+func TestGoldenVectors(t *testing.T) {
+	vals := goldenFloat32s()
+	for _, c := range gridConfigs() {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			path := goldenPath(c)
+			if *updateGolden {
+				var b strings.Builder
+				fmt.Fprintf(&b, "# %s golden vectors: f32_bits posit_bits back_f32_bits\n", c)
+				for _, f := range vals {
+					b.WriteString(goldenLine(c, f))
+					b.WriteByte('\n')
+				}
+				if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			file, err := os.Open(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			defer file.Close()
+			sc := bufio.NewScanner(file)
+			i := 0
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if line == "" || strings.HasPrefix(line, "#") {
+					continue
+				}
+				if i >= len(vals) {
+					t.Fatalf("golden file has more vectors than the generator (line %q)", line)
+				}
+				if got := goldenLine(c, vals[i]); got != line {
+					t.Errorf("vector %d (%g): got %q, golden %q", i, vals[i], got, line)
+				}
+				i++
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if i != len(vals) {
+				t.Fatalf("golden file has %d vectors, generator produces %d (regenerate with -update)", i, len(vals))
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark regression records: `make bench` writes BENCH_compress.json so
+// throughput changes (serial vs parallel, per codec) are diffable across
+// commits and machines. The schema is deliberately flat for jq-ability.
+
+// BenchResult is one codec's serial-vs-parallel throughput comparison.
+type BenchResult struct {
+	Codec        string  `json:"codec"`
+	Workers      int     `json:"workers"`
+	InputBytes   int64   `json:"input_bytes"`
+	ChunkBytes   int     `json:"chunk_bytes"`
+	SerialMBps   float64 `json:"serial_mb_s"`
+	ParallelMBps float64 `json:"parallel_mb_s"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// BenchReport is the full BENCH_compress.json document.
+type BenchReport struct {
+	// GOMAXPROCS records the parallelism available to the run; speedups are
+	// only meaningful relative to it (a 1-CPU machine caps every speedup
+	// at ~1.0 regardless of worker count).
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// Fill computes Speedup for every result that has both throughputs.
+func (r *BenchReport) Fill() {
+	for i := range r.Results {
+		if s := r.Results[i].SerialMBps; s > 0 {
+			r.Results[i].Speedup = r.Results[i].ParallelMBps / s
+		}
+	}
+	sort.Slice(r.Results, func(i, j int) bool {
+		a, b := &r.Results[i], &r.Results[j]
+		if a.Codec != b.Codec {
+			return a.Codec < b.Codec
+		}
+		return a.Workers < b.Workers
+	})
+}
+
+// WriteBenchJSON fills derived fields and writes the report to path.
+func WriteBenchJSON(path string, r *BenchReport) error {
+	r.Fill()
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("stats: write bench report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := &BenchReport{
+		GOMAXPROCS: 4,
+		Results: []BenchResult{
+			{Codec: "zstd", Workers: 4, InputBytes: 1 << 22, ChunkBytes: 1 << 20, SerialMBps: 50, ParallelMBps: 150},
+			{Codec: "gzip", Workers: 4, InputBytes: 1 << 22, ChunkBytes: 1 << 20, SerialMBps: 20, ParallelMBps: 60},
+		},
+	}
+	if err := WriteBenchJSON(path, r); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 2 || back.GOMAXPROCS != 4 {
+		t.Fatalf("roundtrip: %+v", back)
+	}
+	// Fill computed speedups and sorted by codec name.
+	if back.Results[0].Codec != "gzip" || back.Results[1].Codec != "zstd" {
+		t.Fatalf("not sorted: %+v", back.Results)
+	}
+	for _, res := range back.Results {
+		if res.Speedup < 2.9 || res.Speedup > 3.1 {
+			t.Fatalf("speedup not derived: %+v", res)
+		}
+	}
+}
+
+func TestWriteBenchJSONZeroSerial(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := &BenchReport{Results: []BenchResult{{Codec: "xz", ParallelMBps: 10}}}
+	if err := WriteBenchJSON(path, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Results[0].Speedup != 0 {
+		t.Fatalf("speedup with zero serial baseline should stay 0, got %g", r.Results[0].Speedup)
+	}
+}
