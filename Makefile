@@ -6,6 +6,9 @@
 #                    known-bad frames; catches decode-path panics fast)
 #   make test-parallel  the parallel-engine test layer, race-enabled and
 #                    run twice (catches order-dependent scheduling bugs)
+#   make test-server the positd HTTP layer, race-enabled and run twice
+#   make smoke-server  boot a real positd, curl a compress/decompress
+#                    roundtrip through it, diff byte-identity
 #   make bench       serial-vs-parallel throughput; writes BENCH_compress.json
 #   make ci          everything above, in order
 
@@ -13,7 +16,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_WORKERS ?= 4
 
-.PHONY: all check vet build test race test-parallel bench fuzz-smoke ci
+.PHONY: all check vet build test race test-parallel test-server smoke-server bench fuzz-smoke ci
 
 all: check
 
@@ -36,6 +39,31 @@ race:
 test-parallel:
 	$(GO) test -race -count=2 -run 'Parallel|Stream|Equivalence' ./internal/compress/...
 
+# The HTTP service layer, twice under the race detector: handlers stream
+# through the parallel engine, so they inherit its scheduling sensitivity.
+test-server:
+	$(GO) test -race -count=2 ./internal/server/... ./cmd/positd/...
+
+# End-to-end smoke over a real process and real sockets: boot positd on a
+# random port, push a body through compress then decompress with curl, and
+# require byte identity. The -addr-file handshake avoids port races.
+smoke-server:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/positd ./cmd/positd; \
+	$$tmp/positd -addr 127.0.0.1:0 -addr-file $$tmp/addr >$$tmp/positd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "positd never wrote its address"; cat $$tmp/positd.log; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	curl -sSf "http://$$addr/healthz" >/dev/null; \
+	head -c 262144 /dev/urandom >$$tmp/in.bin; \
+	curl -sSf --data-binary @$$tmp/in.bin "http://$$addr/v1/compress/zstd" -o $$tmp/out.z; \
+	curl -sSf --data-binary @$$tmp/out.z "http://$$addr/v1/decompress" -o $$tmp/out.bin; \
+	cmp $$tmp/in.bin $$tmp/out.bin; \
+	curl -sSf "http://$$addr/metrics" | grep -q '"codecs"'; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "smoke-server: roundtrip byte-identical, drain clean"
+
 # One pass of each throughput benchmark, recorded to BENCH_compress.json so
 # serial-vs-parallel speedups are diffable across commits.
 bench:
@@ -54,4 +82,4 @@ fuzz-smoke:
 		done; \
 	done
 
-ci: check race test-parallel fuzz-smoke
+ci: check race test-parallel test-server smoke-server fuzz-smoke

@@ -7,12 +7,13 @@
 //
 // Usage:
 //
-//	compressbench [-codecs xz,bzip2] [-p N] [-verify] file1 [file2 ...]
+//	compressbench [-codecs xz,bzip2] [-p N] [-verify] [-json] file1 [file2 ...]
 //	compressbench -z xz input output.pbcf
 //	compressbench -d [-max-out N] input.pbcf output
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +44,8 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(io.Discard)
 	names := fs.String("codecs", strings.Join(all.Names(), ","),
 		"comma-separated codec subset (add 'lc' for the LC pipeline search)")
+	jsonOut := fs.Bool("json", false,
+		"emit the ratio report as JSON; cell failures are embedded per cell and the exit code is non-zero")
 	verify := fs.Bool("verify", false, "roundtrip-verify every compression")
 	workers := fs.Int("p", 0, "max concurrent file x codec runs (0 = GOMAXPROCS)")
 	zName := fs.String("z", "", "compress one file into a framed blob with the named codec")
@@ -88,10 +91,13 @@ func run(args []string, stdout io.Writer) error {
 	cells := make([]cell, nFiles*nCols)
 	errs := make([]error, nFiles*nCols)
 	data := make([][]byte, nFiles)
+	readErrs := make([]error, nFiles)
 	for i, path := range files {
-		var err error
-		if data[i], err = os.ReadFile(path); err != nil {
-			return err
+		data[i], readErrs[i] = os.ReadFile(path)
+		if readErrs[i] != nil && !*jsonOut {
+			// Table mode fails fast; JSON mode keeps going and embeds the
+			// read failure in every cell of that file's row.
+			return readErrs[i]
 		}
 	}
 	nw := *workers
@@ -111,6 +117,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	for fi := range files {
 		fi := fi
+		if readErrs[fi] != nil {
+			for ci := 0; ci < nCols; ci++ {
+				errs[fi*nCols+ci] = readErrs[fi]
+			}
+			continue
+		}
 		for ci, c := range codecs {
 			c := c
 			runCell(fi*nCols+ci, func() (cell, error) {
@@ -152,6 +164,50 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	wg.Wait()
+	colName := func(ci int) string {
+		if ci < len(codecs) {
+			return codecs[ci].Name()
+		}
+		return "lc"
+	}
+
+	// JSON mode renders every cell — including the failed ones — and then
+	// fails the run if anything failed, so CI gets both the full picture and
+	// a red exit.
+	if *jsonOut {
+		var rep stats.RatioReport
+		for ci := 0; ci < nCols; ci++ {
+			rep.Codecs = append(rep.Codecs, colName(ci))
+		}
+		for fi, path := range files {
+			rf := stats.RatioFile{File: filepath.Base(path), SizeBytes: len(data[fi])}
+			for ci := 0; ci < nCols; ci++ {
+				idx := fi*nCols + ci
+				rc := stats.RatioCell{Codec: colName(ci)}
+				if errs[idx] != nil {
+					rc.Error = errs[idx].Error()
+				} else {
+					rc.Ratio = cells[idx].ratio
+					if colName(ci) == "lc" {
+						rc.Detail = cells[idx].label
+					}
+				}
+				rf.Cells = append(rf.Cells, rc)
+			}
+			rep.Files = append(rep.Files, rf)
+		}
+		rep.Finish()
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			return err
+		}
+		if rep.Errors > 0 {
+			return fmt.Errorf("%d of %d cells failed", rep.Errors, len(files)*nCols)
+		}
+		return nil
+	}
+
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -160,12 +216,6 @@ func run(args []string, stdout io.Writer) error {
 
 	table := stats.NewTable(append([]string{"File", "Size"}, codecNames(codecs, wantLC)...)...)
 	ratios := map[string][]float64{}
-	colName := func(ci int) string {
-		if ci < len(codecs) {
-			return codecs[ci].Name()
-		}
-		return "lc"
-	}
 	for fi, path := range files {
 		row := []interface{}{filepath.Base(path), len(data[fi])}
 		for ci := 0; ci < nCols; ci++ {

@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"positbench/internal/stats"
 )
 
 func writeField(t *testing.T, dir, name string, n int) string {
@@ -52,6 +55,75 @@ func TestRunWithLC(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "|") { // pipeline string present
 		t.Fatalf("LC pipeline missing:\n%s", out.String())
+	}
+}
+
+// TestRunJSON checks the machine-readable report: valid schema, per-cell
+// ratios, LC pipeline detail, and geomeans over requested codecs only.
+func TestRunJSON(t *testing.T) {
+	dir := t.TempDir()
+	f1 := writeField(t, dir, "a.f32", 2000)
+	f2 := writeField(t, dir, "b.f32", 1000)
+	var out bytes.Buffer
+	if err := run([]string{"-json", "-codecs", "lz4,gzip,lc", f1, f2}, &out); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	var rep stats.RatioReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not a RatioReport: %v\n%s", err, out.String())
+	}
+	if want := []string{"lz4", "gzip", "lc"}; len(rep.Codecs) != len(want) {
+		t.Fatalf("codecs = %v, want %v", rep.Codecs, want)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d on clean inputs", rep.Errors)
+	}
+	if len(rep.Files) != 2 || len(rep.Files[0].Cells) != 3 {
+		t.Fatalf("report shape: %d files x %d cells", len(rep.Files), len(rep.Files[0].Cells))
+	}
+	for _, f := range rep.Files {
+		for _, c := range f.Cells {
+			if c.Ratio <= 0 {
+				t.Fatalf("%s/%s ratio = %v", f.File, c.Codec, c.Ratio)
+			}
+			if c.Codec == "lc" && !strings.Contains(c.Detail, "|") {
+				t.Fatalf("lc cell missing pipeline detail: %+v", c)
+			}
+		}
+	}
+	for _, codec := range []string{"lz4", "gzip", "lc"} {
+		if rep.GeoMeans[codec] <= 0 {
+			t.Fatalf("geomean missing for %s: %v", codec, rep.GeoMeans)
+		}
+	}
+}
+
+// TestRunJSONCellFailure: a failed row still renders (full picture for CI)
+// but the run exits non-zero, and healthy rows keep their numbers.
+func TestRunJSONCellFailure(t *testing.T) {
+	dir := t.TempDir()
+	good := writeField(t, dir, "good.f32", 1000)
+	missing := filepath.Join(dir, "missing.f32")
+	var out bytes.Buffer
+	err := run([]string{"-json", "-codecs", "gzip", good, missing}, &out)
+	if err == nil {
+		t.Fatal("run with a failed cell exited clean")
+	}
+	var rep stats.RatioReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("failed run still must emit the report: %v\n%s", err, out.String())
+	}
+	if rep.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", rep.Errors)
+	}
+	if rep.Files[0].Cells[0].Error != "" || rep.Files[0].Cells[0].Ratio <= 0 {
+		t.Fatalf("healthy cell damaged: %+v", rep.Files[0].Cells[0])
+	}
+	if rep.Files[1].Cells[0].Error == "" {
+		t.Fatalf("failed cell missing its error: %+v", rep.Files[1].Cells[0])
+	}
+	if rep.GeoMeans["gzip"] <= 0 {
+		t.Fatalf("geomean must still cover the healthy cells: %v", rep.GeoMeans)
 	}
 }
 

@@ -1,0 +1,113 @@
+// Command positd serves the positbench codec registry and conversion
+// pipeline over HTTP: streaming compression and decompression, float32 <->
+// posit batch conversion, and IEEE-754 field analysis, with the production
+// posture (body caps, decode limits, admission control, request deadlines,
+// graceful drain) configured from flags.
+//
+// Usage:
+//
+//	positd [-addr :8080] [-max-body N] [-max-out N] [-inflight N]
+//	       [-timeout D] [-chunk N] [-workers N] [-drain D] [-addr-file PATH]
+//
+// The process runs until SIGINT or SIGTERM, then drains: the listener
+// closes immediately, in-flight requests get up to -drain to finish, and
+// the exit code reports whether the drain completed (0) or was cut off (1).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"positbench/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("positd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile = fs.String("addr-file", "", "write the bound listen address to this file once serving (for scripts)")
+		maxBody  = fs.Int64("max-body", server.DefaultMaxBodyBytes, "hard cap on any request body, bytes")
+		maxOut   = fs.Int64("max-out", 0, "cap on decoded bytes per chunk; 0 selects the compress package default")
+		inflight = fs.Int("inflight", server.DefaultMaxInflight, "max concurrently served API requests; excess load is shed with 429")
+		timeout  = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline; <0 disables")
+		chunk    = fs.Int("chunk", 0, "streaming chunk size, bytes; 0 selects the compress package default")
+		workers  = fs.Int("workers", 0, "worker pool size per request; 0 selects GOMAXPROCS")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv, err := server.New(server.Config{
+		MaxBodyBytes:   *maxBody,
+		MaxOutputBytes: *maxOut,
+		MaxInflight:    *inflight,
+		RequestTimeout: *timeout,
+		ChunkSize:      *chunk,
+		Workers:        *workers,
+	})
+	if err != nil {
+		log.Printf("positd: %v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("positd: listen %s: %v", *addr, err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Atomic rename so a polling script never reads a half-written file.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			log.Printf("positd: write addr-file: %v", err)
+			return 1
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Printf("positd: write addr-file: %v", err)
+			return 1
+		}
+		defer os.Remove(*addrFile)
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("positd: serving on %s", bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-stop:
+		log.Printf("positd: %v: draining for up to %v", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("positd: drain cut off: %v", err)
+			hs.Close()
+			return 1
+		}
+		log.Printf("positd: drained clean")
+		return 0
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("positd: serve: %v", err)
+			return 1
+		}
+		return 0
+	}
+}

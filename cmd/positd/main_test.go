@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServeAndDrain boots the daemon on a random port, round-trips a
+// body through it, then sends SIGTERM and expects a clean (exit 0) drain.
+func TestRunServeAndDrain(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	exitC := make(chan int, 1)
+	go func() {
+		exitC <- run([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-drain", "5s"})
+	}()
+
+	addr := waitForAddr(t, addrFile)
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	orig := bytes.Repeat([]byte("positd smoke payload "), 512)
+	comp := postOK(t, base+"/v1/compress/gzip", orig)
+	back := postOK(t, base+"/v1/decompress", comp)
+	if !bytes.Equal(back, orig) {
+		t.Fatalf("roundtrip mismatch: %d in, %d out", len(orig), len(back))
+	}
+
+	// SIGTERM to our own process reaches the daemon's signal handler.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitC:
+		if code != 0 {
+			t.Fatalf("run exited %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if _, err := os.Stat(addrFile); !os.IsNotExist(err) {
+		t.Fatalf("addr-file not cleaned up: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if code := run([]string{"-addr"}); code != 2 {
+		t.Fatalf("bad flags exited %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:bogus"}); code != 1 {
+		t.Fatalf("bad listen address exited %d, want 1", code)
+	}
+}
+
+func waitForAddr(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if blob, err := os.ReadFile(path); err == nil {
+			return strings.TrimSpace(string(blob))
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("addr-file never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func postOK(t *testing.T, url string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s = %d: %s", url, resp.StatusCode, out)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package compress
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -46,6 +47,7 @@ type ParallelWriter struct {
 	dst     io.Writer
 	chunk   int
 	workers int
+	ctx     context.Context
 
 	buf   []byte
 	order chan *pwJob // submission order; capacity bounds in-flight chunks
@@ -65,6 +67,15 @@ type ParallelWriter struct {
 // a pool of one, byte-identical to the serial Writer. Close must be called
 // to terminate the stream and release the pool's goroutines.
 func NewParallelWriter(codec Codec, dst io.Writer, chunkSize, workers int) *ParallelWriter {
+	return NewParallelWriterContext(context.Background(), codec, dst, chunkSize, workers)
+}
+
+// NewParallelWriterContext is NewParallelWriter bound to a context: once ctx
+// is cancelled, pending chunks are skipped instead of compressed, the
+// context error becomes the writer's sticky error, and Close still reclaims
+// every goroutine. Serving paths use this so an abandoned request cannot
+// leave a worker pool compressing for nobody.
+func NewParallelWriterContext(ctx context.Context, codec Codec, dst io.Writer, chunkSize, workers int) *ParallelWriter {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
@@ -76,6 +87,7 @@ func NewParallelWriter(codec Codec, dst io.Writer, chunkSize, workers int) *Para
 		dst:     dst,
 		chunk:   chunkSize,
 		workers: workers,
+		ctx:     ctx,
 		order:   make(chan *pwJob, workers),
 		jobs:    make(chan *pwJob, workers),
 		done:    make(chan struct{}),
@@ -92,7 +104,11 @@ func NewParallelWriter(codec Codec, dst io.Writer, chunkSize, workers int) *Para
 func (w *ParallelWriter) compressor() {
 	defer w.wg.Done()
 	for job := range w.jobs {
-		job.comp, job.err = w.codec.Compress(job.src)
+		if err := w.ctx.Err(); err != nil {
+			job.err = err
+		} else {
+			job.comp, job.err = w.codec.Compress(job.src)
+		}
 		close(job.ready)
 	}
 }
@@ -149,6 +165,10 @@ func (w *ParallelWriter) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("compress: write after Close")
 	}
+	if err := w.ctx.Err(); err != nil {
+		w.setErr(err)
+		return 0, err
+	}
 	if err := w.firstErr(); err != nil {
 		return 0, err
 	}
@@ -193,12 +213,29 @@ func (w *ParallelWriter) Close() error {
 	close(w.order)
 	w.wg.Wait()
 	<-w.done
+	if err := w.ctx.Err(); err != nil {
+		w.setErr(err)
+	}
 	if err := w.firstErr(); err != nil {
 		return err
 	}
 	_, err := w.dst.Write([]byte{0})
 	w.setErr(err)
 	return err
+}
+
+// CloseWithError poisons the writer with err and then closes it: the
+// pending partial chunk and the stream terminator are NOT emitted, and the
+// pool is released. Serving paths use it to abandon a stream whose source
+// failed, so a broken upload cannot flush a tail that masquerades as a
+// valid stream. Frames already emitted before the error stay on the wire —
+// the caller owns signalling the abort downstream.
+func (w *ParallelWriter) CloseWithError(err error) error {
+	if err == nil {
+		return w.Close()
+	}
+	w.setErr(err)
+	return w.Close()
 }
 
 // prSlot is one chunk moving through the reader's pool, in stream order.
@@ -214,11 +251,14 @@ type prSlot struct {
 // bytes strictly in stream order. It is not safe for concurrent Read
 // calls; the parallelism is internal.
 type ParallelReader struct {
-	slots chan *prSlot
-	jobs  chan *prSlot
-	stop  chan struct{}
-	once  sync.Once
-	wg    sync.WaitGroup
+	ctx      context.Context
+	slots    chan *prSlot
+	jobs     chan *prSlot
+	stop     chan struct{}
+	once     sync.Once
+	finished chan struct{} // closed once the pool has fully drained
+	finOnce  sync.Once
+	wg       sync.WaitGroup
 
 	buf []byte
 	err error
@@ -235,19 +275,39 @@ func NewParallelReader(codec Codec, src io.Reader, workers int) *ParallelReader 
 // reader shuts its pool down on EOF or first error; call Close to release
 // it early when abandoning a stream mid-read.
 func NewParallelReaderLimits(codec Codec, src io.Reader, lim DecodeLimits, workers int) *ParallelReader {
+	return NewParallelReaderContext(context.Background(), codec, src, lim, workers)
+}
+
+// NewParallelReaderContext is NewParallelReaderLimits bound to a context:
+// once ctx is cancelled the read-ahead pool stops fetching and decoding,
+// Read surfaces the context error, and the pool's goroutines exit without
+// waiting for EOF. Serving paths use this so request cancellation cannot
+// leak in-flight decode workers.
+func NewParallelReaderContext(ctx context.Context, codec Codec, src io.Reader, lim DecodeLimits, workers int) *ParallelReader {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	r := &ParallelReader{
-		slots: make(chan *prSlot, workers),
-		jobs:  make(chan *prSlot, workers),
-		stop:  make(chan struct{}),
+		ctx:      ctx,
+		slots:    make(chan *prSlot, workers),
+		jobs:     make(chan *prSlot, workers),
+		stop:     make(chan struct{}),
+		finished: make(chan struct{}),
 	}
 	r.wg.Add(1)
 	go r.fetch(bufio.NewReader(src), lim)
 	for i := 0; i < workers; i++ {
 		r.wg.Add(1)
 		go r.decompressor(codec, lim)
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				r.once.Do(func() { close(r.stop) })
+			case <-r.finished:
+			}
+		}()
 	}
 	return r
 }
@@ -293,7 +353,7 @@ func (r *ParallelReader) decompressor(codec Codec, lim DecodeLimits) {
 	for slot := range r.jobs {
 		select {
 		case <-r.stop:
-			slot.err = fmt.Errorf("compress: parallel reader closed")
+			slot.err = r.closedErr()
 		default:
 			slot.out, slot.err = DecompressLimits(codec, slot.comp, lim)
 		}
@@ -338,6 +398,16 @@ func readFrame(src *bufio.Reader, lim DecodeLimits) ([]byte, error) {
 	return comp, nil
 }
 
+// closedErr is the sticky error for reads that raced pool shutdown: the
+// context error when cancellation triggered it, a generic message when
+// Close did.
+func (r *ParallelReader) closedErr() error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("compress: parallel reader closed")
+}
+
 // Read implements io.Reader. The first error in stream order is sticky and
 // shuts the pool down; a clean end of stream returns io.EOF likewise.
 func (r *ParallelReader) Read(p []byte) (int, error) {
@@ -346,8 +416,13 @@ func (r *ParallelReader) Read(p []byte) (int, error) {
 	}
 	for len(r.buf) == 0 {
 		slot, ok := <-r.slots
-		if !ok { // only after Close
-			r.err = fmt.Errorf("compress: read after Close")
+		if !ok { // only after Close or context cancellation
+			if err := r.ctx.Err(); err != nil {
+				r.err = err
+				r.shutdown()
+			} else {
+				r.err = fmt.Errorf("compress: read after Close")
+			}
 			return 0, r.err
 		}
 		<-slot.ready
@@ -372,6 +447,7 @@ func (r *ParallelReader) shutdown() {
 		}
 	}()
 	r.wg.Wait()
+	r.finOnce.Do(func() { close(r.finished) })
 }
 
 // Close releases the read-ahead pool without consuming the rest of the

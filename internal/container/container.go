@@ -46,6 +46,7 @@ func Checksum(p []byte) uint32 { return crc32.Checksum(p, crcTable) }
 type Header struct {
 	Codec      string // codec name the payload was compressed with
 	OrigLen    uint64 // declared decompressed length
+	PayloadLen uint64 // declared compressed payload length
 	PayloadCRC uint32 // CRC-32C of the compressed payload
 	OrigCRC    uint32 // CRC-32C of the decompressed output
 }
@@ -68,58 +69,76 @@ func Encode(codecName string, orig, payload []byte) ([]byte, error) {
 	return append(out, payload...), nil
 }
 
-// Decode parses and validates a frame, returning the header and the payload
-// (aliasing frame). It verifies the magic, version, structural lengths, and
-// the payload checksum; the output-side checks happen in VerifyOutput once
-// the payload has been decompressed.
-func Decode(frame []byte) (Header, []byte, error) {
+// MaxHeaderLen bounds the encoded header: magic, version, name length, a
+// maximal codec name, two maximal uvarints, and both checksums. Peeking
+// this many bytes from a stream is always enough to ParseHeader a frame.
+const MaxHeaderLen = len(Magic) + 2 + MaxCodecName + 2*binary.MaxVarintLen64 + 8
+
+// ParseHeader parses the frame envelope from the start of b, which need not
+// contain the payload: the returned count is the header's encoded length,
+// so b[n:] is where the payload begins. Serving paths use it to identify
+// the codec of an incoming stream from a bounded prefix before committing
+// any resources to the body. Errors carry the usual taxonomy (ErrBadMagic,
+// ErrVersion, ErrTruncated, ErrCorrupt).
+func ParseHeader(b []byte) (Header, int, error) {
 	var h Header
 	for i := 0; i < len(Magic); i++ {
-		if i >= len(frame) {
-			return h, nil, compress.Errorf(compress.ErrTruncated, "container: %d-byte frame shorter than magic", len(frame))
+		if i >= len(b) {
+			return h, 0, compress.Errorf(compress.ErrTruncated, "container: %d-byte frame shorter than magic", len(b))
 		}
-		if frame[i] != Magic[i] {
-			return h, nil, compress.Errorf(compress.ErrBadMagic, "container: magic %q", frame[:i+1])
+		if b[i] != Magic[i] {
+			return h, 0, compress.Errorf(compress.ErrBadMagic, "container: magic %q", b[:i+1])
 		}
 	}
-	rest := frame[len(Magic):]
+	rest := b[len(Magic):]
 	if len(rest) < 2 {
-		return h, nil, compress.Errorf(compress.ErrTruncated, "container: missing version/name header")
+		return h, 0, compress.Errorf(compress.ErrTruncated, "container: missing version/name header")
 	}
 	if rest[0] != Version {
-		return h, nil, compress.Errorf(compress.ErrVersion, "container: version %d (supported: %d)", rest[0], Version)
+		return h, 0, compress.Errorf(compress.ErrVersion, "container: version %d (supported: %d)", rest[0], Version)
 	}
 	nameLen := int(rest[1])
 	rest = rest[2:]
 	if nameLen < 1 || nameLen > MaxCodecName {
-		return h, nil, compress.Errorf(compress.ErrCorrupt, "container: codec name length %d", nameLen)
+		return h, 0, compress.Errorf(compress.ErrCorrupt, "container: codec name length %d", nameLen)
 	}
 	if len(rest) < nameLen {
-		return h, nil, compress.Errorf(compress.ErrTruncated, "container: truncated codec name")
+		return h, 0, compress.Errorf(compress.ErrTruncated, "container: truncated codec name")
 	}
 	h.Codec = string(rest[:nameLen])
 	rest = rest[nameLen:]
 	var used int
 	if h.OrigLen, used = binary.Uvarint(rest); used <= 0 {
-		return h, nil, uvarintErr("original length", used)
+		return h, 0, uvarintErr("original length", used)
 	}
 	rest = rest[used:]
-	var payloadLen uint64
-	if payloadLen, used = binary.Uvarint(rest); used <= 0 {
-		return h, nil, uvarintErr("payload length", used)
+	if h.PayloadLen, used = binary.Uvarint(rest); used <= 0 {
+		return h, 0, uvarintErr("payload length", used)
 	}
 	rest = rest[used:]
 	if len(rest) < 8 {
-		return h, nil, compress.Errorf(compress.ErrTruncated, "container: truncated checksums")
+		return h, 0, compress.Errorf(compress.ErrTruncated, "container: truncated checksums")
 	}
 	h.PayloadCRC = binary.LittleEndian.Uint32(rest)
 	h.OrigCRC = binary.LittleEndian.Uint32(rest[4:])
-	rest = rest[8:]
-	if payloadLen > uint64(len(rest)) {
-		return h, nil, compress.Errorf(compress.ErrTruncated, "container: payload %d bytes declared, %d present", payloadLen, len(rest))
+	return h, len(b) - len(rest) + 8, nil
+}
+
+// Decode parses and validates a frame, returning the header and the payload
+// (aliasing frame). It verifies the magic, version, structural lengths, and
+// the payload checksum; the output-side checks happen in VerifyOutput once
+// the payload has been decompressed.
+func Decode(frame []byte) (Header, []byte, error) {
+	h, n, err := ParseHeader(frame)
+	if err != nil {
+		return h, nil, err
 	}
-	if payloadLen < uint64(len(rest)) {
-		return h, nil, compress.Errorf(compress.ErrCorrupt, "container: %d trailing bytes after payload", uint64(len(rest))-payloadLen)
+	rest := frame[n:]
+	if h.PayloadLen > uint64(len(rest)) {
+		return h, nil, compress.Errorf(compress.ErrTruncated, "container: payload %d bytes declared, %d present", h.PayloadLen, len(rest))
+	}
+	if h.PayloadLen < uint64(len(rest)) {
+		return h, nil, compress.Errorf(compress.ErrCorrupt, "container: %d trailing bytes after payload", uint64(len(rest))-h.PayloadLen)
 	}
 	if got := Checksum(rest); got != h.PayloadCRC {
 		return h, nil, compress.Errorf(compress.ErrCorrupt, "container: payload checksum %08x, want %08x", got, h.PayloadCRC)

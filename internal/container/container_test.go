@@ -156,3 +156,67 @@ func TestWrapIdempotent(t *testing.T) {
 		t.Fatal("double Wrap nested frames")
 	}
 }
+
+func TestParseHeaderPrefix(t *testing.T) {
+	src := []byte("payload for header sniffing")
+	frame, err := Wrap(stub{}).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full frame parses.
+	h, n, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Codec != "stub" {
+		t.Fatalf("codec %q", h.Codec)
+	}
+	if h.OrigLen != uint64(len(src)) {
+		t.Fatalf("orig len %d, want %d", h.OrigLen, len(src))
+	}
+	if h.PayloadLen != uint64(len(frame)-n) {
+		t.Fatalf("payload len %d, frame has %d after header", h.PayloadLen, len(frame)-n)
+	}
+	// Any prefix of at least MaxHeaderLen bytes parses identically: this is
+	// the contract the serving path's codec sniffing relies on.
+	if len(frame) > MaxHeaderLen {
+		h2, n2, err := ParseHeader(frame[:MaxHeaderLen])
+		if err != nil || h2 != h || n2 != n {
+			t.Fatalf("prefix parse diverged: %+v %d %v", h2, n2, err)
+		}
+	}
+	// The exact header length is sufficient.
+	h3, n3, err := ParseHeader(frame[:n])
+	if err != nil || h3 != h || n3 != n {
+		t.Fatalf("exact-header parse diverged: %+v %d %v", h3, n3, err)
+	}
+	// One byte short of the header is ErrTruncated.
+	if _, _, err := ParseHeader(frame[:n-1]); !errors.Is(err, compress.ErrTruncated) {
+		t.Fatalf("short header: %v, want ErrTruncated", err)
+	}
+	// Garbage is ErrBadMagic.
+	if _, _, err := ParseHeader([]byte("not a frame")); !errors.Is(err, compress.ErrBadMagic) {
+		t.Fatalf("garbage: %v, want ErrBadMagic", err)
+	}
+}
+
+func TestParseHeaderAgreesWithDecode(t *testing.T) {
+	frame, err := Wrap(stub{}).Compress(bytes.Repeat([]byte{3}, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, n, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, payload, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp != hd {
+		t.Fatalf("headers diverge: %+v vs %+v", hp, hd)
+	}
+	if !bytes.Equal(frame[n:], payload) {
+		t.Fatal("header length does not locate the payload")
+	}
+}

@@ -35,10 +35,18 @@ func (s ConvertStats) PrecisePct() float64 {
 // FromFloat32Slice converts src into posit bit patterns under c.
 // dst must have len(src) capacity; if nil a new slice is allocated.
 func (c Config) FromFloat32Slice(dst []uint32, src []float32) []uint32 {
+	return c.FromFloat32SliceWorkers(dst, src, 0)
+}
+
+// FromFloat32SliceWorkers is FromFloat32Slice with an explicit worker
+// count for this call only; n <= 0 falls back to the SetBatchWorkers /
+// GOMAXPROCS default. Serving paths use the per-call form so one request's
+// knob cannot perturb another's.
+func (c Config) FromFloat32SliceWorkers(dst []uint32, src []float32, n int) []uint32 {
 	if dst == nil {
 		dst = make([]uint32, len(src))
 	}
-	parallelRange(len(src), func(lo, hi int) {
+	parallelRangeN(len(src), n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = uint32(c.FromFloat32(src[i]))
 		}
@@ -48,10 +56,16 @@ func (c Config) FromFloat32Slice(dst []uint32, src []float32) []uint32 {
 
 // ToFloat32Slice converts posit bit patterns back to float32.
 func (c Config) ToFloat32Slice(dst []float32, src []uint32) []float32 {
+	return c.ToFloat32SliceWorkers(dst, src, 0)
+}
+
+// ToFloat32SliceWorkers is ToFloat32Slice with a per-call worker count
+// (n <= 0 selects the package default).
+func (c Config) ToFloat32SliceWorkers(dst []float32, src []uint32, n int) []float32 {
 	if dst == nil {
 		dst = make([]float32, len(src))
 	}
-	parallelRange(len(src), func(lo, hi int) {
+	parallelRangeN(len(src), n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = c.ToFloat32(uint64(src[i]))
 		}
@@ -63,7 +77,13 @@ func (c Config) ToFloat32Slice(dst []float32, src []uint32) []float32 {
 // survive exactly. NaN inputs count as exact when the roundtrip returns any
 // NaN (posits collapse all NaNs to NaR).
 func (c Config) RoundtripStats(src []float32) ConvertStats {
-	nw := workers(len(src))
+	return c.RoundtripStatsWorkers(src, 0)
+}
+
+// RoundtripStatsWorkers is RoundtripStats with a per-call worker count
+// (nWorkers <= 0 selects the package default).
+func (c Config) RoundtripStatsWorkers(src []float32, nWorkers int) ConvertStats {
+	nw := clampWorkers(nWorkers, len(src))
 	partial := make([]ConvertStats, nw)
 	var wg sync.WaitGroup
 	chunk := (len(src) + nw - 1) / nw
@@ -182,9 +202,15 @@ func SetBatchWorkers(n int) {
 	batchWorkers.Store(int32(n))
 }
 
-// workers picks a worker count for n items.
-func workers(n int) int {
-	nw := int(batchWorkers.Load())
+// workers picks a worker count for n items from the package default.
+func workers(n int) int { return clampWorkers(0, n) }
+
+// clampWorkers resolves an explicit per-call worker count (or the package
+// default when nw <= 0) and clamps it to [1, n].
+func clampWorkers(nw, n int) int {
+	if nw <= 0 {
+		nw = int(batchWorkers.Load())
+	}
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
@@ -200,8 +226,12 @@ func workers(n int) int {
 // parallelRange splits [0,n) across GOMAXPROCS goroutines. Each worker
 // receives a contiguous half-open interval; results must be written to
 // per-index slots so output is deterministic.
-func parallelRange(n int, fn func(lo, hi int)) {
-	nw := workers(n)
+func parallelRange(n int, fn func(lo, hi int)) { parallelRangeN(n, 0, fn) }
+
+// parallelRangeN is parallelRange with an explicit worker count (nWorkers
+// <= 0 selects the package default).
+func parallelRangeN(n, nWorkers int, fn func(lo, hi int)) {
+	nw := clampWorkers(nWorkers, n)
 	if nw == 1 {
 		fn(0, n)
 		return

@@ -153,3 +153,42 @@ func BenchmarkToFloat32(b *testing.B) {
 		c.ToFloat32Slice(dst, src)
 	}
 }
+
+func TestWorkersVariantsMatchDefault(t *testing.T) {
+	cfg := Config{N: 32, ES: 3}
+	src := make([]float32, 10001)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i)/7)) * float32(i%97)
+	}
+	want := cfg.FromFloat32Slice(nil, src)
+	for _, nw := range []int{1, 2, 3, 16, 1000} {
+		got := cfg.FromFloat32SliceWorkers(nil, src, nw)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: word %d is %08x, want %08x", nw, i, got[i], want[i])
+			}
+		}
+		back := cfg.ToFloat32SliceWorkers(nil, got, nw)
+		ref := cfg.ToFloat32Slice(nil, want)
+		for i := range back {
+			if math.Float32bits(back[i]) != math.Float32bits(ref[i]) {
+				t.Fatalf("workers=%d: float %d diverged", nw, i)
+			}
+		}
+		st := cfg.RoundtripStatsWorkers(src, nw)
+		ref2 := cfg.RoundtripStats(src)
+		if st != ref2 {
+			t.Fatalf("workers=%d: stats %+v, want %+v", nw, st, ref2)
+		}
+	}
+}
+
+func TestWorkersVariantEmptyInput(t *testing.T) {
+	cfg := Config{N: 32, ES: 3}
+	if got := cfg.FromFloat32SliceWorkers(nil, nil, 8); len(got) != 0 {
+		t.Fatalf("empty input produced %d words", len(got))
+	}
+	if st := cfg.RoundtripStatsWorkers(nil, 8); st.Total != 0 {
+		t.Fatalf("empty input stats %+v", st)
+	}
+}

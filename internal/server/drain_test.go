@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrain verifies the shutdown contract cmd/positd relies on:
+// http.Server.Shutdown stops accepting new work but lets an in-flight
+// request — one that was admitted before the signal — run to completion and
+// deliver its full response.
+func TestGracefulDrain(t *testing.T) {
+	s, err := New(Config{AccessLog: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Start a request whose body arrives in two installments, so it is
+	// mid-flight when Shutdown is called.
+	first := sampleF32(1024)
+	second := sampleF32(512)
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resC := make(chan result, 1)
+	go func() {
+		req, err := http.NewRequest("POST", base+"/v1/compress/gzip", pr)
+		if err != nil {
+			resC <- result{err: err}
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			resC <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		resC <- result{status: resp.StatusCode, body: body, err: err}
+	}()
+
+	if _, err := pw.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Shutdown must block on the in-flight request, not cut it off.
+	shutC := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutC <- hs.Shutdown(ctx)
+	}()
+
+	select {
+	case err := <-shutC:
+		t.Fatalf("Shutdown returned (%v) while a request was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// New connections are refused during the drain.
+	quick := &http.Client{Timeout: time.Second}
+	if resp, err := quick.Get(base + "/healthz"); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.Log("note: listener accepted during drain (request raced Shutdown)")
+	}
+
+	// Finish the body; the in-flight request must complete normally.
+	if _, err := pw.Write(second); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	res := <-resC
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight request status = %d during drain, want 200", res.status)
+	}
+	if err := <-shutC; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	// The drained response must still decode to the full two-installment body.
+	s2, err := New(Config{AccessLog: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newLocalRoundtrip(t, s2, res.body)
+	want := append(append([]byte(nil), first...), second...)
+	if !bytes.Equal(rec, want) {
+		t.Fatalf("drained stream decoded to %d bytes, want %d", len(rec), len(want))
+	}
+}
+
+// newLocalRoundtrip decompresses a stream through a fresh in-process handler.
+func newLocalRoundtrip(t *testing.T, s *Server, comp []byte) []byte {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	resp, err := http.Post("http://"+ln.Addr().String()+"/v1/decompress", "application/octet-stream", bytes.NewReader(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress status = %d: %s", resp.StatusCode, out)
+	}
+	return out
+}

@@ -1,0 +1,436 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"positbench/internal/compress"
+	"positbench/internal/container"
+	"positbench/internal/ieee"
+	"positbench/internal/posit"
+	"positbench/internal/sdrbench"
+)
+
+// Content types for the two wire formats the data plane speaks.
+const (
+	// contentTypeStream is the chunked parallel stream: uvarint-framed
+	// container frames with a zero terminator, exactly what
+	// compress.ParallelWriter emits.
+	contentTypeStream = "application/x-positbench-stream"
+	contentTypeBinary = "application/octet-stream"
+)
+
+// handleCompress streams the request body through the named codec's
+// parallel chunked writer. The response never buffers whole: frames go out
+// as chunks complete, in order.
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	codec, ok := s.codec(r.PathValue("codec"))
+	if !ok {
+		writeErrorStatus(w, http.StatusNotFound, "unknown_codec",
+			fmt.Sprintf("unknown codec %q (have %v)", r.PathValue("codec"), s.names))
+		return
+	}
+	if err := s.checkContentLength(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	chunkSize, err := s.requestChunk(r)
+	if err != nil {
+		badParam(w, "chunk", err)
+		return
+	}
+	workers, err := s.requestWorkers(r)
+	if err != nil {
+		badParam(w, "workers", err)
+		return
+	}
+
+	start := time.Now()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	cw := w.(*countingWriter) // installed by shell on every route
+	// The handler reads the body while frames stream out; HTTP/1 closes the
+	// request body on first response write unless full duplex is on.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", contentTypeStream)
+	w.Header().Set("X-Positd-Codec", codec.Name())
+
+	pw := compress.NewParallelWriterContext(r.Context(), codec, w, chunkSize, workers)
+	n, err := io.Copy(pw, body)
+	if err != nil {
+		// Poison before Close so the partial tail chunk is not flushed: if
+		// no frame is out yet this keeps the response clean for a proper
+		// error status.
+		pw.CloseWithError(err)
+		s.abortStream(cw, r, err)
+		return
+	}
+	if err := pw.Close(); err != nil {
+		s.abortStream(cw, r, err)
+		return
+	}
+	s.metrics.recordCodec(codec.Name(), "compress", time.Since(start), n, cw.bytes)
+}
+
+// handleDecompress inverts handleCompress: the codec is identified from
+// the container frame header inside the stream, so the endpoint needs no
+// codec path segment. Both wire formats decode: the chunked parallel
+// stream, and a bare container frame as written by `compressbench -z`.
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkContentLength(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	lim, err := s.requestLimits(r)
+	if err != nil {
+		badParam(w, "max_out", err)
+		return
+	}
+	workers, err := s.requestWorkers(r)
+	if err != nil {
+		badParam(w, "workers", err)
+		return
+	}
+
+	start := time.Now()
+	// Read-ahead decompression writes output while frames are still being
+	// fetched from the body; see the full-duplex note in handleCompress.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	name, bare, err := sniffCodec(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	codec, ok := s.codec(name)
+	if !ok {
+		writeErrorStatus(w, http.StatusBadRequest, "unknown_codec",
+			fmt.Sprintf("stream names codec %q, registry has %v", name, s.names))
+		return
+	}
+	cw := w.(*countingWriter)
+	w.Header().Set("Content-Type", contentTypeBinary)
+	w.Header().Set("X-Positd-Codec", name)
+
+	var bytesIn int64
+	if bare {
+		// A single frame: bounded whole-body read, one decode.
+		frame, err := io.ReadAll(body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		bytesIn = int64(len(frame))
+		out, err := compress.DecompressLimits(codec, frame, lim)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if _, err := w.Write(out); err != nil {
+			return // client gone; access log records the short write
+		}
+	} else {
+		pr := compress.NewParallelReaderContext(r.Context(), codec, countReads(body, &bytesIn), lim, workers)
+		defer pr.Close()
+		if _, err := io.Copy(w, pr); err != nil {
+			s.abortStream(cw, r, err)
+			return
+		}
+	}
+	s.metrics.recordCodec(name, "decompress", time.Since(start), bytesIn, cw.bytes)
+}
+
+// abortStream ends a request whose data plane failed. If the status line
+// has not been sent the error maps to a proper status; once bytes are on
+// the wire the only honest signal left is killing the connection so the
+// client cannot mistake a truncated body for a complete one.
+func (s *Server) abortStream(cw *countingWriter, r *http.Request, err error) {
+	if !cw.wrote {
+		writeError(cw, err)
+		return
+	}
+	status, kind := statusFor(err)
+	log.Printf("positd: %s %s: aborting mid-stream: %v (kind %s, would-be status %d)",
+		r.Method, r.URL.Path, err, kind, status)
+	panic(http.ErrAbortHandler)
+}
+
+// sniffCodec identifies the codec of an incoming compressed body from a
+// bounded peek at its first bytes, before any decode resources are
+// committed. A body opening with the container magic is a bare frame; a
+// chunked stream opens with a uvarint frame length followed by the first
+// chunk's container frame.
+func sniffCodec(br *bufio.Reader) (name string, bare bool, err error) {
+	prefix, err := br.Peek(binary.MaxVarintLen64 + container.MaxHeaderLen)
+	if err != nil && len(prefix) == 0 {
+		if err == io.EOF {
+			return "", false, compress.Errorf(compress.ErrTruncated, "server: empty body")
+		}
+		return "", false, err
+	}
+	if len(prefix) >= len(container.Magic) {
+		bare = true
+		for i, b := range container.Magic {
+			if prefix[i] != b {
+				bare = false
+				break
+			}
+		}
+		if bare {
+			h, _, err := container.ParseHeader(prefix)
+			if err != nil {
+				return "", false, err
+			}
+			return h.Codec, true, nil
+		}
+	}
+	length, used := binary.Uvarint(prefix)
+	if used <= 0 {
+		return "", false, compress.Errorf(compress.ErrCorrupt, "server: unreadable stream frame prefix")
+	}
+	if length == 0 {
+		return "", false, compress.Errorf(compress.ErrTruncated, "server: stream opens with its terminator")
+	}
+	h, _, err := container.ParseHeader(prefix[used:])
+	if err != nil {
+		return "", false, err
+	}
+	return h.Codec, false, nil
+}
+
+// countReads tallies bytes pulled from r into n (single-goroutine use: the
+// parallel reader's one fetcher).
+func countReads(r io.Reader, n *int64) io.Reader {
+	return &countingReader{r: r, n: n}
+}
+
+type countingReader struct {
+	r io.Reader
+	n *int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+// convertResponseHeaders carry the roundtrip-precision statistics of a
+// float32 -> posit conversion, so clients get the Section 4.2 numbers
+// without a second pass.
+const (
+	headerValues   = "X-Positd-Values"
+	headerExactPct = "X-Positd-Exact-Pct"
+	headerMaxAbsE  = "X-Positd-Max-Abs-Error"
+)
+
+// handleConvert converts a raw little-endian body between IEEE-754
+// binary32 and posit<n,es> words (?to=posit default, ?to=float32 for the
+// inverse; ?n= and ?es= select the posit config, 32/3 default — the
+// paper's configuration).
+func (s *Server) handleConvert(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkContentLength(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	n, err := intParam(r, "n", 32)
+	if err != nil {
+		badParam(w, "n", err)
+		return
+	}
+	es, err := intParam(r, "es", 3)
+	if err != nil {
+		badParam(w, "es", err)
+		return
+	}
+	if n < 2 || n > 32 || es < 0 || es > 8 {
+		writeErrorStatus(w, http.StatusBadRequest, "bad_param",
+			fmt.Sprintf("posit<%d,%d> outside the supported range (2 <= n <= 32, 0 <= es <= 8)", n, es))
+		return
+	}
+	cfg := posit.Config{N: uint(n), ES: uint(es)}
+	if err := cfg.Validate(); err != nil {
+		writeErrorStatus(w, http.StatusBadRequest, "bad_param", err.Error())
+		return
+	}
+	workers, err := s.requestWorkers(r)
+	if err != nil {
+		badParam(w, "workers", err)
+		return
+	}
+	to := r.URL.Query().Get("to")
+	if to == "" {
+		to = "posit"
+	}
+
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if ctxErr := r.Context().Err(); ctxErr != nil {
+		writeError(w, ctxErr)
+		return
+	}
+
+	switch to {
+	case "posit":
+		floats, err := sdrbench.Parse(data)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		words := cfg.FromFloat32SliceWorkers(nil, floats, workers)
+		st := cfg.RoundtripStatsWorkers(floats, workers)
+		w.Header().Set("Content-Type", contentTypeBinary)
+		w.Header().Set(headerValues, fmt.Sprint(st.Total))
+		w.Header().Set(headerExactPct, fmt.Sprintf("%.4f", st.PrecisePct()))
+		w.Header().Set(headerMaxAbsE, fmt.Sprintf("%g", st.MaxAbsE))
+		w.Write(posit.EncodeWordsLE(words))
+	case "float32", "float":
+		if len(data) == 0 {
+			writeError(w, sdrbench.ErrEmptyInput)
+			return
+		}
+		words, err := posit.DecodeWordsLE(data)
+		if err != nil {
+			writeErrorStatus(w, http.StatusBadRequest, "misaligned_input", err.Error())
+			return
+		}
+		floats := cfg.ToFloat32SliceWorkers(nil, words, workers)
+		w.Header().Set("Content-Type", contentTypeBinary)
+		w.Header().Set(headerValues, fmt.Sprint(len(floats)))
+		w.Write(posit.EncodeFloat32LE(floats))
+	default:
+		writeErrorStatus(w, http.StatusBadRequest, "bad_param",
+			fmt.Sprintf("?to=%q: want \"posit\" or \"float32\"", to))
+	}
+}
+
+// analyzeResponse is the POST /v1/analyze JSON document: the paper's
+// field-level view of one .f32 input.
+type analyzeResponse struct {
+	Values  int              `json:"values"`
+	Classes map[string]int   `json:"classes"`
+	Range   analyzeRange     `json:"range"`
+	Expo    analyzeExponent  `json:"exponent"`
+	Posit   analyzeRoundtrip `json:"posit_roundtrip"`
+}
+
+type analyzeRange struct {
+	MinFinite float64 `json:"min_finite"`
+	MaxFinite float64 `json:"max_finite"`
+	MinAbs    float64 `json:"min_abs"`
+	MaxAbs    float64 `json:"max_abs"`
+}
+
+type analyzeExponent struct {
+	Mode int             `json:"mode"`
+	Bins map[string]int  `json:"bins"` // biased exponent -> count, populated bins only
+}
+
+type analyzeRoundtrip struct {
+	Config      string  `json:"config"`
+	Exact       int     `json:"exact"`
+	ExactPct    float64 `json:"exact_pct"`
+	MaxAbsError float64 `json:"max_abs_error"`
+}
+
+// handleAnalyze reports IEEE-754 field statistics and posit roundtrip
+// precision for a raw .f32 body (?es= selects the posit config, 3
+// default).
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkContentLength(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	es, err := intParam(r, "es", 3)
+	if err != nil {
+		badParam(w, "es", err)
+		return
+	}
+	cfg := posit.Config{N: 32, ES: uint(es)}
+	if err := cfg.Validate(); err != nil {
+		writeErrorStatus(w, http.StatusBadRequest, "bad_param", err.Error())
+		return
+	}
+	workers, err := s.requestWorkers(r)
+	if err != nil {
+		badParam(w, "workers", err)
+		return
+	}
+	floats, err := sdrbench.Load(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if ctxErr := r.Context().Err(); ctxErr != nil {
+		writeError(w, ctxErr)
+		return
+	}
+
+	sum := ieee.Summarize(floats)
+	var hist ieee.Histogram
+	hist.AddSlice(floats)
+	st := cfg.RoundtripStatsWorkers(floats, workers)
+
+	bins := map[string]int{}
+	for e, n := range hist.Bins {
+		if n > 0 {
+			bins[fmt.Sprint(e)] = n
+		}
+	}
+	resp := analyzeResponse{
+		Values: sum.Total,
+		Classes: map[string]int{
+			"zero":      sum.Zeros,
+			"subnormal": sum.Subnormals,
+			"normal":    sum.Normals,
+			"inf":       sum.Infs,
+			"nan":       sum.NaNs,
+		},
+		Range: analyzeRange{
+			MinFinite: sum.MinFinite,
+			MaxFinite: sum.MaxFinite,
+			MinAbs:    sum.MinAbs,
+			MaxAbs:    sum.MaxAbs,
+		},
+		Expo: analyzeExponent{Mode: hist.Mode(), Bins: bins},
+		Posit: analyzeRoundtrip{
+			Config:      cfg.String(),
+			Exact:       st.Exact,
+			ExactPct:    st.PrecisePct(),
+			MaxAbsError: st.MaxAbsE,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// codecsResponse is one GET /v1/codecs entry.
+type codecsResponse struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+	Source  string `json:"source,omitempty"`
+}
+
+// handleCodecs lists the registry in table order.
+func (s *Server) handleCodecs(w http.ResponseWriter, r *http.Request) {
+	out := make([]codecsResponse, 0, len(s.names))
+	for _, name := range s.names {
+		entry := codecsResponse{Name: name}
+		if d, ok := s.codecs[name].(compress.Describer); ok {
+			info := d.Info()
+			entry.Version = info.Version
+			entry.Source = info.Source
+		}
+		out = append(out, entry)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+
+	"positbench/internal/compress"
+	"positbench/internal/sdrbench"
+)
+
+// HTTP mapping of the decode error taxonomy. Corruption in all its
+// refinements is the client's fault (400); resource-limit trips are 413
+// because the request entity — or what it inflates to — is too large for
+// the policy in force; everything unrecognized is a 500.
+//
+//	ErrBadMagic / ErrVersion / ErrTruncated / ErrCorrupt -> 400
+//	ErrLimitExceeded, body over cap                       -> 413
+//	request deadline expired                              -> 408
+//	client disconnected                                   -> 499 (logged only)
+
+// apiError is the JSON error body every non-2xx API response carries.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// statusFor triages an error into an HTTP status and a stable machine-
+// readable kind. Order matters: the most specific sentinels are tested
+// before their ErrCorrupt parent.
+func statusFor(err error) (int, string) {
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.Is(err, compress.ErrLimitExceeded):
+		return http.StatusRequestEntityTooLarge, "limit_exceeded"
+	case errors.As(err, &maxBytes):
+		return http.StatusRequestEntityTooLarge, "body_too_large"
+	case errors.Is(err, compress.ErrBadMagic):
+		return http.StatusBadRequest, "bad_magic"
+	case errors.Is(err, compress.ErrVersion):
+		return http.StatusBadRequest, "unsupported_version"
+	case errors.Is(err, compress.ErrTruncated):
+		return http.StatusBadRequest, "truncated"
+	case errors.Is(err, compress.ErrCorrupt):
+		return http.StatusBadRequest, "corrupt"
+	case errors.Is(err, sdrbench.ErrEmptyInput):
+		return http.StatusBadRequest, "empty_input"
+	case errors.Is(err, sdrbench.ErrMisaligned):
+		return http.StatusBadRequest, "misaligned_input"
+	case errors.Is(err, sdrbench.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, "body_too_large"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, os.ErrDeadlineExceeded):
+		return http.StatusRequestTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, "client_closed_request"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client
+// that went away; it never reaches the wire but keeps logs and metrics
+// honest about whose fault the abort was.
+const statusClientClosedRequest = 499
+
+// writeError sends the JSON error body for err.
+func writeError(w http.ResponseWriter, err error) {
+	status, kind := statusFor(err)
+	writeErrorStatus(w, status, kind, err.Error())
+}
+
+// writeErrorStatus sends a JSON error body with an explicit status.
+func writeErrorStatus(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	blob, _ := json.Marshal(apiError{Error: msg, Kind: kind})
+	w.Write(append(blob, '\n'))
+}
+
+// badParam reports an unusable query parameter.
+func badParam(w http.ResponseWriter, name string, err error) {
+	writeErrorStatus(w, http.StatusBadRequest, "bad_param", fmt.Sprintf("query parameter %q: %v", name, err))
+}
+
+// intParam parses an optional integer query parameter, returning def when
+// absent.
+func intParam(r *http.Request, name string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not an integer: %q", raw)
+	}
+	return v, nil
+}
+
+// requestLimits resolves the decode limits for one request: the server's
+// configured cap, lowered — never raised — by an explicit ?max_out=N.
+func (s *Server) requestLimits(r *http.Request) (compress.DecodeLimits, error) {
+	lim := compress.DecodeLimits{MaxOutputBytes: s.cfg.MaxOutputBytes}
+	maxOut, err := intParam(r, "max_out", 0)
+	if err != nil {
+		return lim, err
+	}
+	if maxOut > 0 {
+		ceiling := lim.MaxOutputBytes
+		if ceiling <= 0 {
+			ceiling = compress.DefaultMaxOutputBytes
+		}
+		if maxOut < ceiling {
+			lim.MaxOutputBytes = maxOut
+		}
+	}
+	return lim, nil
+}
+
+// requestWorkers resolves the worker-pool size for one request: the
+// server's default, lowered — never raised — by ?workers=N.
+func (s *Server) requestWorkers(r *http.Request) (int, error) {
+	w, err := intParam(r, "workers", 0)
+	if err != nil {
+		return 0, err
+	}
+	if w <= 0 || int(w) > s.cfg.Workers {
+		return s.cfg.Workers, nil
+	}
+	return int(w), nil
+}
+
+// requestChunk resolves the streaming chunk size for one request,
+// clamped to [minChunkSize, the server's configured size].
+func (s *Server) requestChunk(r *http.Request) (int, error) {
+	c, err := intParam(r, "chunk", 0)
+	if err != nil {
+		return 0, err
+	}
+	if c <= 0 || int(c) > s.cfg.ChunkSize {
+		return s.cfg.ChunkSize, nil
+	}
+	if c < minChunkSize {
+		return minChunkSize, nil
+	}
+	return int(c), nil
+}
+
+// minChunkSize stops a hostile ?chunk=1 from exploding a large body into
+// millions of frames.
+const minChunkSize = 4 << 10
+
+// checkContentLength rejects declared-oversized bodies before any byte is
+// read; chunked uploads (ContentLength < 0) are caught by the bounding
+// reader instead.
+func (s *Server) checkContentLength(r *http.Request) error {
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		return &http.MaxBytesError{Limit: s.cfg.MaxBodyBytes}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"positbench/internal/stats"
+)
+
+// metrics is the server's expvar-style counter registry: cheap enough to
+// update on every request, rich enough to answer "is p99 moving" and "what
+// ratio are we actually delivering" from a single GET /metrics.
+type metrics struct {
+	start    time.Time
+	inflight atomic.Int64
+	rejected atomic.Int64 // admission 429s
+
+	mu       sync.Mutex
+	routes   map[string]*routeStats
+	codecOps map[string]*codecStats // keyed codec|op
+}
+
+// routeStats aggregates one route's request counters.
+type routeStats struct {
+	Total    int64             `json:"total"`
+	ByClass  map[string]int64  `json:"by_status_class"`
+	BytesOut int64             `json:"bytes_out"`
+	lat      stats.LatencyHist `json:"-"`
+}
+
+// codecStats aggregates one codec x operation's data-plane counters.
+type codecStats struct {
+	Ops      int64             `json:"ops"`
+	BytesIn  int64             `json:"bytes_in"`
+	BytesOut int64             `json:"bytes_out"`
+	lat      stats.LatencyHist `json:"-"`
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		routes:   map[string]*routeStats{},
+		codecOps: map[string]*codecStats{},
+	}
+}
+
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status == statusClientClosedRequest:
+		return "499"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// recordRequest accounts one finished request on its route.
+func (m *metrics) recordRequest(route string, status int, d time.Duration, bytesOut int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &routeStats{ByClass: map[string]int64{}}
+		m.routes[route] = rs
+	}
+	rs.Total++
+	rs.ByClass[statusClass(status)]++
+	rs.BytesOut += bytesOut
+	rs.lat.Observe(d)
+}
+
+// recordCodec accounts one data-plane operation (op is "compress" or
+// "decompress") with its byte flow.
+func (m *metrics) recordCodec(codec, op string, d time.Duration, bytesIn, bytesOut int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := codec + "|" + op
+	cs := m.codecOps[key]
+	if cs == nil {
+		cs = &codecStats{}
+		m.codecOps[key] = cs
+	}
+	cs.Ops++
+	cs.BytesIn += bytesIn
+	cs.BytesOut += bytesOut
+	cs.lat.Observe(d)
+}
+
+// latencyExport is the JSON rendering of a LatencyHist.
+type latencyExport struct {
+	MeanUS  int64                 `json:"mean_us"`
+	P50US   int64                 `json:"p50_us"`
+	P99US   int64                 `json:"p99_us"`
+	Buckets []stats.LatencyBucket `json:"buckets,omitempty"`
+}
+
+func exportLatency(h *stats.LatencyHist) latencyExport {
+	return latencyExport{
+		MeanUS:  h.Mean().Microseconds(),
+		P50US:   h.Quantile(0.5).Microseconds(),
+		P99US:   h.Quantile(0.99).Microseconds(),
+		Buckets: h.Snapshot(),
+	}
+}
+
+// routeExport is one route's /metrics entry.
+type routeExport struct {
+	routeStats
+	Latency latencyExport `json:"latency"`
+}
+
+// codecExport is one codec x op /metrics entry. Ratio is the aggregate
+// original/compressed ratio over everything this codec has moved.
+type codecExport struct {
+	codecStats
+	Ratio   float64       `json:"ratio,omitempty"`
+	Latency latencyExport `json:"latency"`
+}
+
+// metricsSnapshot is the full GET /metrics document.
+type metricsSnapshot struct {
+	UptimeSeconds float64                           `json:"uptime_seconds"`
+	Inflight      int64                             `json:"inflight"`
+	Rejected429   int64                             `json:"rejected_429"`
+	Requests      map[string]routeExport            `json:"requests"`
+	Codecs        map[string]map[string]codecExport `json:"codecs"`
+}
+
+// snapshot assembles the /metrics document under the registry lock.
+func (m *metrics) snapshot() metricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := metricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Inflight:      m.inflight.Load(),
+		Rejected429:   m.rejected.Load(),
+		Requests:      make(map[string]routeExport, len(m.routes)),
+		Codecs:        map[string]map[string]codecExport{},
+	}
+	for route, rs := range m.routes {
+		snap.Requests[route] = routeExport{routeStats: *rs, Latency: exportLatency(&rs.lat)}
+	}
+	for key, cs := range m.codecOps {
+		codec, op := splitKey(key)
+		exp := codecExport{codecStats: *cs, Latency: exportLatency(&cs.lat)}
+		// original/compressed regardless of direction: compress shrinks
+		// in->out, decompress expands in->out.
+		switch {
+		case op == "compress" && cs.BytesOut > 0:
+			exp.Ratio = float64(cs.BytesIn) / float64(cs.BytesOut)
+		case op == "decompress" && cs.BytesIn > 0:
+			exp.Ratio = float64(cs.BytesOut) / float64(cs.BytesIn)
+		}
+		if snap.Codecs[codec] == nil {
+			snap.Codecs[codec] = map[string]codecExport{}
+		}
+		snap.Codecs[codec][op] = exp
+	}
+	return snap
+}
+
+func splitKey(key string) (codec, op string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}
+
+// handleMetrics serves the counter registry as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.metrics.snapshot())
+}
+
+// healthzResponse is the GET /healthz body.
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Inflight      int64   `json:"inflight"`
+	Codecs        int     `json:"codecs"`
+}
+
+// handleHealthz answers liveness probes. It bypasses admission so a
+// saturated server still reports alive (saturation is visible separately
+// via inflight and rejected_429).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(healthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Inflight:      s.metrics.inflight.Load(),
+		Codecs:        len(s.names),
+	})
+}

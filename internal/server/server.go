@@ -1,0 +1,149 @@
+// Package server implements positd's HTTP surface: a long-lived
+// compression/conversion service over the codec registry. Five endpoints
+// expose what the paper reproduction built —
+//
+//	POST /v1/compress/{codec}  stream a body into a framed chunked stream
+//	POST /v1/decompress        invert it, auto-detecting the codec from the
+//	                           container frame header
+//	POST /v1/convert           float32 <-> posit<n,es> batch conversion
+//	POST /v1/analyze           IEEE field / posit-roundtrip statistics
+//	GET  /v1/codecs            the registry inventory
+//
+// plus GET /healthz and GET /metrics for operations. The serving posture
+// treats every request as untrusted and every resource as bounded: a hard
+// body cap is enforced before any allocation, decode limits ride on every
+// chunk, a bounded admission semaphore sheds load with 429 + Retry-After,
+// request deadlines cancel in-flight worker pools through context, and the
+// decode error taxonomy maps onto HTTP statuses (corruption -> 400, limit
+// trips -> 413) so clients can triage without parsing messages.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"positbench/internal/compress"
+	"positbench/internal/compress/all"
+)
+
+// Config tunes a Server. The zero value selects production defaults.
+type Config struct {
+	// Codecs is the registry to serve; nil selects all.Codecs().
+	Codecs []compress.Codec
+	// MaxBodyBytes caps every request body, enforced from Content-Length
+	// before any read and by a bounding reader for chunked uploads.
+	// 0 selects DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxOutputBytes caps the decoded size of any single chunk
+	// (compress.DecodeLimits.MaxOutputBytes). 0 selects the compress
+	// package default. Clients may lower (never raise) it per request
+	// with ?max_out=N.
+	MaxOutputBytes int64
+	// MaxInflight bounds concurrently served API requests; excess load is
+	// shed with 429 + Retry-After. 0 selects DefaultMaxInflight.
+	MaxInflight int
+	// RequestTimeout bounds each API request end to end; expiry cancels
+	// the request context (stopping worker pools) and the connection's
+	// read deadline. 0 selects DefaultRequestTimeout; negative disables.
+	RequestTimeout time.Duration
+	// ChunkSize is the streaming chunk granularity. 0 selects
+	// compress.DefaultChunkSize. Clients may shrink it with ?chunk=N.
+	ChunkSize int
+	// Workers bounds each request's compression worker pool. 0 selects
+	// GOMAXPROCS. Clients may lower it with ?workers=N.
+	Workers int
+	// AccessLog receives one JSON line per request. Nil selects
+	// os.Stderr; use io.Discard to silence.
+	AccessLog io.Writer
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxBodyBytes   = int64(1) << 30 // 1 GiB
+	DefaultMaxInflight    = 64
+	DefaultRequestTimeout = 5 * time.Minute
+)
+
+// Server is the positd request handler. Create with New, mount via
+// Handler.
+type Server struct {
+	cfg     Config
+	codecs  map[string]compress.Codec
+	names   []string // registry order, for /v1/codecs
+	sem     chan struct{}
+	metrics *metrics
+	access  *accessLogger
+}
+
+// New validates cfg, fills defaults, and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Codecs == nil {
+		cfg.Codecs = all.Codecs()
+	}
+	if len(cfg.Codecs) == 0 {
+		return nil, fmt.Errorf("server: empty codec registry")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = compress.DefaultChunkSize
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.AccessLog == nil {
+		cfg.AccessLog = os.Stderr
+	}
+	s := &Server{
+		cfg:     cfg,
+		codecs:  make(map[string]compress.Codec, len(cfg.Codecs)),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		metrics: newMetrics(),
+		access:  &accessLogger{dst: cfg.AccessLog},
+	}
+	for _, c := range cfg.Codecs {
+		if _, dup := s.codecs[c.Name()]; dup {
+			return nil, fmt.Errorf("server: duplicate codec %q", c.Name())
+		}
+		s.codecs[c.Name()] = c
+		s.names = append(s.names, c.Name())
+	}
+	return s, nil
+}
+
+// Handler returns the fully middleware-wrapped route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	api := func(route string, h http.HandlerFunc) http.Handler {
+		// Innermost to outermost: deadline, admission, then the
+		// accounting/log/recovery shell shared with the ops routes.
+		return s.shell(route, s.admit(s.deadline(h)))
+	}
+	mux.Handle("POST /v1/compress/{codec}", api("compress", s.handleCompress))
+	mux.Handle("POST /v1/decompress", api("decompress", s.handleDecompress))
+	mux.Handle("POST /v1/convert", api("convert", s.handleConvert))
+	mux.Handle("POST /v1/analyze", api("analyze", s.handleAnalyze))
+	mux.Handle("GET /v1/codecs", s.shell("codecs", http.HandlerFunc(s.handleCodecs)))
+	// Ops endpoints bypass admission and deadlines: a saturated or
+	// draining server must still answer its probes.
+	mux.Handle("GET /healthz", s.shell("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /metrics", s.shell("metrics", http.HandlerFunc(s.handleMetrics)))
+	return mux
+}
+
+// codec resolves a registry codec by name.
+func (s *Server) codec(name string) (compress.Codec, bool) {
+	c, ok := s.codecs[name]
+	return c, ok
+}

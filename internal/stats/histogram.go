@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// LatencyHist is a log2-bucketed latency histogram: bucket i counts
+// observations in (2^(i-1), 2^i] microseconds, with bucket 0 holding
+// everything at or below 1µs and the last bucket everything above ~1193h.
+// Power-of-two bounds keep Observe allocation-free and branch-cheap, which
+// is what a per-request serving-path counter needs; quantiles are
+// reconstructed by log-linear interpolation inside the winning bucket, so
+// they carry at most one bucket (2x) of error — plenty for operational
+// "did p99 double?" questions.
+//
+// The zero value is ready to use. LatencyHist is not concurrency-safe;
+// callers that observe from multiple goroutines wrap it in a mutex (the
+// server's metrics registry does).
+type LatencyHist struct {
+	counts [latencyBuckets]uint64
+	total  uint64
+	sum    time.Duration
+}
+
+// latencyBuckets spans 1µs .. 2^41µs (~25 days) in doublings.
+const latencyBuckets = 42
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us - 1)) // ceil(log2(us)) for us >= 2
+	if b >= latencyBuckets {
+		return latencyBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketFor(d)]++
+	h.total++
+	h.sum += d
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean latency (0 with no observations).
+func (h *LatencyHist) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1), e.g. 0.5
+// for the median and 0.99 for p99. With no observations it returns 0.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen < rank {
+			continue
+		}
+		// Log-linear interpolation inside bucket i: (2^(i-1), 2^i] µs.
+		hi := math.Pow(2, float64(i))
+		lo := hi / 2
+		if i == 0 {
+			lo, hi = 0, 1
+		}
+		frac := 1 - float64(seen-rank)/float64(c)
+		us := lo + (hi-lo)*frac
+		return time.Duration(us * float64(time.Microsecond))
+	}
+	return h.sum // unreachable: total > 0 means some bucket trips the rank
+}
+
+// Snapshot returns the non-empty buckets as (upper bound, count) pairs for
+// JSON export; upper bounds are in microseconds.
+func (h *LatencyHist) Snapshot() []LatencyBucket {
+	var out []LatencyBucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		out = append(out, LatencyBucket{UpperMicros: uint64(1) << uint(i), Count: c})
+	}
+	return out
+}
+
+// LatencyBucket is one Snapshot entry.
+type LatencyBucket struct {
+	UpperMicros uint64 `json:"le_us"`
+	Count       uint64 `json:"count"`
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistBuckets(t *testing.T) {
+	var h LatencyHist
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 0}, // sub-µs resolution truncates
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10}, // 1024 µs -> bucket 10
+		{time.Second, 20},      // 1e6 µs -> 2^20 = 1048576 >= 1e6
+		{400 * time.Hour, latencyBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	h.Observe(-time.Second) // clamps to 0, must not panic or go negative
+	if h.Count() != 1 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 1000 samples uniform in [1ms, 2ms): p50 should land within a factor
+	// of two of 1.5ms and p99 below 4ms (one bucket of slack each way).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond + time.Duration(rng.Int63n(int64(time.Millisecond))))
+	}
+	if got := h.Quantile(0.5); got < 750*time.Microsecond || got > 3*time.Millisecond {
+		t.Errorf("p50 = %v, want within 2x of 1.5ms", got)
+	}
+	if got := h.Quantile(0.99); got < time.Millisecond || got > 4*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := h.Quantile(1); got < h.Quantile(0.5) {
+		t.Errorf("p100 %v below p50 %v", got, h.Quantile(0.5))
+	}
+	if mean := h.Mean(); mean < time.Millisecond || mean > 2*time.Millisecond {
+		t.Errorf("mean = %v, want ~1.5ms exactly (mean is not bucketed)", mean)
+	}
+	// Quantiles are monotone in q.
+	prev := time.Duration(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%g) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLatencyHistSnapshot(t *testing.T) {
+	var h LatencyHist
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(900 * time.Microsecond)
+	snap := h.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 populated buckets, got %v", snap)
+	}
+	if snap[0].UpperMicros != 4 || snap[0].Count != 2 {
+		t.Errorf("bucket 0: %+v", snap[0])
+	}
+	if snap[1].UpperMicros != 1024 || snap[1].Count != 1 {
+		t.Errorf("bucket 1: %+v", snap[1])
+	}
+}
