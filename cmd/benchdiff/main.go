@@ -1,0 +1,56 @@
+// Command benchdiff compares two BENCH_compress.json throughput reports and
+// fails when a codec regresses: the perf-regression gate for `make bench`.
+//
+// Usage:
+//
+//	benchdiff [-threshold 10] OLD.json NEW.json
+//
+// Each (codec, workers) pair present in both reports is compared on every
+// recorded throughput (serial/parallel x compress/decode). Deltas are
+// printed as a table; any metric more than -threshold percent below the old
+// report makes the exit code 1. Pairs present in only one report are listed
+// but do not fail the gate, so adding or retiring a codec does not require
+// regenerating history in the same commit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"positbench/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 10, "max tolerated regression, percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")
+		return 2
+	}
+	oldRep, err := stats.ReadBenchJSON(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	newRep, err := stats.ReadBenchJSON(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	diff := stats.DiffBench(oldRep, newRep, *threshold)
+	fmt.Fprint(out, diff.Table())
+	if len(diff.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.0f%%\n", len(diff.Regressions), *threshold)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"positbench/internal/stats"
+)
+
+func writeReport(t *testing.T, dir, name string, results ...stats.BenchResult) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := stats.WriteBenchJSON(path, &stats.BenchReport{GOMAXPROCS: 1, NumCPU: 1, Results: results}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json",
+		stats.BenchResult{Codec: "xz", Workers: 4, SerialMBps: 2.0, ParallelMBps: 2.0})
+	samePath := writeReport(t, dir, "same.json",
+		stats.BenchResult{Codec: "xz", Workers: 4, SerialMBps: 2.05, ParallelMBps: 1.95})
+	slowPath := writeReport(t, dir, "slow.json",
+		stats.BenchResult{Codec: "xz", Workers: 4, SerialMBps: 1.0, ParallelMBps: 2.0})
+
+	var out strings.Builder
+	if code := run([]string{oldPath, samePath}, &out); code != 0 {
+		t.Fatalf("within-threshold diff exited %d, want 0\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{oldPath, slowPath}, &out); code != 1 {
+		t.Fatalf("-50%% regression exited %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "<< regression") {
+		t.Fatalf("regression not marked in output:\n%s", out.String())
+	}
+	out.Reset()
+	// A huge threshold tolerates the drop.
+	if code := run([]string{"-threshold", "60", oldPath, slowPath}, &out); code != 0 {
+		t.Fatalf("60%% threshold exited %d, want 0", code)
+	}
+	// Usage and missing-file errors are exit 2.
+	if code := run([]string{oldPath}, &out); code != 2 {
+		t.Fatal("missing arg did not exit 2")
+	}
+	if code := run([]string{filepath.Join(dir, "nope.json"), samePath}, &out); code != 2 {
+		t.Fatal("unreadable old report did not exit 2")
+	}
+}

@@ -8,6 +8,11 @@
 //
 //	positd [-addr :8080] [-max-body N] [-max-out N] [-inflight N]
 //	       [-timeout D] [-chunk N] [-workers N] [-drain D] [-addr-file PATH]
+//	       [-pprof ADDR]
+//
+// -pprof exposes net/http/pprof on its own listener, never on the serving
+// mux: profiling endpoints leak heap contents and must not share the
+// public address. Bind it to loopback (e.g. -pprof 127.0.0.1:6060).
 //
 // The process runs until SIGINT or SIGTERM, then drains: the listener
 // closes immediately, in-flight requests get up to -drain to finish, and
@@ -21,6 +26,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +37,16 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// writeAddrFile records a bound address via atomic rename, so a polling
+// script never reads a half-written file.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func run(args []string) int {
@@ -45,6 +61,7 @@ func run(args []string) int {
 		chunk    = fs.Int("chunk", 0, "streaming chunk size, bytes; 0 selects the compress package default")
 		workers  = fs.Int("workers", 0, "worker pool size per request; 0 selects GOMAXPROCS")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
+		pprofAt  = fs.String("pprof", "", "expose net/http/pprof on this separate address (empty disables; keep it on loopback)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,17 +87,44 @@ func run(args []string) int {
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
-		// Atomic rename so a polling script never reads a half-written file.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
-			log.Printf("positd: write addr-file: %v", err)
-			return 1
-		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
+		if err := writeAddrFile(*addrFile, bound); err != nil {
 			log.Printf("positd: write addr-file: %v", err)
 			return 1
 		}
 		defer os.Remove(*addrFile)
+	}
+
+	if *pprofAt != "" {
+		// A dedicated mux on a dedicated listener: the serving mux never
+		// learns these routes, so a misconfigured proxy cannot reach them
+		// through the public address.
+		pln, err := net.Listen("tcp", *pprofAt)
+		if err != nil {
+			log.Printf("positd: pprof listen %s: %v", *pprofAt, err)
+			return 1
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Handler: pmux}
+		defer ps.Close() // debug-only: no drain, just stop with the process
+		go func() {
+			if err := ps.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("positd: pprof serve: %v", err)
+			}
+		}()
+		if *addrFile != "" {
+			// Scripts resolving a :0 pprof port read <addr-file>.pprof.
+			if err := writeAddrFile(*addrFile+".pprof", pln.Addr().String()); err != nil {
+				log.Printf("positd: write pprof addr-file: %v", err)
+				return 1
+			}
+			defer os.Remove(*addrFile + ".pprof")
+		}
+		log.Printf("positd: pprof on %s", pln.Addr())
 	}
 
 	hs := &http.Server{Handler: srv.Handler()}

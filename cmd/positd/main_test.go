@@ -59,6 +59,52 @@ func TestRunServeAndDrain(t *testing.T) {
 	}
 }
 
+// TestRunPprofListener verifies the -pprof endpoints answer on their own
+// listener and are NOT routed through the serving mux.
+func TestRunPprofListener(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	exitC := make(chan int, 1)
+	go func() {
+		exitC <- run([]string{"-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0", "-addr-file", addrFile, "-drain", "5s"})
+	}()
+
+	addr := waitForAddr(t, addrFile)
+	pprofAddr := waitForAddr(t, addrFile+".pprof")
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof listener: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof endpoints are reachable through the serving mux")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitC:
+		if code != 0 {
+			t.Fatalf("run exited %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if code := run([]string{"-addr"}); code != 2 {
 		t.Fatalf("bad flags exited %d, want 2", code)

@@ -18,8 +18,8 @@ var ErrUnexpectedEOF = compress.Errorf(compress.ErrTruncated, "bitio: unexpected
 // The zero value is ready to use.
 type Writer struct {
 	buf  []byte
-	cur  uint64 // pending bits, left-aligned within nbits
-	nbit uint   // number of pending bits in cur (0..7 after flushWords)
+	cur  uint64 // pending bits, right-aligned (low nbit bits are valid)
+	nbit uint   // number of pending bits in cur (always 0..7 between calls)
 }
 
 // NewWriter returns a Writer whose internal buffer has the given capacity hint.
@@ -38,6 +38,8 @@ func (w *Writer) WriteBit(b uint) {
 }
 
 // WriteBits appends the low n bits of v, most significant first. n may be 0..64.
+// Whole output bytes are assembled in a 64-bit accumulator and appended with a
+// single big-endian store instead of byte-at-a-time shifting.
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n == 0 {
 		return
@@ -45,21 +47,24 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	if n < 64 {
 		v &= (1 << n) - 1
 	}
-	// Fast path: fill the pending byte, then emit whole bytes.
-	for n+w.nbit >= 8 {
-		take := 8 - w.nbit
-		n -= take
-		b := byte(w.cur<<take | v>>n)
-		w.buf = append(w.buf, b)
-		w.cur, w.nbit = 0, 0
-		if n < 64 {
-			v &= (1 << n) - 1
-		}
+	if w.nbit+n > 64 {
+		// Rare (only reachable for n >= 58): split so each half fits the
+		// accumulator together with the pending bits.
+		w.WriteBits(v>>32, n-32)
+		n = 32
+		v &= 0xFFFFFFFF
 	}
-	if n > 0 {
-		w.cur = w.cur<<n | v
-		w.nbit += n
+	acc := w.cur<<(n&63) | v // n == 64 implies nbit == 0 and cur == 0
+	total := w.nbit + n
+	nbytes := total >> 3
+	rem := total & 7
+	if nbytes > 0 {
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], acc>>rem<<(64-8*nbytes))
+		w.buf = append(w.buf, tmp[:nbytes]...)
+		acc &= 1<<rem - 1
 	}
+	w.cur, w.nbit = acc, rem
 }
 
 // WriteByte appends an aligned or unaligned full byte.
@@ -105,11 +110,24 @@ func (w *Writer) Reset() {
 }
 
 // Reader consumes bits MSB-first from a byte slice.
+//
+// It keeps a 64-bit lookahead word: refill loads 8 source bytes with one
+// big-endian load whenever at least 8 remain, so steady-state ReadBits is a
+// shift-and-mask with no per-byte loop. Invariants:
+//
+//   - cur holds the next nbit unconsumed stream bits, MSB-aligned (bit 63
+//     is the very next bit).
+//   - bits of cur at positions below the top nbit are either zero or equal
+//     to the true upcoming stream bits (partial prefix of the next source
+//     byte deposited by a wide refill). Zero-padded peeks are therefore
+//     safe at end of stream, where those bits are always zero.
+//   - after refill, nbit >= 57 unless fewer bits remain in the source, in
+//     which case every remaining bit is in cur.
 type Reader struct {
 	buf  []byte
-	pos  int // next byte index
-	cur  uint64
-	nbit uint
+	pos  int    // next unconsumed byte index; bits before pos*8 are consumed or in cur
+	cur  uint64 // upcoming bits, MSB-aligned
+	nbit uint   // number of valid bits in cur
 }
 
 // NewReader returns a Reader over p. The reader does not copy p.
@@ -117,41 +135,117 @@ func NewReader(p []byte) *Reader {
 	return &Reader{buf: p}
 }
 
+// Reset rewinds the reader to the start of p, reusing the struct.
+func (r *Reader) Reset(p []byte) {
+	r.buf, r.pos, r.cur, r.nbit = p, 0, 0, 0
+}
+
+// refill tops the lookahead word up to >= 57 bits (or to end of stream).
+func (r *Reader) refill() {
+	if r.pos+8 <= len(r.buf) {
+		if r.nbit > 56 {
+			return
+		}
+		w := binary.BigEndian.Uint64(r.buf[r.pos:])
+		r.cur |= w >> r.nbit
+		take := (64 - r.nbit) >> 3 // whole bytes that fit
+		r.pos += int(take)
+		r.nbit += take * 8
+		return
+	}
+	// Tail: fewer than 8 source bytes left, load one at a time.
+	for r.pos < len(r.buf) && r.nbit <= 56 {
+		r.cur |= uint64(r.buf[r.pos]) << (56 - r.nbit)
+		r.pos++
+		r.nbit += 8
+	}
+}
+
 // ReadBit reads a single bit.
 func (r *Reader) ReadBit() (uint, error) {
-	if r.nbit == 0 {
-		if r.pos >= len(r.buf) {
-			return 0, ErrUnexpectedEOF
-		}
-		r.cur = uint64(r.buf[r.pos])
-		r.pos++
-		r.nbit = 8
+	if r.nbit > 0 {
+		b := uint(r.cur >> 63)
+		r.cur <<= 1
+		r.nbit--
+		return b, nil
 	}
-	r.nbit--
-	return uint(r.cur>>r.nbit) & 1, nil
+	v, err := r.readBitsSlow(1)
+	return uint(v), err
 }
 
 // ReadBits reads n bits (0..64), most significant first.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n <= r.nbit {
+		v := r.cur >> (64 - n) // n == 0 yields 0: shift >= width is defined as 0
+		r.cur <<= n
+		r.nbit -= n
+		return v, nil
+	}
+	return r.readBitsSlow(n)
+}
+
+// readBitsSlow is the refilling path of ReadBits; it also serves ReadBit and
+// Consume when the lookahead runs dry.
+func (r *Reader) readBitsSlow(n uint) (uint64, error) {
 	var v uint64
 	for n > 0 {
 		if r.nbit == 0 {
-			if r.pos >= len(r.buf) {
+			r.refill()
+			if r.nbit == 0 {
 				return 0, ErrUnexpectedEOF
 			}
-			r.cur = uint64(r.buf[r.pos])
-			r.pos++
-			r.nbit = 8
 		}
-		take := r.nbit
-		if take > n {
-			take = n
+		take := n
+		if take > r.nbit {
+			take = r.nbit
 		}
+		v = v<<take | r.cur>>(64-take)
+		r.cur <<= take
 		r.nbit -= take
-		v = v<<take | (r.cur>>r.nbit)&((1<<take)-1)
 		n -= take
 	}
 	return v, nil
+}
+
+// PeekBits returns the next n bits (n <= 56) MSB-first without consuming
+// them. When fewer than n bits remain in the stream the result is padded
+// with zero bits on the right; combine with Remaining (or a failing Consume)
+// to detect end of stream.
+func (r *Reader) PeekBits(n uint) uint64 {
+	if r.nbit < n {
+		r.refill()
+	}
+	return r.cur >> (64 - n)
+}
+
+// Consume discards n bits, typically after a PeekBits-based table lookup.
+// Consuming past the end of the stream returns ErrUnexpectedEOF.
+func (r *Reader) Consume(n uint) error {
+	if n <= r.nbit {
+		r.cur <<= n
+		r.nbit -= n
+		return nil
+	}
+	_, err := r.readBitsSlow(n)
+	return err
+}
+
+// Lookahead tops up the lookahead word and returns it with its valid bit
+// count (>= 57 unless the stream is nearly exhausted). It consumes nothing:
+// callers decode from the returned word in registers and settle with Drop.
+func (r *Reader) Lookahead() (uint64, uint) {
+	if r.nbit <= 56 {
+		r.refill()
+	}
+	return r.cur, r.nbit
+}
+
+// Drop discards n bits with no end-of-stream check. The caller must ensure
+// n does not exceed the bit count returned by Lookahead; use Consume when
+// that is not known.
+func (r *Reader) Drop(n uint) {
+	r.cur <<= n
+	r.nbit -= n
 }
 
 // ReadByte reads 8 bits.
@@ -160,8 +254,14 @@ func (r *Reader) ReadByte() (byte, error) {
 	return byte(v), err
 }
 
-// Align discards bits up to the next byte boundary.
-func (r *Reader) Align() { r.nbit = 0 }
+// Align discards bits up to the next byte boundary of the logical stream
+// position (the position accounting for the lookahead word, not the raw
+// load offset).
+func (r *Reader) Align() {
+	k := r.nbit & 7
+	r.cur <<= k
+	r.nbit -= k
+}
 
 // Remaining reports the number of unread whole bits.
 func (r *Reader) Remaining() int {

@@ -4,7 +4,31 @@
 // O(n log n) time and O(n) auxiliary space.
 package bwt
 
-import "positbench/internal/compress"
+import (
+	"sync"
+
+	"positbench/internal/compress"
+)
+
+// sortScratch carries the working arrays of the class-doubling sort and the
+// inverse LF table across calls. bzip2c transforms one block per chunk, so
+// without reuse every chunk paid five O(n) allocations here; the pool keeps
+// steady-state streaming allocation-free. Buffers are only retained inside
+// this package — callers never see pooled memory.
+type sortScratch struct {
+	p, c, pn, cn, cnt []int32
+	next              []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(sortScratch) }}
+
+// grow32 returns s resized to n, reallocating only when capacity is short.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
 
 // Transform returns the last column of the sorted rotation matrix of s and
 // the primary index (the row containing the original string). s is not
@@ -17,33 +41,42 @@ func Transform(s []byte) ([]byte, int) {
 	if n == 1 {
 		return []byte{s[0]}, 0
 	}
-	p := sortRotations(s)
+	sc := scratchPool.Get().(*sortScratch)
+	p := sc.sortRotations(s)
 	out := make([]byte, n)
 	primary := 0
 	for i, start := range p {
+		j := int(start) - 1
+		if j < 0 {
+			j += n
+		}
 		if start == 0 {
 			primary = i
 		}
-		out[i] = s[(int(start)+n-1)%n]
+		out[i] = s[j]
 	}
+	scratchPool.Put(sc)
 	return out, primary
 }
 
 // sortRotations returns the starting indices of the lexicographically
-// sorted cyclic rotations of s.
-func sortRotations(s []byte) []int32 {
+// sorted cyclic rotations of s. The result aliases pooled scratch and is
+// only valid until the scratch is returned to the pool.
+func (sc *sortScratch) sortRotations(s []byte) []int32 {
 	n := len(s)
 	alpha := 256
 	if n > alpha {
 		alpha = n
 	}
-	p := make([]int32, n)  // rotation order
-	c := make([]int32, n)  // equivalence class per position
-	pn := make([]int32, n) // scratch order
-	cn := make([]int32, n) // scratch classes
-	cnt := make([]int32, alpha)
+	sc.p = grow32(sc.p, n)   // rotation order
+	sc.c = grow32(sc.c, n)   // equivalence class per position
+	sc.pn = grow32(sc.pn, n) // scratch order
+	sc.cn = grow32(sc.cn, n) // scratch classes
+	sc.cnt = grow32(sc.cnt, alpha)
+	p, c, pn, cn, cnt := sc.p, sc.c, sc.pn, sc.cn, sc.cnt
 
 	// Round 0: counting sort by single byte.
+	clear(cnt[:256])
 	for _, b := range s {
 		cnt[b]++
 	}
@@ -63,18 +96,21 @@ func sortRotations(s []byte) []int32 {
 		c[p[i]] = classes - 1
 	}
 
+	// Each doubling round is a stable counting sort by the class of the
+	// first k characters; the loop exits as soon as every rotation sits in
+	// its own class (fully ranked), which on low-entropy float data happens
+	// well before k reaches n.
 	for k := 1; k < n && classes < int32(n); k <<= 1 {
 		// Sort by the second half: shift starts back by k.
 		for i := 0; i < n; i++ {
-			pn[i] = p[i] - int32(k)
-			if pn[i] < 0 {
-				pn[i] += int32(n)
+			t := p[i] - int32(k)
+			if t < 0 {
+				t += int32(n)
 			}
+			pn[i] = t
 		}
 		// Stable counting sort by class of the first half.
-		for i := int32(0); i < classes; i++ {
-			cnt[i] = 0
-		}
+		clear(cnt[:classes])
 		for i := 0; i < n; i++ {
 			cnt[c[pn[i]]]++
 		}
@@ -86,26 +122,41 @@ func sortRotations(s []byte) []int32 {
 			cnt[cl]--
 			p[cnt[cl]] = pn[i]
 		}
-		// Recompute classes from (c[i], c[i+k]).
+		// Recompute classes from (c[i], c[i+k]); indices stay in [0, 2n) so
+		// a conditional subtract replaces the modulo.
 		cn[p[0]] = 0
 		classes = 1
+		prev := int(p[0])
+		prevB := prev + k
+		if prevB >= n {
+			prevB -= n
+		}
+		a2, b2 := c[prev], c[prevB]
 		for i := 1; i < n; i++ {
-			a1 := c[p[i]]
-			b1 := c[(int(p[i])+k)%n]
-			a2 := c[p[i-1]]
-			b2 := c[(int(p[i-1])+k)%n]
+			cur := int(p[i])
+			curB := cur + k
+			if curB >= n {
+				curB -= n
+			}
+			a1, b1 := c[cur], c[curB]
 			if a1 != a2 || b1 != b2 {
 				classes++
 			}
-			cn[p[i]] = classes - 1
+			cn[cur] = classes - 1
+			a2, b2 = a1, b1
 		}
 		c, cn = cn, c
 	}
+	sc.c, sc.cn = c, cn // keep the swapped views so capacity is not lost
 	return p
 }
 
 // Inverse reconstructs the original block from the last column and the
-// primary index using the LF mapping.
+// primary index using the LF mapping. The permutation is one n-cycle, so a
+// naive walk is a serial chain of n dependent random loads; Inverse also
+// builds the inverse permutation and reconstructs from both ends at once,
+// doubling the memory-level parallelism of the walk (the dominant cost on
+// blocks that spill out of L2).
 func Inverse(last []byte, primary int) ([]byte, error) {
 	n := len(last)
 	if n == 0 {
@@ -115,27 +166,71 @@ func Inverse(last []byte, primary int) ([]byte, error) {
 		return nil, compress.Errorf(compress.ErrCorrupt, "bwt: primary index %d out of range [0,%d)", primary, n)
 	}
 	// next[i]: row of the rotation that follows row i's rotation.
-	var cnt [256]int
+	var cnt [256]int32
 	for _, b := range last {
 		cnt[b]++
 	}
-	var base [256]int
-	sum := 0
+	var base [256]int32
+	sum := int32(0)
 	for v := 0; v < 256; v++ {
 		base[v] = sum
 		sum += cnt[v]
 	}
-	next := make([]int32, n)
-	var seen [256]int
+	sc := scratchPool.Get().(*sortScratch)
+	sc.next = grow32(sc.next, n)
+	sc.pn = grow32(sc.pn, n)
+	next, inv := sc.next, sc.pn
+	// base[b] now doubles as the running rank counter: after the loop it has
+	// advanced past every occurrence of b. inv (the forward FL mapping) is
+	// the same rank computation written to sequential indices.
 	for i, b := range last {
-		next[base[b]+seen[b]] = int32(i)
-		seen[b]++
+		r := base[b]
+		base[b] = r + 1
+		next[r] = int32(i)
+		inv[i] = r
 	}
 	out := make([]byte, n)
-	row := next[primary]
-	for i := 0; i < n; i++ {
-		out[i] = last[row]
-		row = next[row]
+	half := n / 2
+	// Forward chain emits out[0], out[1], ...; backward chain (via the
+	// inverse permutation) emits out[n-1], out[n-2], ... The two dependent
+	// load chains overlap, so the walk runs at twice the effective MLP.
+	const packLimit = 1 << 24
+	if n < packLimit {
+		// Pack the byte each row emits into the spare high bits of its chain
+		// entry: the walk then touches one cache line per step instead of
+		// two (chain entry + last[row]), and the walk is DRAM-latency bound.
+		// The packing passes themselves are sequential streams.
+		for r, b := range last {
+			next[r] |= int32(b) << 24
+			inv[r] |= int32(b) << 24
+		}
+		const mask = packLimit - 1
+		rowF := next[primary] & mask
+		rowB := int32(primary)
+		for i, j := 0, n-1; i < half; i, j = i+1, j-1 {
+			v := next[rowF]
+			out[i] = byte(uint32(v) >> 24)
+			rowF = v & mask
+			v = inv[rowB]
+			out[j] = byte(uint32(v) >> 24)
+			rowB = v & mask
+		}
+		if n&1 == 1 {
+			out[half] = byte(uint32(next[rowF]) >> 24)
+		}
+	} else {
+		rowF := next[primary]
+		rowB := int32(primary)
+		for i, j := 0, n-1; i < half; i, j = i+1, j-1 {
+			out[i] = last[rowF]
+			rowF = next[rowF]
+			out[j] = last[rowB]
+			rowB = inv[rowB]
+		}
+		if n&1 == 1 {
+			out[half] = last[rowF]
+		}
 	}
+	scratchPool.Put(sc)
 	return out, nil
 }

@@ -28,19 +28,21 @@ import (
 var (
 	benchJSONPath = flag.String("bench-json", "", "write a BENCH_compress.json report to this path after the run")
 	benchWorkers  = flag.Int("bench-workers", 4, "parallel worker count measured against the serial baseline")
+	benchBytes    = flag.Int("bench-bytes", 4<<20, "benchmark input size; `make bench-smoke` shrinks it to run under -race")
 )
 
-const (
-	benchBytes = 4 << 20
-	benchChunk = 1 << 20
-)
+const benchChunk = 1 << 20
 
 var benchRecorder = struct {
 	sync.Mutex
 	results map[string]*stats.BenchResult
 }{results: map[string]*stats.BenchResult{}}
 
-func recordBench(codec string, parallel bool, mbps float64) {
+// recordBench keeps the best observed throughput per metric across -count
+// repetitions: on a shared runner a CPU-steal spike poisons any single run
+// (and would poison a mean), while the best of several runs is reproducibly
+// close to what the hardware sustains. `make bench` passes -count=3.
+func recordBench(codec string, parallel, decode bool, mbps float64) {
 	benchRecorder.Lock()
 	defer benchRecorder.Unlock()
 	r := benchRecorder.results[codec]
@@ -48,15 +50,26 @@ func recordBench(codec string, parallel bool, mbps float64) {
 		r = &stats.BenchResult{
 			Codec:      codec,
 			Workers:    *benchWorkers,
-			InputBytes: benchBytes,
+			InputBytes: int64(*benchBytes),
 			ChunkBytes: benchChunk,
 		}
 		benchRecorder.results[codec] = r
 	}
-	if parallel {
-		r.ParallelMBps = mbps
-	} else {
-		r.SerialMBps = mbps
+	best := func(old float64) float64 {
+		if mbps > old {
+			return mbps
+		}
+		return old
+	}
+	switch {
+	case decode && parallel:
+		r.ParallelDecodeMBps = best(r.ParallelDecodeMBps)
+	case decode:
+		r.SerialDecodeMBps = best(r.SerialDecodeMBps)
+	case parallel:
+		r.ParallelMBps = best(r.ParallelMBps)
+	default:
+		r.SerialMBps = best(r.SerialMBps)
 	}
 }
 
@@ -71,8 +84,8 @@ func throughputMBps(b *testing.B, n int) float64 {
 // data as the SDRBench-style study inputs, so per-codec ratios are realistic.
 var benchInput = sync.OnceValue(func() []byte {
 	rng := rand.New(rand.NewSource(7))
-	buf := make([]byte, 0, benchBytes)
-	for i := 0; i < benchBytes/4; i++ {
+	buf := make([]byte, 0, *benchBytes)
+	for i := 0; i < *benchBytes/4; i++ {
 		v := float32(math.Sin(float64(i)/97) + 0.01*rng.NormFloat64())
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
 	}
@@ -96,7 +109,7 @@ func BenchmarkStreamCompress(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			recordBench(c.Name(), false, throughputMBps(b, len(data)))
+			recordBench(c.Name(), false, false, throughputMBps(b, len(data)))
 		})
 		b.Run(fmt.Sprintf("%s/parallel-w%d", c.Name(), *benchWorkers), func(b *testing.B) {
 			b.SetBytes(int64(len(data)))
@@ -111,14 +124,14 @@ func BenchmarkStreamCompress(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			recordBench(c.Name(), true, throughputMBps(b, len(data)))
+			recordBench(c.Name(), true, false, throughputMBps(b, len(data)))
 		})
 	}
 }
 
-// BenchmarkStreamDecompress covers the read side; it does not feed the JSON
-// report (the regression gate tracks the compress direction) but keeps decode
-// throughput visible in ordinary -bench runs.
+// BenchmarkStreamDecompress covers the read side; it feeds the decode
+// columns of the JSON report so decode-path regressions gate alongside the
+// compress direction.
 func BenchmarkStreamDecompress(b *testing.B) {
 	data := benchInput()
 	for _, c := range all.Raw() {
@@ -141,6 +154,7 @@ func BenchmarkStreamDecompress(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			recordBench(c.Name(), false, true, throughputMBps(b, len(data)))
 		})
 		b.Run(fmt.Sprintf("%s/parallel-w%d", c.Name(), *benchWorkers), func(b *testing.B) {
 			b.SetBytes(int64(len(data)))
@@ -152,6 +166,7 @@ func BenchmarkStreamDecompress(b *testing.B) {
 				}
 				r.Close()
 			}
+			recordBench(c.Name(), true, true, throughputMBps(b, len(data)))
 		})
 	}
 }
@@ -159,7 +174,10 @@ func BenchmarkStreamDecompress(b *testing.B) {
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if *benchJSONPath != "" && len(benchRecorder.results) > 0 {
-		report := &stats.BenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		report := &stats.BenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+		if report.NumCPU == 1 {
+			report.Note = "1-CPU machine: parallel speedups are ~1.0 by construction; compare absolute MB/s only against runs on the same hardware"
+		}
 		for _, r := range benchRecorder.results {
 			report.Results = append(report.Results, *r)
 		}

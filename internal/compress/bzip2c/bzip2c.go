@@ -286,7 +286,11 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 			return nil, fmt.Errorf("bzip2: block %d: %w", i, err)
 		}
 	}
-	var pre []byte
+	total := 0
+	for _, d := range decoded {
+		total += len(d)
+	}
+	pre := make([]byte, 0, total)
 	for _, d := range decoded {
 		pre = append(pre, d...)
 	}
@@ -374,30 +378,43 @@ func decompressBlock(b []byte, maxOut int64) ([]byte, error) {
 		copy(mtfOrder[1:j+1], mtfOrder[:j])
 		mtfOrder[0] = sel
 	}
-	syms := make([]uint16, 0, nSyms-1)
-	for i := 0; i < nSyms; i++ {
-		s, err := decs[selectors[i/groupSize]].Decode(r)
+	// One Huffman table serves each 50-symbol group; each group decodes with
+	// a single batch call. The spare slot lets every group pass its full
+	// span even though the EOB symbol is never stored.
+	syms := make([]uint16, nSyms)
+	pos, consumed := 0, 0
+	sawEOB := false
+	for g := 0; g < nSel && consumed < nSyms; g++ {
+		want := nSyms - consumed
+		if want > groupSize {
+			want = groupSize
+		}
+		k, saw, err := decs[selectors[g]].DecodeBatch(r, syms[pos:pos+want], eobSymbol)
 		if err != nil {
 			return nil, err
 		}
-		if s == eobSymbol {
-			if i != nSyms-1 {
-				return nil, compress.Errorf(compress.ErrCorrupt, "early EOB at symbol %d of %d", i, nSyms)
+		pos += k
+		consumed += k
+		if saw {
+			consumed++ // the EOB itself
+			if consumed != nSyms {
+				return nil, compress.Errorf(compress.ErrCorrupt, "early EOB at symbol %d of %d", consumed-1, nSyms)
 			}
+			sawEOB = true
 			break
 		}
-		syms = append(syms, uint16(s))
 	}
-	if len(syms) != nSyms-1 {
+	if !sawEOB || pos != nSyms-1 {
 		return nil, compress.Errorf(compress.ErrCorrupt, "missing EOB")
 	}
-	// The zero-run decode must land exactly on blockLen bytes, so blockLen
-	// doubles as the allocation bound for hostile RUNA/RUNB streams.
-	mtfBytes, err := mtf.DecodeZeroRunsLimit(syms, int(blockLen))
+	syms = syms[:pos]
+	// The fused zero-run + MTF decode must land exactly on blockLen bytes,
+	// so blockLen doubles as the allocation bound for hostile RUNA/RUNB
+	// streams.
+	last, err := mtf.DecodeRunsMTFLimit(syms, int(blockLen))
 	if err != nil {
 		return nil, err
 	}
-	last := mtf.Decode(mtfBytes)
 	if len(last) != int(blockLen) {
 		return nil, compress.Errorf(compress.ErrCorrupt, "block length mismatch: got %d want %d", len(last), blockLen)
 	}

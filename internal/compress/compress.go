@@ -18,6 +18,43 @@ type Codec interface {
 	Decompress(comp []byte) ([]byte, error)
 }
 
+// AppendCompressor is implemented by codecs that can compress into a
+// caller-provided buffer. CompressAppend appends the compressed
+// representation of src to dst (growing it as needed) and returns the
+// result, which may alias dst's backing array. Implementations must not
+// retain dst or src after returning; that ownership rule is what lets the
+// streaming engine recycle chunk buffers through a pool.
+type AppendCompressor interface {
+	CompressAppend(dst, src []byte) ([]byte, error)
+}
+
+// AppendDecompressor is the decode-side capability: DecompressAppendLimits
+// appends the decompressed output to dst under lim, with the same aliasing
+// and non-retention rules as AppendCompressor.
+type AppendDecompressor interface {
+	DecompressAppendLimits(dst, comp []byte, lim DecodeLimits) ([]byte, error)
+}
+
+// CompressAppend compresses src with c, reusing dst's capacity when the
+// codec supports it. Codecs without the capability fall back to Compress and
+// return a fresh buffer (the caller's pool simply absorbs it).
+func CompressAppend(c Codec, dst, src []byte) ([]byte, error) {
+	if ac, ok := c.(AppendCompressor); ok {
+		return ac.CompressAppend(dst, src)
+	}
+	return c.Compress(src)
+}
+
+// DecompressAppendLimits decompresses comp with c under lim, reusing dst's
+// capacity when the codec supports it; other codecs fall back to
+// DecompressLimits and return a fresh buffer.
+func DecompressAppendLimits(c Codec, dst, comp []byte, lim DecodeLimits) ([]byte, error) {
+	if ad, ok := c.(AppendDecompressor); ok {
+		return ad.DecompressAppendLimits(dst, comp, lim)
+	}
+	return DecompressLimits(c, comp, lim)
+}
+
 // Info describes a codec for the Table 1 inventory.
 type Info struct {
 	Name    string // codec name as reported in tables

@@ -7,6 +7,7 @@ package lz4c
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"positbench/internal/bitio"
 	"positbench/internal/compress"
@@ -40,13 +41,31 @@ func (c *Codec) Info() compress.Info {
 	return compress.Info{Name: "lz4", Version: "block-format", Source: "models lz4 1.04 HC (64 KiB window, no entropy stage)"}
 }
 
+// matcherPool recycles hash-chain state across chunks; Reset re-targets a
+// pooled matcher without reallocating its tables.
+var matcherPool = sync.Pool{New: func() any { return new(lz77.Matcher) }}
+
 // Compress implements compress.Codec.
 func (c *Codec) Compress(src []byte) ([]byte, error) {
-	out := bitio.PutUvarint(make([]byte, 0, len(src)/2+16), uint64(len(src)))
+	return c.CompressAppend(nil, src)
+}
+
+// CompressAppend implements compress.AppendCompressor, appending the
+// compressed block to dst and reusing its capacity.
+func (c *Codec) CompressAppend(dst, src []byte) ([]byte, error) {
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, len(src)/2+16)
+	}
+	out := bitio.PutUvarint(dst[:0], uint64(len(src)))
 	if len(src) == 0 {
 		return out, nil
 	}
-	m := lz77.NewMatcher(src, window, c.depth)
+	m := matcherPool.Get().(*lz77.Matcher)
+	m.Reset(src, window, c.depth)
+	defer func() {
+		m.Reset(nil, window, c.depth) // drop the src reference before pooling
+		matcherPool.Put(m)
+	}()
 	litStart := 0
 	pos := 0
 	emit := func(litEnd, dist, mlen int) {
@@ -114,6 +133,12 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 // DecompressLimits implements compress.Limited: the declared size is checked
 // against lim before any allocation, and every match copy is bounded.
 func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
+	return c.DecompressAppendLimits(nil, comp, lim)
+}
+
+// DecompressAppendLimits implements compress.AppendDecompressor, appending
+// the decoded block to dst and reusing its capacity.
+func (c *Codec) DecompressAppendLimits(dst, comp []byte, lim compress.DecodeLimits) ([]byte, error) {
 	size, n, err := bitio.Uvarint(comp)
 	if err != nil {
 		return nil, fmt.Errorf("lz4: %w", err)
@@ -122,12 +147,17 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 		return nil, err
 	}
 	comp = comp[n:]
-	// Cap the initial allocation: size is attacker-controlled input.
-	capacity := size
-	if capacity > 1<<20 {
-		capacity = 1 << 20
+	out := dst[:0]
+	if uint64(cap(out)) < size {
+		// Cap the initial allocation: size is attacker-controlled input.
+		capacity := size
+		if capacity > 1<<20 {
+			capacity = 1 << 20
+		}
+		if uint64(cap(out)) < capacity {
+			out = make([]byte, 0, capacity)
+		}
 	}
-	out := make([]byte, 0, capacity)
 	i := 0
 	for uint64(len(out)) < size {
 		if i >= len(comp) {
@@ -203,3 +233,5 @@ func readLenExt(comp []byte, i, base int) (int, int, error) {
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
 var _ compress.Limited = (*Codec)(nil)
+var _ compress.AppendCompressor = (*Codec)(nil)
+var _ compress.AppendDecompressor = (*Codec)(nil)

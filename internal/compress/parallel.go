@@ -31,7 +31,12 @@ import (
 // per-chunk DecompressLimits call.
 
 // pwJob is one chunk moving through the writer's pool: src is the raw
-// chunk, comp/err the compression result, ready closed when comp is set.
+// chunk, comp/err the compression result. ready (capacity 1) receives one
+// token when comp is set; jobs are recycled through a pool, carrying both
+// their src and comp buffers with them so steady-state compression reuses
+// them. Pooling the buffers inside the job (a pointer) rather than as bare
+// slices keeps the recycle path allocation-free: boxing a slice header into
+// an interface would itself allocate per chunk.
 type pwJob struct {
 	src   []byte
 	comp  []byte
@@ -49,12 +54,13 @@ type ParallelWriter struct {
 	workers int
 	ctx     context.Context
 
-	buf   []byte
-	order chan *pwJob // submission order; capacity bounds in-flight chunks
-	jobs  chan *pwJob // work queue for the compressors
-	done  chan struct{}
-	wg    sync.WaitGroup
-	pool  sync.Pool
+	cur     *pwJob      // chunk currently being filled by Write
+	order   chan *pwJob // submission order; capacity bounds in-flight chunks
+	jobs    chan *pwJob // work queue for the compressors
+	done    chan struct{}
+	wg      sync.WaitGroup
+	jobPool sync.Pool                   // pwJob shells with their ready channel and buffers
+	hdr     [binary.MaxVarintLen64]byte // frame-header scratch for the emitter
 
 	mu     sync.Mutex
 	err    error
@@ -92,7 +98,7 @@ func NewParallelWriterContext(ctx context.Context, codec Codec, dst io.Writer, c
 		jobs:    make(chan *pwJob, workers),
 		done:    make(chan struct{}),
 	}
-	w.pool.New = func() interface{} { return make([]byte, 0, chunkSize) }
+	w.jobPool.New = func() interface{} { return &pwJob{ready: make(chan struct{}, 1)} }
 	for i := 0; i < workers; i++ {
 		w.wg.Add(1)
 		go w.compressor()
@@ -107,9 +113,9 @@ func (w *ParallelWriter) compressor() {
 		if err := w.ctx.Err(); err != nil {
 			job.err = err
 		} else {
-			job.comp, job.err = w.codec.Compress(job.src)
+			job.comp, job.err = CompressAppend(w.codec, job.comp[:0], job.src)
 		}
-		close(job.ready)
+		job.ready <- struct{}{}
 	}
 }
 
@@ -124,17 +130,20 @@ func (w *ParallelWriter) emitter() {
 			if job.err != nil {
 				w.setErr(job.err)
 			} else {
-				w.setErr(writeFrame(w.dst, job.comp))
+				w.setErr(writeFrame(w.dst, w.hdr[:], job.comp))
 			}
 		}
-		w.pool.Put(job.src[:0])
+		job.src, job.err = job.src[:0], nil
+		w.jobPool.Put(job)
 	}
 }
 
-// writeFrame emits one chunk frame: uvarint(len+1) then the payload.
-func writeFrame(dst io.Writer, comp []byte) error {
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(comp))+1) // +1: 0 is the terminator
+// writeFrame emits one chunk frame: uvarint(len+1) then the payload. hdr is
+// the caller's persistent scratch (len >= binary.MaxVarintLen64): a local
+// array would escape through the io.Writer interface and cost an allocation
+// per frame.
+func writeFrame(dst io.Writer, hdr, comp []byte) error {
+	n := binary.PutUvarint(hdr, uint64(len(comp))+1) // +1: 0 is the terminator
 	if _, err := dst.Write(hdr[:n]); err != nil {
 		return err
 	}
@@ -172,19 +181,22 @@ func (w *ParallelWriter) Write(p []byte) (int, error) {
 	if err := w.firstErr(); err != nil {
 		return 0, err
 	}
-	if w.buf == nil {
-		w.buf = w.pool.Get().([]byte)[:0]
+	if w.cur == nil {
+		w.cur = w.jobPool.Get().(*pwJob)
 	}
 	total := len(p)
 	for len(p) > 0 {
-		room := w.chunk - len(w.buf)
+		room := w.chunk - len(w.cur.src)
 		if room > len(p) {
 			room = len(p)
 		}
-		w.buf = append(w.buf, p[:room]...)
+		w.cur.src = append(w.cur.src, p[:room]...)
 		p = p[room:]
-		if len(w.buf) == w.chunk {
+		if len(w.cur.src) == w.chunk {
 			w.submit()
+			if len(p) > 0 {
+				w.cur = w.jobPool.Get().(*pwJob)
+			}
 		}
 	}
 	return total, nil
@@ -193,8 +205,8 @@ func (w *ParallelWriter) Write(p []byte) (int, error) {
 // submit hands the current chunk to the pool. Sending on order first
 // preserves emission order; its capacity is the back-pressure bound.
 func (w *ParallelWriter) submit() {
-	job := &pwJob{src: w.buf, ready: make(chan struct{})}
-	w.buf = nil
+	job := w.cur
+	w.cur = nil
 	w.order <- job
 	w.jobs <- job
 }
@@ -206,7 +218,7 @@ func (w *ParallelWriter) Close() error {
 		return w.firstErr()
 	}
 	w.closed = true
-	if len(w.buf) > 0 {
+	if w.cur != nil && len(w.cur.src) > 0 {
 		w.submit()
 	}
 	close(w.jobs)
@@ -239,6 +251,9 @@ func (w *ParallelWriter) CloseWithError(err error) error {
 }
 
 // prSlot is one chunk moving through the reader's pool, in stream order.
+// ready (capacity 1) receives one token when out is resolved. Slots are
+// recycled once Read has fully drained them, carrying their comp and out
+// buffers so steady-state streaming reuses both.
 type prSlot struct {
 	comp  []byte
 	out   []byte
@@ -260,8 +275,10 @@ type ParallelReader struct {
 	finOnce  sync.Once
 	wg       sync.WaitGroup
 
-	buf []byte
-	err error
+	buf      []byte
+	cur      *prSlot // slot whose out buffer buf aliases; recycled when drained
+	slotPool sync.Pool
+	err      error
 }
 
 // NewParallelReader returns a parallel streaming decompressor over src with
@@ -294,6 +311,7 @@ func NewParallelReaderContext(ctx context.Context, codec Codec, src io.Reader, l
 		stop:     make(chan struct{}),
 		finished: make(chan struct{}),
 	}
+	r.slotPool.New = func() interface{} { return &prSlot{ready: make(chan struct{}, 1)} }
 	r.wg.Add(1)
 	go r.fetch(bufio.NewReader(src), lim)
 	for i := 0; i < workers; i++ {
@@ -321,20 +339,23 @@ func (r *ParallelReader) fetch(src *bufio.Reader, lim DecodeLimits) {
 	defer close(r.slots)
 	defer close(r.jobs)
 	for {
-		comp, err := readFrame(src, lim)
+		slot := r.slotPool.Get().(*prSlot)
+		slot.err = nil
+		comp, err := readFrameInto(src, lim, slot.comp[:0])
 		if err != nil || comp == nil {
 			if err == nil {
 				err = io.EOF // clean terminator
 			}
-			slot := &prSlot{err: err, ready: make(chan struct{})}
-			close(slot.ready)
+			slot.comp = nil
+			slot.err = err
+			slot.ready <- struct{}{}
 			select {
 			case r.slots <- slot:
 			case <-r.stop:
 			}
 			return
 		}
-		slot := &prSlot{comp: comp, ready: make(chan struct{})}
+		slot.comp = comp
 		select {
 		case r.slots <- slot:
 		case <-r.stop:
@@ -343,6 +364,11 @@ func (r *ParallelReader) fetch(src *bufio.Reader, lim DecodeLimits) {
 		select {
 		case r.jobs <- slot:
 		case <-r.stop:
+			// The slot is already visible on r.slots but no worker will
+			// ever see it: resolve it here or a Read that raced the
+			// shutdown blocks on slot.ready forever.
+			slot.err = r.closedErr()
+			slot.ready <- struct{}{}
 			return
 		}
 	}
@@ -355,16 +381,16 @@ func (r *ParallelReader) decompressor(codec Codec, lim DecodeLimits) {
 		case <-r.stop:
 			slot.err = r.closedErr()
 		default:
-			slot.out, slot.err = DecompressLimits(codec, slot.comp, lim)
+			slot.out, slot.err = DecompressAppendLimits(codec, slot.out[:0], slot.comp, lim)
 		}
-		slot.comp = nil
-		close(slot.ready)
+		slot.ready <- struct{}{}
 	}
 }
 
-// readFrame reads one chunk frame: the compressed payload, or (nil, nil) at
-// the stream terminator. Errors carry the same taxonomy as the serial path.
-func readFrame(src *bufio.Reader, lim DecodeLimits) ([]byte, error) {
+// readFrameInto reads one chunk frame into buf (reusing its capacity),
+// returning the compressed payload or (nil, nil) at the stream terminator.
+// Errors carry the same taxonomy as the serial path.
+func readFrameInto(src *bufio.Reader, lim DecodeLimits, buf []byte) ([]byte, error) {
 	length, err := binary.ReadUvarint(src)
 	if err != nil {
 		if err == io.EOF {
@@ -386,16 +412,39 @@ func readFrame(src *bufio.Reader, lim DecodeLimits) ([]byte, error) {
 	if compLen > uint64(maxOut)+uint64(expansionSlack) {
 		return nil, Errorf(ErrLimitExceeded, "compress: chunk declares %d compressed bytes, limit %d", compLen, maxOut)
 	}
-	// ReadAll over a LimitReader grows with the data actually present, so a
-	// large declared length on a short stream costs nothing.
-	comp, err := io.ReadAll(io.LimitReader(src, int64(compLen)))
-	if err != nil {
-		return nil, fmt.Errorf("compress: chunk body: %w", err)
+	// The buffer grows geometrically with the bytes actually read, never all
+	// at once from the declared length, so a tampered prefix on a short
+	// stream costs nothing. A pooled buffer that has reached the steady-state
+	// chunk size reads in one ReadFull with no allocation.
+	need := int(compLen)
+	buf = buf[:0]
+	for len(buf) < need {
+		if len(buf) == cap(buf) {
+			grow := 2 * cap(buf)
+			if grow < 4096 {
+				grow = 4096
+			}
+			if grow > need {
+				grow = need
+			}
+			nb := make([]byte, len(buf), grow)
+			copy(nb, buf)
+			buf = nb
+		}
+		end := cap(buf)
+		if end > need {
+			end = need
+		}
+		n, err := io.ReadFull(src, buf[len(buf):end])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, Errorf(ErrTruncated, "compress: chunk body: %d of %d bytes", len(buf), need)
+			}
+			return nil, fmt.Errorf("compress: chunk body: %w", err)
+		}
 	}
-	if uint64(len(comp)) < compLen {
-		return nil, Errorf(ErrTruncated, "compress: chunk body: %d of %d bytes", len(comp), compLen)
-	}
-	return comp, nil
+	return buf, nil
 }
 
 // closedErr is the sticky error for reads that raced pool shutdown: the
@@ -415,6 +464,12 @@ func (r *ParallelReader) Read(p []byte) (int, error) {
 		return 0, r.err
 	}
 	for len(r.buf) == 0 {
+		if r.cur != nil {
+			// The previous chunk is fully drained; its buffers go back to
+			// the fetcher for reuse. Callers only ever saw copies.
+			r.slotPool.Put(r.cur)
+			r.cur = nil
+		}
 		slot, ok := <-r.slots
 		if !ok { // only after Close or context cancellation
 			if err := r.ctx.Err(); err != nil {
@@ -431,6 +486,7 @@ func (r *ParallelReader) Read(p []byte) (int, error) {
 			r.shutdown()
 			return 0, r.err
 		}
+		r.cur = slot
 		r.buf = slot.out
 	}
 	n := copy(p, r.buf)

@@ -3,6 +3,7 @@ package compress
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
@@ -68,7 +69,8 @@ func TestParallelReaderContextCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	var one bytes.Buffer
-	if err := writeFrame(&one, comp); err != nil {
+	var hdr [binary.MaxVarintLen64]byte
+	if err := writeFrame(&one, hdr[:], comp); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())

@@ -1,0 +1,7 @@
+//go:build !race
+
+package compress_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation-regression tests skip themselves when it does.
+const raceEnabled = false

@@ -2,6 +2,7 @@ package compress
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 )
@@ -20,6 +21,8 @@ type Writer struct {
 	codec  Codec
 	dst    io.Writer
 	buf    []byte
+	comp   []byte // reused compressed-chunk buffer
+	hdr    [binary.MaxVarintLen64]byte
 	chunk  int
 	closed bool
 }
@@ -56,11 +59,12 @@ func (w *Writer) Write(p []byte) (int, error) {
 }
 
 func (w *Writer) flush() error {
-	comp, err := w.codec.Compress(w.buf)
+	comp, err := CompressAppend(w.codec, w.comp[:0], w.buf)
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(w.dst, comp); err != nil {
+	w.comp = comp
+	if err := writeFrame(w.dst, w.hdr[:], comp); err != nil {
 		return err
 	}
 	w.buf = w.buf[:0]
@@ -88,6 +92,8 @@ type Reader struct {
 	src   *bufio.Reader
 	lim   DecodeLimits
 	buf   []byte
+	comp  []byte // reused compressed-chunk buffer
+	out   []byte // reused decoded-chunk buffer; r.buf slices it
 	done  bool
 	err   error
 }
@@ -125,8 +131,11 @@ func (r *Reader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// nextChunk reads and decodes the next frame. It only runs once r.buf is
+// fully drained, so the previous chunk's buffers are safe to reuse: Read
+// hands callers copies, never the backing arrays.
 func (r *Reader) nextChunk() error {
-	comp, err := readFrame(r.src, r.lim)
+	comp, err := readFrameInto(r.src, r.lim, r.comp[:0])
 	if err != nil {
 		return err
 	}
@@ -134,10 +143,12 @@ func (r *Reader) nextChunk() error {
 		r.done = true
 		return nil
 	}
-	out, err := DecompressLimits(r.codec, comp, r.lim)
+	r.comp = comp
+	out, err := DecompressAppendLimits(r.codec, r.out[:0], comp, r.lim)
 	if err != nil {
 		return err
 	}
+	r.out = out
 	r.buf = out
 	return nil
 }

@@ -245,25 +245,12 @@ func encodeLiteral(e *rangecoder.Encoder, probs []rangecoder.Prob, b byte, match
 
 // decodeLiteral mirrors encodeLiteral.
 func decodeLiteral(d *rangecoder.Decoder, probs []rangecoder.Prob, matched bool, matchByte byte) byte {
-	node := uint32(1)
+	// Both modes use the register-local batch walks so the range state stays
+	// out of memory across all eight bits.
 	if matched {
-		for i := 7; i >= 0; i-- {
-			matchBit := uint32(matchByte>>uint(i)) & 1
-			bit := d.DecodeBit(&probs[(1+matchBit)<<8+node])
-			node = node<<1 | uint32(bit)
-			if matchBit != uint32(bit) {
-				for node < 0x100 {
-					node = node<<1 | uint32(d.DecodeBit(&probs[node]))
-				}
-				return byte(node)
-			}
-		}
-		return byte(node)
+		return byte(d.DecodeTreeMatched(probs, matchByte))
 	}
-	for node < 0x100 {
-		node = node<<1 | uint32(d.DecodeBit(&probs[node]))
-	}
-	return byte(node)
+	return byte(d.DecodeTree(probs, 8))
 }
 
 // Compress implements compress.Codec.
@@ -672,19 +659,29 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 		if d.Err() != nil {
 			return nil, fmt.Errorf("xz: %w", d.Err())
 		}
-		if d.DecodeBit(&m.isMatch[prevMatch*posStates+len(out)&3]) == 0 {
-			ctx := 0
-			if len(out) > 0 {
-				ctx = int(out[len(out)-1] >> 5)
+		if prevMatch == 0 {
+			// Literal-follows-literal steady state: the fused run decoder
+			// consumes symbols until the next match flag (or end of block).
+			var hitMatch bool
+			out, hitMatch = d.DecodeLiteralRun(m.isMatch[:posStates], m.literals, out, int(size))
+			if !hitMatch {
+				break
 			}
-			var matchByte byte
-			matched := prevMatch == 1 && reps[0] <= len(out)
-			if matched {
-				matchByte = out[len(out)-reps[0]]
+		} else {
+			if d.DecodeBit(&m.isMatch[prevMatch*posStates+len(out)&3]) == 0 {
+				ctx := 0
+				if len(out) > 0 {
+					ctx = int(out[len(out)-1] >> 5)
+				}
+				var matchByte byte
+				matched := reps[0] <= len(out)
+				if matched {
+					matchByte = out[len(out)-reps[0]]
+				}
+				out = append(out, decodeLiteral(d, m.literals[ctx], matched, matchByte))
+				prevMatch = 0
+				continue
 			}
-			out = append(out, decodeLiteral(d, m.literals[ctx], matched, matchByte))
-			prevMatch = 0
-			continue
 		}
 		var length, dist int
 		if d.DecodeBit(&m.isRep[0]) == 1 {

@@ -102,8 +102,8 @@ func TestWrongCodecName(t *testing.T) {
 
 type passthroughNamed struct{ name string }
 
-func (p passthroughNamed) Name() string                          { return p.name }
-func (p passthroughNamed) Compress(src []byte) ([]byte, error)   { return src, nil }
+func (p passthroughNamed) Name() string                           { return p.name }
+func (p passthroughNamed) Compress(src []byte) ([]byte, error)    { return src, nil }
 func (p passthroughNamed) Decompress(comp []byte) ([]byte, error) { return comp, nil }
 
 func TestDeclaredLengthLimit(t *testing.T) {

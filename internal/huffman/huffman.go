@@ -196,9 +196,18 @@ func (e *Encoder) Encode(w *bitio.Writer, sym int) {
 // CodeLen returns the code length of sym in bits (0 if sym has no code).
 func (e *Encoder) CodeLen(sym int) int { return int(e.lengths[sym]) }
 
+// rootBits is the width of the decoder's one-step lookup table: every code
+// of length <= rootBits decodes with a single peek + table index. 2^11
+// entries x 4 bytes = 8 KiB per table, built once per NewDecoder; codes
+// longer than rootBits (rare by construction: canonical Huffman assigns
+// long codes to rare symbols) fall back to the canonical walk.
+const rootBits = 11
+
 // Decoder decodes canonical Huffman codes.
 type Decoder struct {
 	maxLen    uint8
+	rootBits  uint     // min(maxLen, rootBits): bits peeked per fast decode
+	root      []uint32 // entry = sym<<4 | len; 0 = long code or invalid prefix
 	firstCode []uint32 // first canonical code of each length
 	firstSym  []int    // index into syms of the first symbol of each length
 	counts    []int    // number of codes of each length
@@ -252,11 +261,150 @@ func NewDecoder(lengths []uint8) (*Decoder, error) {
 		d.firstSym[l] = symIdx
 		symIdx += d.counts[l]
 	}
+	d.buildRoot(lengths)
 	return d, nil
 }
 
-// Decode reads one symbol from r.
+// buildRoot fills the one-step lookup table: for each code of length
+// l <= d.rootBits, every rootBits-wide bit pattern starting with that code
+// maps to (sym, l). Prefixes of longer codes and junk patterns stay 0 and
+// take the canonical-walk fallback. Alphabets too large for the packed
+// entry layout (never hit by the codecs: symbols must fit 28 bits) simply
+// skip the table.
+func (d *Decoder) buildRoot(lengths []uint8) {
+	if d.maxLen == 0 || len(lengths) > 1<<28 {
+		return
+	}
+	rb := uint(rootBits)
+	if uint(d.maxLen) < rb {
+		rb = uint(d.maxLen)
+	}
+	d.rootBits = rb
+	d.root = make([]uint32, 1<<rb)
+	code := uint32(0)
+	symIdx := 0
+	for l := uint8(1); l <= d.maxLen; l++ {
+		if l > 1 {
+			code = (code + uint32(d.counts[l-1])) << 1
+		}
+		if uint(l) <= rb {
+			span := uint(1) << (rb - uint(l)) // table slots per code
+			for i := 0; i < d.counts[l]; i++ {
+				sym := d.syms[symIdx+i]
+				entry := uint32(sym)<<4 | uint32(l)
+				base := uint((code + uint32(i))) << (rb - uint(l))
+				slots := d.root[base : base+span]
+				for j := range slots {
+					slots[j] = entry
+				}
+			}
+		}
+		symIdx += d.counts[l]
+	}
+}
+
+// Decode reads one symbol from r. Codes of length <= rootBits resolve with
+// one PeekBits and a table index; longer codes (and corrupt prefixes) fall
+// back to the canonical walk.
 func (d *Decoder) Decode(r *bitio.Reader) (int, error) {
+	if d.root != nil {
+		if e := d.root[r.PeekBits(d.rootBits)]; e != 0 {
+			// The peek is zero-padded at end of stream, so a matched entry
+			// may claim more bits than remain; Consume detects that.
+			if err := r.Consume(uint(e & 15)); err != nil {
+				return 0, err
+			}
+			return int(e >> 4), nil
+		}
+	}
+	return d.decodeSlow(r)
+}
+
+// DecodeBatch decodes symbols into dst until dst is full or the stop symbol
+// is decoded (stop is consumed but not stored). It returns the number of
+// symbols stored and whether stop ended the batch. One call replaces a
+// per-symbol Decode loop, keeping the root-table lookup and the bit reader
+// hot across an entire run of symbols.
+func (d *Decoder) DecodeBatch(r *bitio.Reader, dst []uint16, stop int) (int, bool, error) {
+	k := 0
+	root, rb := d.root, d.rootBits
+	// Fast section: decode from the lookahead word in registers, settling
+	// consumed bits with one Drop per refill instead of a PeekBits+Consume
+	// method-call pair per symbol. With >= 57 bits per refill and codes of
+	// at most MaxBits, several symbols decode per iteration. The guard
+	// nb >= MaxBits guarantees any root entry's length fits the valid bits,
+	// so Drop never overruns; near end of stream (nb < MaxBits) the loop
+	// below takes over with its zero-padding-aware Peek/Consume handling.
+	if root != nil {
+		for k < len(dst) {
+			w, nb := r.Lookahead()
+			if nb < MaxBits {
+				break
+			}
+			n0 := nb
+			long := false
+			for nb >= MaxBits && k < len(dst) {
+				e := root[w>>(64-rb)]
+				if e == 0 {
+					long = true
+					break
+				}
+				w <<= e & 15
+				nb -= uint(e & 15)
+				s := int(e >> 4)
+				if s == stop {
+					r.Drop(n0 - nb)
+					return k, true, nil
+				}
+				dst[k] = uint16(s)
+				k++
+			}
+			r.Drop(n0 - nb)
+			if long {
+				s, err := d.decodeSlow(r)
+				if err != nil {
+					return k, false, err
+				}
+				if s == stop {
+					return k, true, nil
+				}
+				dst[k] = uint16(s)
+				k++
+			}
+		}
+	}
+	for k < len(dst) {
+		var s int
+		if root != nil {
+			if e := root[r.PeekBits(rb)]; e != 0 {
+				if err := r.Consume(uint(e & 15)); err != nil {
+					return k, false, err
+				}
+				s = int(e >> 4)
+			} else {
+				var err error
+				if s, err = d.decodeSlow(r); err != nil {
+					return k, false, err
+				}
+			}
+		} else {
+			var err error
+			if s, err = d.decodeSlow(r); err != nil {
+				return k, false, err
+			}
+		}
+		if s == stop {
+			return k, true, nil
+		}
+		dst[k] = uint16(s)
+		k++
+	}
+	return k, false, nil
+}
+
+// decodeSlow is the canonical bit-by-bit walk, used for codes longer than
+// rootBits and for invalid input.
+func (d *Decoder) decodeSlow(r *bitio.Reader) (int, error) {
 	var code uint32
 	for l := uint8(1); l <= d.maxLen; l++ {
 		b, err := r.ReadBit()

@@ -1,0 +1,145 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+
+	"positbench/internal/bitio"
+)
+
+// deepLengths builds a table whose longest codes exceed rootBits, so Decode
+// must exercise the canonical-walk fallback. Fibonacci frequencies give a
+// maximally skewed tree.
+func deepLengths(t *testing.T) []uint8 {
+	t.Helper()
+	freqs := make([]int, 24)
+	a, b := 1, 1
+	for i := range freqs {
+		freqs[i] = a
+		a, b = b, a+b
+	}
+	lengths, err := BuildLengths(freqs, MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if int(maxLen) <= rootBits {
+		t.Fatalf("test premise broken: maxLen %d does not exceed rootBits %d", maxLen, rootBits)
+	}
+	return lengths
+}
+
+// TestDecodeFastSlowAgree decodes the same stream with the table fast path
+// and with the canonical walk alone, symbol by symbol.
+func TestDecodeFastSlowAgree(t *testing.T) {
+	lengths := deepLengths(t)
+	enc, err := NewEncoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	data := make([]int, 4096)
+	for i := range data {
+		// Skew toward low symbols (short codes) but hit every symbol so both
+		// the root table and the fallback fire.
+		data[i] = rng.Intn(rng.Intn(len(lengths)) + 1)
+	}
+	w := bitio.NewWriter(4096)
+	for _, s := range data {
+		enc.Encode(w, s)
+	}
+	dec, err := NewDecoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := bitio.NewReader(w.Bytes())
+	slow := bitio.NewReader(w.Bytes())
+	for i, want := range data {
+		gf, err := dec.Decode(fast)
+		if err != nil {
+			t.Fatalf("fast symbol %d: %v", i, err)
+		}
+		gs, err := dec.decodeSlow(slow)
+		if err != nil {
+			t.Fatalf("slow symbol %d: %v", i, err)
+		}
+		if gf != want || gs != want {
+			t.Fatalf("symbol %d: fast=%d slow=%d want %d", i, gf, gs, want)
+		}
+	}
+}
+
+// TestDecodeTruncatedLongCode feeds the decoder a prefix of a long code so
+// the zero-padded peek matches nothing valid and the walk must report EOF
+// or corruption, never a bogus symbol.
+func TestDecodeTruncatedLongCode(t *testing.T) {
+	lengths := deepLengths(t)
+	enc, err := NewEncoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepest := 0
+	for i, l := range lengths {
+		if l > lengths[deepest] {
+			deepest = i
+		}
+	}
+	w := bitio.NewWriter(8)
+	enc.Encode(w, deepest)
+	full := w.Bytes()
+	dec, err := NewDecoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole code decodes; any strict byte-prefix must fail cleanly. (The
+	// deepest code spans >8 bits, so every proper byte prefix truncates it.)
+	if got, err := dec.Decode(bitio.NewReader(full)); err != nil || got != deepest {
+		t.Fatalf("full: got %d,%v want %d", got, err, deepest)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := dec.Decode(bitio.NewReader(full[:cut])); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", cut)
+		}
+	}
+}
+
+// TestDecodeNoAllocs locks in the zero-allocation steady state of table
+// decode (satellite allocation-regression gate).
+func TestDecodeNoAllocs(t *testing.T) {
+	freqs := make([]int, 256)
+	rng := rand.New(rand.NewSource(22))
+	data := make([]int, 8192)
+	for i := range data {
+		s := rng.Intn(64)
+		data[i] = s
+		freqs[s]++
+	}
+	lengths, err := BuildLengths(freqs, MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := NewEncoder(lengths)
+	w := bitio.NewWriter(len(data))
+	for _, s := range data {
+		enc.Encode(w, s)
+	}
+	buf := w.Bytes()
+	dec, _ := NewDecoder(lengths)
+	r := bitio.NewReader(buf)
+	n := testing.AllocsPerRun(50, func() {
+		r.Reset(buf)
+		for range data {
+			if _, err := dec.Decode(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Decode allocates %v per run, want 0", n)
+	}
+}

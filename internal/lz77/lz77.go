@@ -3,7 +3,12 @@
 // are the knobs that differentiate those codecs' design points.
 package lz77
 
-import "positbench/internal/compress"
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"positbench/internal/compress"
+)
 
 const (
 	// MinMatch is the shortest match the finder reports.
@@ -31,17 +36,33 @@ func NewMatcher(src []byte, window, depth int) *Matcher {
 	if depth <= 0 {
 		depth = 16
 	}
-	m := &Matcher{
-		src:    src,
-		window: window,
-		depth:  depth,
-		head:   make([]int32, hashSize),
-		prev:   make([]int32, len(src)),
+	m := &Matcher{head: make([]int32, hashSize)}
+	m.Reset(src, window, depth)
+	return m
+}
+
+// Reset re-targets the matcher at a new source buffer, reusing its hash
+// tables so steady-state callers (e.g. chunked compressors) allocate only
+// when src outgrows every earlier buffer. The same window/depth defaulting
+// as NewMatcher applies.
+func (m *Matcher) Reset(src []byte, window, depth int) {
+	if window <= 0 {
+		window = 1 << 16
+	}
+	if depth <= 0 {
+		depth = 16
+	}
+	m.src, m.window, m.depth = src, window, depth
+	if m.head == nil {
+		m.head = make([]int32, hashSize)
 	}
 	for i := range m.head {
 		m.head[i] = -1
 	}
-	return m
+	if cap(m.prev) < len(src) {
+		m.prev = make([]int32, len(src))
+	}
+	m.prev = m.prev[:len(src)]
 }
 
 func hash4(v uint32) uint32 {
@@ -76,7 +97,8 @@ func (m *Matcher) FindMatch(pos, maxLen int) (dist, length int) {
 	if rem := len(m.src) - pos; maxLen > rem {
 		maxLen = rem
 	}
-	h := hash4(m.load4(pos))
+	cur4 := m.load4(pos)
+	h := hash4(cur4)
 	cand := m.head[h]
 	limit := pos - m.window
 	src := m.src
@@ -88,8 +110,10 @@ func (m *Matcher) FindMatch(pos, maxLen int) (dist, length int) {
 			cand = m.prev[c]
 			continue
 		}
-		// Quick rejects: check the byte just past the current best.
-		if best < maxLen && src[c+best] == src[pos+best] {
+		// Quick rejects: the byte just past the current best must match (or
+		// the candidate cannot improve on it), and the 4-byte prefix weeds
+		// out hash collisions before the full extension.
+		if best < maxLen && src[c+best] == src[pos+best] && m.load4(c) == cur4 {
 			l := matchLen(src, c, pos, maxLen)
 			if l > best {
 				best, dist = l, pos-c
@@ -122,7 +146,8 @@ func (m *Matcher) FindMatches(pos, maxLen int, dst []Match) []Match {
 	if rem := len(m.src) - pos; maxLen > rem {
 		maxLen = rem
 	}
-	h := hash4(m.load4(pos))
+	cur4 := m.load4(pos)
+	h := hash4(cur4)
 	cand := m.head[h]
 	limit := pos - m.window
 	src := m.src
@@ -133,7 +158,7 @@ func (m *Matcher) FindMatches(pos, maxLen int, dst []Match) []Match {
 			cand = m.prev[c]
 			continue
 		}
-		if best < maxLen && src[c+best] == src[pos+best] {
+		if best < maxLen && src[c+best] == src[pos+best] && m.load4(c) == cur4 {
 			l := matchLen(src, c, pos, maxLen)
 			if l > best {
 				best = l
@@ -155,9 +180,26 @@ func (m *Matcher) InsertRange(from, to int) {
 	}
 }
 
-// matchLen counts equal bytes at a and b, up to max.
+// matchLen counts equal bytes at a and b, up to max. It compares 8 bytes at
+// a time with unaligned little-endian loads; the XOR of two equal words is
+// zero, and on a mismatch the trailing zero count locates the first
+// differing byte. max is clamped so the wide loads stay in bounds even if a
+// caller passes a limit past the end of src.
 func matchLen(src []byte, a, b, max int) int {
+	if a > b {
+		a, b = b, a
+	}
+	if rem := len(src) - b; max > rem {
+		max = rem
+	}
 	n := 0
+	for n+8 <= max {
+		x := binary.LittleEndian.Uint64(src[a+n:]) ^ binary.LittleEndian.Uint64(src[b+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
 	for n < max && src[a+n] == src[b+n] {
 		n++
 	}
@@ -185,8 +227,23 @@ func AppendMatch(out []byte, dist, mlen, maxOut int) ([]byte, error) {
 		return nil, compress.Errorf(compress.ErrLimitExceeded, "lz77: match output exceeds %d bytes", maxOut)
 	}
 	start := len(out) - dist
-	for i := 0; i < mlen; i++ {
-		out = append(out, out[start+i])
+	if mlen <= dist {
+		// Disjoint source and destination: one bulk copy via append.
+		return append(out, out[start:start+mlen]...), nil
+	}
+	// Overlapping match (dist < mlen): the copy must observe bytes it has
+	// just produced (dist=1 repeats a single byte). Grow capacity without a
+	// temporary, then double the written region until the match is resolved:
+	// each copy's source is fully materialized and disjoint from its
+	// destination.
+	n := len(out)
+	total := n + mlen
+	for cap(out) < total {
+		out = append(out[:cap(out)], 0)
+	}
+	out = out[:total]
+	for n < total {
+		n += copy(out[n:], out[start:n])
 	}
 	return out, nil
 }

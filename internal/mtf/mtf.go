@@ -76,33 +76,45 @@ func UnRLE1(src []byte) ([]byte, error) {
 // is enforced before each run is materialized, so a hostile stream cannot
 // force a large allocation.
 func UnRLE1Limit(src []byte, maxOut int) ([]byte, error) {
-	out := make([]byte, 0, len(src)*2)
+	out := make([]byte, 0, len(src)+len(src)/4)
 	i := 0
 	for i < len(src) {
-		b := src[i]
-		run := 1
-		for i+run < len(src) && src[i+run] == b && run < 4 {
-			run++
-		}
-		if run == 4 {
-			if i+4 >= len(src) {
-				return nil, compress.Errorf(compress.ErrTruncated, "mtf: truncated RLE1 run")
+		// Find the next run of 4 identical bytes at or after i; everything
+		// before it is literal and copied in one append. If src[j+3] differs
+		// from src[j+2], no run of 4 can start at j, j+1, or j+2, so the
+		// scan advances 3 positions per probe over non-run data.
+		j := i
+		for j+3 < len(src) {
+			if src[j+3] != src[j+2] {
+				j += 3
+				continue
 			}
-			total := 4 + int(src[i+4])
-			if maxOut > 0 && len(out)+total > maxOut {
+			b := src[j]
+			if b == src[j+1] && b == src[j+2] && b == src[j+3] {
+				break
+			}
+			j++
+		}
+		if j+3 >= len(src) {
+			// No further run: the rest of the input is literal.
+			if maxOut > 0 && len(out)+len(src)-i > maxOut {
 				return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: RLE1 output exceeds %d bytes", maxOut)
 			}
-			for j := 0; j < total; j++ {
-				out = append(out, b)
-			}
-			i += 5
-		} else {
-			if maxOut > 0 && len(out)+run > maxOut {
-				return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: RLE1 output exceeds %d bytes", maxOut)
-			}
-			out = append(out, src[i:i+run]...)
-			i += run
+			return append(out, src[i:]...), nil
 		}
+		if maxOut > 0 && len(out)+j-i > maxOut {
+			return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: RLE1 output exceeds %d bytes", maxOut)
+		}
+		out = append(out, src[i:j]...)
+		if j+4 >= len(src) {
+			return nil, compress.Errorf(compress.ErrTruncated, "mtf: truncated RLE1 run")
+		}
+		total := 4 + int(src[j+4])
+		if maxOut > 0 && len(out)+total > maxOut {
+			return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: RLE1 output exceeds %d bytes", maxOut)
+		}
+		out = appendRepeat(out, src[j], total)
+		i = j + 5
 	}
 	return out, nil
 }
@@ -154,6 +166,114 @@ func DecodeZeroRuns(src []uint16) ([]byte, error) {
 	return DecodeZeroRunsLimit(src, 0)
 }
 
+// DecodeRunsMTFLimit inverts EncodeZeroRuns composed with Encode in a single
+// pass: a RUNA/RUNB zero run decodes to repeats of the current front of the
+// MTF table, which leaves the table untouched, so the zero bytes of the
+// intermediate MTF stream are bulk-filled without ever being re-scanned.
+// Post-BWT data is mostly runs, making this the fast path of the bzip2-class
+// block decoder. maxOut bounds the output as in DecodeZeroRunsLimit.
+func DecodeRunsMTFLimit(src []uint16, maxOut int) ([]byte, error) {
+	// A flat 256-byte table with memmove promotion was measured 2x faster
+	// here than bzip2's two-level 16x16 sliding-base scheme: a <=255-byte
+	// memmove inside one or two L1 lines costs a few cycles on current
+	// hardware, while the two-level cascade replaces it with up to 31
+	// dependent single-byte loads and stores. The classic structure predates
+	// vectorized memmove; do not "upgrade" to it.
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	// When the caller bounds the output it knows the decoded size (the block
+	// length), so allocating the bound up front avoids every growth copy.
+	capHint := len(src)
+	if maxOut > 0 {
+		capHint = maxOut
+	}
+	out := make([]byte, 0, capHint)
+	i := 0
+	for i < len(src) {
+		s := src[i]
+		if s > 1 {
+			if s > 256 {
+				return nil, compress.Errorf(compress.ErrCorrupt, "mtf: symbol %d out of range", s)
+			}
+			if maxOut > 0 && len(out) >= maxOut {
+				return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: zero-run output exceeds %d bytes", maxOut)
+			}
+			j := int(s - 1)
+			b := table[j]
+			out = append(out, b)
+			if j < 16 {
+				// Short moves dominate on MTF output; a register loop beats
+				// the memmove call overhead.
+				for k := j; k > 0; k-- {
+					table[k] = table[k-1]
+				}
+			} else {
+				copy(table[1:j+1], table[:j])
+			}
+			table[0] = b
+			i++
+			continue
+		}
+		run, ni, err := zeroRunLen(src, i)
+		if err != nil {
+			return nil, err
+		}
+		i = ni
+		if maxOut > 0 && len(out)+run > maxOut {
+			return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: zero-run output exceeds %d bytes", maxOut)
+		}
+		out = appendRepeat(out, table[0], run)
+	}
+	return out, nil
+}
+
+// zeroRunLen collects the RUNA/RUNB digits starting at src[i] (bijective
+// base 2, least significant first) and returns the run length and the index
+// past the digits.
+func zeroRunLen(src []uint16, i int) (run, next int, err error) {
+	const maxRun = 1 << 31
+	weight := 1
+	for i < len(src) && src[i] <= 1 {
+		if src[i] == RunA {
+			run += weight
+		} else {
+			run += 2 * weight
+		}
+		weight *= 2
+		if run > maxRun || weight > maxRun {
+			return 0, 0, compress.Errorf(compress.ErrCorrupt, "mtf: zero run too long")
+		}
+		i++
+	}
+	return run, i, nil
+}
+
+// appendRepeat appends count copies of b. Long runs are materialized with
+// doubling copies (memmove) instead of a byte loop.
+func appendRepeat(out []byte, b byte, count int) []byte {
+	n := len(out)
+	total := n + count
+	for cap(out) < total {
+		out = append(out[:cap(out)], 0)
+	}
+	out = out[:total]
+	if count < 16 {
+		for ; n < total; n++ {
+			out[n] = b
+		}
+		return out
+	}
+	fs := n
+	out[n] = b
+	n++
+	for n < total {
+		n += copy(out[n:], out[fs:n])
+	}
+	return out
+}
+
 // DecodeZeroRunsLimit inverts EncodeZeroRuns, failing with
 // compress.ErrLimitExceeded once the output would exceed maxOut bytes
 // (maxOut <= 0 means unbounded). A handful of RUNA/RUNB symbols can encode a
@@ -175,28 +295,15 @@ func DecodeZeroRunsLimit(src []uint16, maxOut int) ([]byte, error) {
 			i++
 			continue
 		}
-		// Collect RUNA/RUNB digits.
-		const maxRun = 1 << 31
-		run := 0
-		weight := 1
-		for i < len(src) && src[i] <= 1 {
-			if src[i] == RunA {
-				run += weight
-			} else {
-				run += 2 * weight
-			}
-			weight *= 2
-			if run > maxRun || weight > maxRun {
-				return nil, compress.Errorf(compress.ErrCorrupt, "mtf: zero run too long")
-			}
-			i++
+		run, ni, err := zeroRunLen(src, i)
+		if err != nil {
+			return nil, err
 		}
+		i = ni
 		if maxOut > 0 && len(out)+run > maxOut {
 			return nil, compress.Errorf(compress.ErrLimitExceeded, "mtf: zero-run output exceeds %d bytes", maxOut)
 		}
-		for j := 0; j < run; j++ {
-			out = append(out, 0)
-		}
+		out = appendRepeat(out, 0, run)
 	}
 	return out, nil
 }

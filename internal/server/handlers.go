@@ -330,8 +330,8 @@ type analyzeRange struct {
 }
 
 type analyzeExponent struct {
-	Mode int             `json:"mode"`
-	Bins map[string]int  `json:"bins"` // biased exponent -> count, populated bins only
+	Mode int            `json:"mode"`
+	Bins map[string]int `json:"bins"` // biased exponent -> count, populated bins only
 }
 
 type analyzeRoundtrip struct {

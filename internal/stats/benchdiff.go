@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Benchmark report diffing: the comparison core of cmd/benchdiff, kept here
+// so it is unit-testable without spawning the binary.
+
+// ReadBenchJSON loads a BENCH_compress.json document written by
+// WriteBenchJSON.
+func ReadBenchJSON(path string) (*BenchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("stats: read bench report: %w", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("stats: parse bench report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// BenchDelta is one metric's old-vs-new comparison. DeltaPct is the relative
+// change in percent: negative means the new run is slower.
+type BenchDelta struct {
+	Codec    string
+	Workers  int
+	Metric   string // "compress/serial", "decode/parallel", ...
+	Old      float64
+	New      float64
+	DeltaPct float64
+}
+
+// BenchDiff is the full comparison of two reports.
+type BenchDiff struct {
+	Deltas      []BenchDelta
+	Regressions []BenchDelta // the subset of Deltas below -threshold
+	OnlyOld     []string     // "(codec,workers)" pairs missing from the new report
+	OnlyNew     []string     // pairs missing from the old report
+}
+
+type benchKey struct {
+	codec   string
+	workers int
+}
+
+// DiffBench compares every throughput metric shared by old and new. A
+// metric regresses when its new value is more than threshold percent below
+// its old value; metrics absent (zero) on either side are skipped, so a
+// report without decode numbers diffs cleanly against one with them.
+func DiffBench(oldRep, newRep *BenchReport, threshold float64) *BenchDiff {
+	oldBy := map[benchKey]BenchResult{}
+	for _, r := range oldRep.Results {
+		oldBy[benchKey{r.Codec, r.Workers}] = r
+	}
+	newBy := map[benchKey]BenchResult{}
+	for _, r := range newRep.Results {
+		newBy[benchKey{r.Codec, r.Workers}] = r
+	}
+	d := &BenchDiff{}
+	for k := range oldBy {
+		if _, ok := newBy[k]; !ok {
+			d.OnlyOld = append(d.OnlyOld, fmt.Sprintf("(%s,%d)", k.codec, k.workers))
+		}
+	}
+	for k, nr := range newBy {
+		or, ok := oldBy[k]
+		if !ok {
+			d.OnlyNew = append(d.OnlyNew, fmt.Sprintf("(%s,%d)", k.codec, k.workers))
+			continue
+		}
+		metrics := []struct {
+			name     string
+			old, new float64
+		}{
+			{"compress/serial", or.SerialMBps, nr.SerialMBps},
+			{"compress/parallel", or.ParallelMBps, nr.ParallelMBps},
+			{"decode/serial", or.SerialDecodeMBps, nr.SerialDecodeMBps},
+			{"decode/parallel", or.ParallelDecodeMBps, nr.ParallelDecodeMBps},
+		}
+		for _, m := range metrics {
+			if m.old <= 0 || m.new <= 0 {
+				continue
+			}
+			delta := BenchDelta{
+				Codec:    k.codec,
+				Workers:  k.workers,
+				Metric:   m.name,
+				Old:      m.old,
+				New:      m.new,
+				DeltaPct: (m.new - m.old) / m.old * 100,
+			}
+			d.Deltas = append(d.Deltas, delta)
+			if delta.DeltaPct < -threshold {
+				d.Regressions = append(d.Regressions, delta)
+			}
+		}
+	}
+	sortDeltas := func(s []BenchDelta) {
+		sort.Slice(s, func(i, j int) bool {
+			a, b := &s[i], &s[j]
+			if a.Codec != b.Codec {
+				return a.Codec < b.Codec
+			}
+			if a.Workers != b.Workers {
+				return a.Workers < b.Workers
+			}
+			return a.Metric < b.Metric
+		})
+	}
+	sortDeltas(d.Deltas)
+	sortDeltas(d.Regressions)
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	return d
+}
+
+// Table renders the diff as a fixed-width text table, regressions marked.
+func (d *BenchDiff) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %3s  %-18s %10s %10s %8s\n", "codec", "wk", "metric", "old MB/s", "new MB/s", "delta")
+	marked := map[BenchDelta]bool{}
+	for _, r := range d.Regressions {
+		marked[r] = true
+	}
+	for _, dl := range d.Deltas {
+		mark := ""
+		if marked[dl] {
+			mark = "  << regression"
+		}
+		fmt.Fprintf(&b, "%-8s %3d  %-18s %10.2f %10.2f %+7.1f%%%s\n",
+			dl.Codec, dl.Workers, dl.Metric, dl.Old, dl.New, dl.DeltaPct, mark)
+	}
+	for _, s := range d.OnlyOld {
+		fmt.Fprintf(&b, "only in old: %s\n", s)
+	}
+	for _, s := range d.OnlyNew {
+		fmt.Fprintf(&b, "only in new: %s\n", s)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchReport(results ...BenchResult) *BenchReport {
+	return &BenchReport{GOMAXPROCS: 1, NumCPU: 1, Results: results}
+}
+
+func TestDiffBenchRegression(t *testing.T) {
+	oldRep := benchReport(
+		BenchResult{Codec: "xz", Workers: 4, SerialMBps: 2.0, ParallelMBps: 2.0, SerialDecodeMBps: 10.0, ParallelDecodeMBps: 10.0},
+		BenchResult{Codec: "lz4", Workers: 4, SerialMBps: 45.0, ParallelMBps: 44.0},
+	)
+	newRep := benchReport(
+		BenchResult{Codec: "xz", Workers: 4, SerialMBps: 2.1, ParallelMBps: 2.1, SerialDecodeMBps: 21.0, ParallelDecodeMBps: 20.0},
+		BenchResult{Codec: "lz4", Workers: 4, SerialMBps: 38.0, ParallelMBps: 44.5},
+	)
+	d := DiffBench(oldRep, newRep, 10)
+	if len(d.Regressions) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the lz4 serial compress drop", d.Regressions)
+	}
+	r := d.Regressions[0]
+	if r.Codec != "lz4" || r.Metric != "compress/serial" {
+		t.Fatalf("wrong regression flagged: %+v", r)
+	}
+	if r.DeltaPct > -15 || r.DeltaPct < -16 {
+		t.Fatalf("lz4 serial delta = %.2f%%, want about -15.6%%", r.DeltaPct)
+	}
+	// 6 metrics total: xz has all four, lz4 only the two compress sides.
+	if len(d.Deltas) != 6 {
+		t.Fatalf("got %d deltas, want 6: %+v", len(d.Deltas), d.Deltas)
+	}
+	if !strings.Contains(d.Table(), "<< regression") {
+		t.Fatalf("table does not mark the regression:\n%s", d.Table())
+	}
+}
+
+func TestDiffBenchWithinThreshold(t *testing.T) {
+	oldRep := benchReport(BenchResult{Codec: "zstd", Workers: 1, SerialMBps: 10.0, ParallelMBps: 10.0})
+	newRep := benchReport(BenchResult{Codec: "zstd", Workers: 1, SerialMBps: 9.2, ParallelMBps: 10.4})
+	if d := DiffBench(oldRep, newRep, 10); len(d.Regressions) != 0 {
+		t.Fatalf("-8%% flagged at 10%% threshold: %+v", d.Regressions)
+	}
+	if d := DiffBench(oldRep, newRep, 5); len(d.Regressions) != 1 {
+		t.Fatal("-8% not flagged at 5% threshold")
+	}
+}
+
+func TestDiffBenchDisjointPairs(t *testing.T) {
+	oldRep := benchReport(BenchResult{Codec: "bzip2", Workers: 4, SerialMBps: 5})
+	newRep := benchReport(BenchResult{Codec: "bzip2", Workers: 8, SerialMBps: 5})
+	d := DiffBench(oldRep, newRep, 10)
+	if len(d.Deltas) != 0 || len(d.Regressions) != 0 {
+		t.Fatalf("disjoint pairs produced deltas: %+v", d)
+	}
+	if len(d.OnlyOld) != 1 || len(d.OnlyNew) != 1 {
+		t.Fatalf("missing-pair accounting wrong: %+v", d)
+	}
+}
+
+func TestBenchJSONRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := benchReport(BenchResult{Codec: "gzip", Workers: 2, SerialMBps: 40, ParallelMBps: 41})
+	if err := WriteBenchJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || back.Results[0].Codec != "gzip" || back.Results[0].SerialMBps != 40 {
+		t.Fatalf("roundtrip mismatch: %+v", back)
+	}
+	if back.Results[0].Speedup == 0 {
+		t.Fatal("Fill did not compute speedup before writing")
+	}
+}

@@ -11,15 +11,20 @@ import (
 // throughput changes (serial vs parallel, per codec) are diffable across
 // commits and machines. The schema is deliberately flat for jq-ability.
 
-// BenchResult is one codec's serial-vs-parallel throughput comparison.
+// BenchResult is one codec's serial-vs-parallel throughput comparison, in
+// both directions: the *MBps fields are the compress side, the *DecodeMBps
+// fields the decompress side of the same stream.
 type BenchResult struct {
-	Codec        string  `json:"codec"`
-	Workers      int     `json:"workers"`
-	InputBytes   int64   `json:"input_bytes"`
-	ChunkBytes   int     `json:"chunk_bytes"`
-	SerialMBps   float64 `json:"serial_mb_s"`
-	ParallelMBps float64 `json:"parallel_mb_s"`
-	Speedup      float64 `json:"speedup"`
+	Codec              string  `json:"codec"`
+	Workers            int     `json:"workers"`
+	InputBytes         int64   `json:"input_bytes"`
+	ChunkBytes         int     `json:"chunk_bytes"`
+	SerialMBps         float64 `json:"serial_mb_s"`
+	ParallelMBps       float64 `json:"parallel_mb_s"`
+	Speedup            float64 `json:"speedup"`
+	SerialDecodeMBps   float64 `json:"serial_decode_mb_s,omitempty"`
+	ParallelDecodeMBps float64 `json:"parallel_decode_mb_s,omitempty"`
+	DecodeSpeedup      float64 `json:"decode_speedup,omitempty"`
 }
 
 // BenchReport is the full BENCH_compress.json document.
@@ -27,8 +32,15 @@ type BenchReport struct {
 	// GOMAXPROCS records the parallelism available to the run; speedups are
 	// only meaningful relative to it (a 1-CPU machine caps every speedup
 	// at ~1.0 regardless of worker count).
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Results    []BenchResult `json:"results"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU is runtime.NumCPU() on the measuring machine. GOMAXPROCS can be
+	// lowered below it by the environment, so both are recorded: absolute
+	// MB/s numbers are only comparable between runs on the same hardware.
+	NumCPU int `json:"num_cpu"`
+	// Note is a free-form environment annotation (e.g. "1-CPU CI container:
+	// parallel speedups are ~1.0 by construction").
+	Note    string        `json:"note,omitempty"`
+	Results []BenchResult `json:"results"`
 }
 
 // Fill computes Speedup for every result that has both throughputs.
@@ -36,6 +48,9 @@ func (r *BenchReport) Fill() {
 	for i := range r.Results {
 		if s := r.Results[i].SerialMBps; s > 0 {
 			r.Results[i].Speedup = r.Results[i].ParallelMBps / s
+		}
+		if s := r.Results[i].SerialDecodeMBps; s > 0 {
+			r.Results[i].DecodeSpeedup = r.Results[i].ParallelDecodeMBps / s
 		}
 	}
 	sort.Slice(r.Results, func(i, j int) bool {
