@@ -9,6 +9,9 @@
 #   make test-server the positd HTTP layer, race-enabled and run twice
 #   make smoke-server  boot a real positd, curl a compress/decompress
 #                    roundtrip through it, diff byte-identity
+#   make soak-smoke  ~5 s positload run against a race-built positd:
+#                    zero 5xx / transport errors / roundtrip mismatches,
+#                    and the engine gauges drained afterwards
 #   make bench       serial-vs-parallel throughput; writes BENCH_compress.json
 #   make bench-smoke tiny-input benchmark pass under -race: catches data
 #                    races and crashes on the hot paths without waiting for
@@ -24,7 +27,10 @@ BENCH_OLD ?= results/BENCH_pre_pr4.json
 BENCH_NEW ?= BENCH_compress.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: all check vet build test race test-parallel test-server smoke-server bench bench-smoke bench-diff fuzz-smoke ci
+.PHONY: all check vet build test race test-parallel test-server smoke-server soak-smoke bench bench-smoke bench-diff fuzz-smoke ci
+
+SOAK_DURATION ?= 5s
+SOAK_QPS ?= 80
 
 all: check
 
@@ -75,6 +81,30 @@ smoke-server:
 	kill -TERM $$pid; wait $$pid; \
 	echo "smoke-server: roundtrip byte-identical, drain clean"
 
+# Soak smoke: a short open-loop positload burst against a positd built
+# with the race detector. The run itself fails on any 5xx, transport
+# error, or roundtrip mismatch (positload exits 1); afterwards the engine
+# gauges must have drained back to zero and the daemon must stop clean.
+soak-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -race -o $$tmp/positd ./cmd/positd; \
+	$(GO) build -o $$tmp/positload ./cmd/positload; \
+	$$tmp/positd -addr 127.0.0.1:0 -addr-file $$tmp/addr >$$tmp/positd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "positd never wrote its address"; cat $$tmp/positd.log; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	$$tmp/positload -addr-file $$tmp/addr -duration $(SOAK_DURATION) -qps $(SOAK_QPS) >$$tmp/report.json; \
+	drained=0; for i in $$(seq 1 100); do \
+		curl -sSf "http://$$addr/metrics" >$$tmp/metrics.json; \
+		if grep -q '"queue_depth": 0' $$tmp/metrics.json && grep -q '"inflight": 0' $$tmp/metrics.json && grep -q '"workers_busy": 0' $$tmp/metrics.json; \
+			then drained=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$drained = 1 ] || { echo "gauges never drained"; cat $$tmp/metrics.json; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "soak-smoke: clean run, gauges drained"
+
 # Throughput benchmarks, recorded to BENCH_compress.json so serial-vs-
 # parallel speedups are diffable across commits. Three repetitions, best
 # observed per metric recorded (see recordBench): on a shared runner a
@@ -109,4 +139,4 @@ fuzz-smoke:
 		done; \
 	done
 
-ci: check race test-parallel test-server smoke-server bench-smoke fuzz-smoke
+ci: check race test-parallel test-server smoke-server soak-smoke bench-smoke fuzz-smoke

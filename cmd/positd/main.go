@@ -8,11 +8,13 @@
 //
 //	positd [-addr :8080] [-max-body N] [-max-out N] [-inflight N]
 //	       [-timeout D] [-chunk N] [-workers N] [-drain D] [-addr-file PATH]
-//	       [-pprof ADDR]
+//	       [-pprof ADDR] [-traces N]
 //
-// -pprof exposes net/http/pprof on its own listener, never on the serving
-// mux: profiling endpoints leak heap contents and must not share the
-// public address. Bind it to loopback (e.g. -pprof 127.0.0.1:6060).
+// -pprof exposes net/http/pprof and GET /debug/traces (the recent-request
+// trace ring) on its own listener, never on the serving mux: profiling and
+// trace endpoints leak heap contents and request shapes, and must not
+// share the public address. Bind it to loopback (e.g. -pprof
+// 127.0.0.1:6060).
 //
 // The process runs until SIGINT or SIGTERM, then drains: the listener
 // closes immediately, in-flight requests get up to -drain to finish, and
@@ -61,7 +63,8 @@ func run(args []string) int {
 		chunk    = fs.Int("chunk", 0, "streaming chunk size, bytes; 0 selects the compress package default")
 		workers  = fs.Int("workers", 0, "worker pool size per request; 0 selects GOMAXPROCS")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
-		pprofAt  = fs.String("pprof", "", "expose net/http/pprof on this separate address (empty disables; keep it on loopback)")
+		pprofAt  = fs.String("pprof", "", "expose net/http/pprof and /debug/traces on this separate address (empty disables; keep it on loopback)")
+		traces   = fs.Int("traces", 0, "request-trace ring size; 0 selects the default, <0 disables tracing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,6 +77,7 @@ func run(args []string) int {
 		RequestTimeout: *timeout,
 		ChunkSize:      *chunk,
 		Workers:        *workers,
+		TraceCapacity:  *traces,
 	})
 	if err != nil {
 		log.Printf("positd: %v", err)
@@ -109,6 +113,9 @@ func run(args []string) int {
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Request traces ride the debug listener for the same reason as
+		// pprof: span trees carry request paths and sizes.
+		pmux.Handle("/debug/traces", srv.DebugTracesHandler())
 		ps := &http.Server{Handler: pmux}
 		defer ps.Close() // debug-only: no drain, just stop with the process
 		go func() {

@@ -1,0 +1,94 @@
+// Command positload is the open-loop traffic generator and soak-test
+// driver for positd. It fires a mixed compress/decompress/convert workload
+// built from the sdrbench-shaped synthetic inputs at a target rate,
+// verifies every compress response by decompressing it back, and prints a
+// JSON report (per-codec byte bookkeeping, status counts, latency
+// percentiles) to stdout.
+//
+// Usage:
+//
+//	positload -url http://127.0.0.1:8080 [-qps N] [-duration D]
+//	          [-inflight N] [-codecs a,b] [-convert-every N]
+//	          [-values N] [-seed N]
+//	positload -addr-file PATH ...   # read the target from a positd addr file
+//
+// Exit status is 0 when the run saw no server errors, transport errors, or
+// roundtrip mismatches; 1 otherwise (shed load — 429s and dropped ticks —
+// is expected under deliberate overload and does not fail the run).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"positbench/internal/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("positload", flag.ContinueOnError)
+	var (
+		url      = fs.String("url", "", "positd base URL, e.g. http://127.0.0.1:8080")
+		addrFile = fs.String("addr-file", "", "read the target address from this positd -addr-file instead of -url")
+		qps      = fs.Float64("qps", 50, "target operation start rate (open loop)")
+		duration = fs.Duration("duration", 5*time.Second, "run length")
+		inflight = fs.Int("inflight", 16, "max concurrently running operations; excess ticks are dropped")
+		codecs   = fs.String("codecs", "gzip,bzip2", "comma-separated codec mix for compress/decompress traffic")
+		convert  = fs.Int("convert-every", 4, "mix one /v1/convert op per N codec ops; <0 disables")
+		values   = fs.Int("values", 16384, "float32 values per generated request body")
+		seed     = fs.Int64("seed", 1, "workload RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := *url
+	if base == "" && *addrFile != "" {
+		raw, err := os.ReadFile(*addrFile)
+		if err != nil {
+			log.Printf("positload: read addr-file: %v", err)
+			return 2
+		}
+		addr := strings.TrimSpace(string(raw))
+		if strings.HasPrefix(addr, ":") {
+			addr = "127.0.0.1" + addr
+		}
+		base = "http://" + addr
+	}
+	if base == "" {
+		log.Printf("positload: -url or -addr-file required")
+		return 2
+	}
+
+	rep, err := load.Run(context.Background(), load.Config{
+		BaseURL:      strings.TrimRight(base, "/"),
+		QPS:          *qps,
+		Duration:     *duration,
+		MaxInflight:  *inflight,
+		Codecs:       strings.Split(*codecs, ","),
+		ConvertEvery: *convert,
+		Values:       *values,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Printf("positload: %v", err)
+		return 2
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+	if rep.Failed() {
+		fmt.Fprintf(os.Stderr, "positload: FAILED: 5xx=%d transport=%d mismatches=%d\n",
+			rep.Status5xx, rep.Transport, rep.Mismatches)
+		return 1
+	}
+	return 0
+}

@@ -11,12 +11,15 @@ package bzip2c
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"positbench/internal/bitio"
 	"positbench/internal/bwt"
 	"positbench/internal/compress"
 	"positbench/internal/huffman"
 	"positbench/internal/mtf"
+	"positbench/internal/trace"
 )
 
 const (
@@ -50,9 +53,47 @@ func (c *Codec) Info() compress.Info {
 	return compress.Info{Name: "bzip2", Version: "bwt-block", Source: "models bzip2 1.1.0 -9 (RLE1+BWT+MTF+RLE2+Huffman, 900 kB blocks)"}
 }
 
+// stageClock accumulates per-stage CPU time across the block workers.
+// Blocks compress in parallel, so the sums are CPU-like (they can exceed
+// wall time); the traced entry points export them as completed stage spans.
+// A nil clock keeps the untraced path free of time.Now calls.
+type stageClock struct {
+	bwtNS  atomic.Int64
+	mtfNS  atomic.Int64
+	huffNS atomic.Int64
+}
+
+func (sc *stageClock) add(dst *atomic.Int64, since time.Time) time.Time {
+	now := time.Now()
+	dst.Add(now.Sub(since).Nanoseconds())
+	return now
+}
+
 // Compress implements compress.Codec.
 func (c *Codec) Compress(src []byte) ([]byte, error) {
+	return c.compress(src, nil, nil)
+}
+
+// CompressAppendTrace implements compress.TracedCompressor: same output as
+// Compress, plus rle1 / bwt / mtf-rle2 / huffman stage spans on sp.
+func (c *Codec) CompressAppendTrace(dst, src []byte, sp *trace.Span) ([]byte, error) {
+	out, err := c.compress(src, sp, new(stageClock))
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, out...), nil
+}
+
+func (c *Codec) compress(src []byte, sp *trace.Span, sc *stageClock) ([]byte, error) {
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
 	pre := mtf.RLE1(src)
+	var rle1 time.Duration
+	if sc != nil {
+		rle1 = time.Since(t0)
+	}
 	var blocks [][]byte
 	for off := 0; off < len(pre); off += c.blockSize {
 		end := off + c.blockSize
@@ -68,7 +109,7 @@ func (c *Codec) Compress(src []byte) ([]byte, error) {
 		wg.Add(1)
 		go func(i int, b []byte) {
 			defer wg.Done()
-			encoded[i], errs[i] = compressBlock(b)
+			encoded[i], errs[i] = compressBlock(b, sc)
 		}(i, b)
 	}
 	wg.Wait()
@@ -82,6 +123,12 @@ func (c *Codec) Compress(src []byte) ([]byte, error) {
 	for _, e := range encoded {
 		out = bitio.PutUvarint(out, uint64(len(e)))
 		out = append(out, e...)
+	}
+	if sp != nil && sc != nil {
+		sp.AddStage("rle1", rle1, int64(len(src)), int64(len(pre)))
+		sp.AddStage("bwt", time.Duration(sc.bwtNS.Load()), int64(len(pre)), 0)
+		sp.AddStage("mtf-rle2", time.Duration(sc.mtfNS.Load()), 0, 0)
+		sp.AddStage("huffman", time.Duration(sc.huffNS.Load()), 0, int64(len(out)))
 	}
 	return out, nil
 }
@@ -106,10 +153,20 @@ func numTables(nSyms int) int {
 	}
 }
 
-func compressBlock(block []byte) ([]byte, error) {
+func compressBlock(block []byte, sc *stageClock) ([]byte, error) {
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
 	last, primary := bwt.Transform(block)
+	if sc != nil {
+		t0 = sc.add(&sc.bwtNS, t0)
+	}
 	syms := mtf.EncodeZeroRuns(mtf.Encode(last))
 	syms = append(syms, eobSymbol)
+	if sc != nil {
+		t0 = sc.add(&sc.mtfNS, t0)
+	}
 
 	nGroups := numTables(len(syms))
 	nSel := (len(syms) + groupSize - 1) / groupSize
@@ -218,6 +275,9 @@ func compressBlock(block []byte) ([]byte, error) {
 		enc := encs[selectors[i/groupSize]]
 		enc.Encode(w, int(s))
 	}
+	if sc != nil {
+		sc.add(&sc.huffNS, t0) // table build + selectors + symbol coding
+	}
 	return w.Bytes(), nil
 }
 
@@ -232,6 +292,23 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 // otherwise kill the process, bypassing any recover in the caller), and the
 // RLE1 expansion is capped by lim.
 func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
+	return c.decompress(comp, lim, nil, nil)
+}
+
+// DecompressAppendLimitsTrace implements compress.TracedDecompressor,
+// attaching huffman / mtf / bwt-inverse / rle1-inverse stage spans to sp.
+func (c *Codec) DecompressAppendLimitsTrace(dst, comp []byte, lim compress.DecodeLimits, sp *trace.Span) ([]byte, error) {
+	out, err := c.decompress(comp, lim, sp, new(stageClock))
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, out...), nil
+}
+
+// decodeClock reuses stageClock fields for the inverse pipeline: bwtNS
+// holds bwt.Inverse time, mtfNS the RUNA/RUNB+MTF decode, huffNS the table
+// reads and symbol decoding.
+func (c *Codec) decompress(comp []byte, lim compress.DecodeLimits, sp *trace.Span, sc *stageClock) ([]byte, error) {
 	maxOut := lim.OutputCap(len(comp))
 	origSize, n, err := bitio.Uvarint(comp)
 	if err != nil {
@@ -277,7 +354,7 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 					decoded[i], errs[i] = nil, compress.Errorf(compress.ErrCorrupt, "decoder panic: %v", p)
 				}
 			}()
-			decoded[i], errs[i] = decompressBlock(b, maxOut)
+			decoded[i], errs[i] = decompressBlock(b, maxOut, sc)
 		}(i, b)
 	}
 	wg.Wait()
@@ -294,6 +371,10 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 	for _, d := range decoded {
 		pre = append(pre, d...)
 	}
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
 	out, err := mtf.UnRLE1Limit(pre, int(maxOut))
 	if err != nil {
 		return nil, fmt.Errorf("bzip2: %w", err)
@@ -301,10 +382,16 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 	if uint64(len(out)) != origSize {
 		return nil, compress.Errorf(compress.ErrCorrupt, "bzip2: size mismatch: got %d want %d", len(out), origSize)
 	}
+	if sp != nil && sc != nil {
+		sp.AddStage("huffman", time.Duration(sc.huffNS.Load()), 0, 0)
+		sp.AddStage("mtf", time.Duration(sc.mtfNS.Load()), 0, 0)
+		sp.AddStage("bwt-inverse", time.Duration(sc.bwtNS.Load()), 0, int64(len(pre)))
+		sp.AddStage("rle1-inverse", time.Since(t0), int64(len(pre)), int64(len(out)))
+	}
 	return out, nil
 }
 
-func decompressBlock(b []byte, maxOut int64) ([]byte, error) {
+func decompressBlock(b []byte, maxOut int64, sc *stageClock) ([]byte, error) {
 	primary, n, err := bitio.Uvarint(b)
 	if err != nil {
 		return nil, err
@@ -339,6 +426,10 @@ func decompressBlock(b []byte, maxOut int64) ([]byte, error) {
 	b = b[1:]
 	if nGroups < 1 || nGroups > 8 {
 		return nil, compress.Errorf(compress.ErrCorrupt, "bad table count %d", nGroups)
+	}
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
 	}
 	r := bitio.NewReader(b)
 	decs := make([]*huffman.Decoder, nGroups)
@@ -408,6 +499,9 @@ func decompressBlock(b []byte, maxOut int64) ([]byte, error) {
 		return nil, compress.Errorf(compress.ErrCorrupt, "missing EOB")
 	}
 	syms = syms[:pos]
+	if sc != nil {
+		t0 = sc.add(&sc.huffNS, t0) // table reads + selector + symbol decode
+	}
 	// The fused zero-run + MTF decode must land exactly on blockLen bytes,
 	// so blockLen doubles as the allocation bound for hostile RUNA/RUNB
 	// streams.
@@ -418,9 +512,18 @@ func decompressBlock(b []byte, maxOut int64) ([]byte, error) {
 	if len(last) != int(blockLen) {
 		return nil, compress.Errorf(compress.ErrCorrupt, "block length mismatch: got %d want %d", len(last), blockLen)
 	}
-	return bwt.Inverse(last, int(primary))
+	if sc != nil {
+		t0 = sc.add(&sc.mtfNS, t0)
+	}
+	out, err := bwt.Inverse(last, int(primary))
+	if sc != nil {
+		sc.add(&sc.bwtNS, t0)
+	}
+	return out, err
 }
 
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
 var _ compress.Limited = (*Codec)(nil)
+var _ compress.TracedCompressor = (*Codec)(nil)
+var _ compress.TracedDecompressor = (*Codec)(nil)

@@ -1,0 +1,110 @@
+package compress_test
+
+import (
+	"bytes"
+	"testing"
+
+	"positbench/internal/compress"
+	"positbench/internal/compress/bzip2c"
+	"positbench/internal/compress/xzc"
+	"positbench/internal/trace"
+)
+
+// stageNames flattens a span's direct children into a name set.
+func stageNames(sp *trace.SpanData) map[string]bool {
+	out := make(map[string]bool, len(sp.Children))
+	for _, c := range sp.Children {
+		out[c.Name] = true
+	}
+	return out
+}
+
+func TestCodecStageSpans(t *testing.T) {
+	src := bytes.Repeat([]byte("posit regime bytes cluster under block sorting "), 2000)
+	cases := []struct {
+		codec       compress.Codec
+		compStages  []string
+		decompStage []string
+	}{
+		{bzip2c.New(), []string{"rle1", "bwt", "mtf-rle2", "huffman"},
+			[]string{"huffman", "mtf", "bwt-inverse", "rle1-inverse"}},
+		{xzc.New(), []string{"model-init", "opt-parse", "rc-finish"},
+			[]string{"model-init", "rc-decode"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.codec.Name(), func(t *testing.T) {
+			tr := trace.New(2)
+			root := tr.Start("codec", tc.codec.Name())
+
+			cs := root.Child("compress")
+			comp, err := compress.CompressAppendTrace(tc.codec, nil, src, cs)
+			cs.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := root.Child("decompress")
+			back, err := compress.DecompressAppendLimitsTrace(tc.codec, nil, comp, compress.DecodeLimits{}, ds)
+			ds.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, src) {
+				t.Fatal("traced roundtrip mismatch")
+			}
+			// Traced output must be byte-identical to the untraced path.
+			plain, err := compress.CompressAppend(tc.codec, nil, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(comp, plain) {
+				t.Fatal("traced compression differs from untraced output")
+			}
+			root.End()
+
+			got := tr.Snapshot()[0].Root
+			cgot := stageNames(got.Children[0])
+			for _, want := range tc.compStages {
+				if !cgot[want] {
+					t.Errorf("compress span missing stage %q (got %v)", want, cgot)
+				}
+			}
+			dgot := stageNames(got.Children[1])
+			for _, want := range tc.decompStage {
+				if !dgot[want] {
+					t.Errorf("decompress span missing stage %q (got %v)", want, dgot)
+				}
+			}
+		})
+	}
+}
+
+// identityCodec has no traced capability, so the traced helpers must fall
+// through to the plain paths.
+type identityCodec struct{}
+
+func (identityCodec) Name() string { return "identity" }
+func (identityCodec) Compress(src []byte) ([]byte, error) {
+	return append([]byte(nil), src...), nil
+}
+func (identityCodec) Decompress(comp []byte) ([]byte, error) {
+	return append([]byte(nil), comp...), nil
+}
+
+func TestTraceFallThrough(t *testing.T) {
+	tr := trace.New(2)
+	root := tr.Start("plain", "p")
+	codec := identityCodec{}
+	src := []byte("fall through")
+	comp, err := compress.CompressAppendTrace(codec, nil, src, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := compress.DecompressAppendLimitsTrace(codec, nil, comp, compress.DecodeLimits{}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("fall-through roundtrip mismatch")
+	}
+	root.End()
+}

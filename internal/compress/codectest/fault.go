@@ -5,11 +5,32 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"positbench/internal/compress"
 	"positbench/internal/container"
 )
+
+// faultSeed resolves the RNG seed for one randomized fault subtest and
+// logs it, so any failure is reproducible from the test output alone:
+// rerun with POSITBENCH_FAULT_SEED=<logged value> to replay the exact
+// corruption sequence. Each subtest passes a distinct default so the
+// stock runs stay byte-identical to what they always were.
+func faultSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	seed := def
+	if env := os.Getenv("POSITBENCH_FAULT_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 0, 64)
+		if err != nil {
+			t.Fatalf("POSITBENCH_FAULT_SEED=%q: %v", env, err)
+		}
+		seed = v
+	}
+	t.Logf("fault seed: %#x (override with POSITBENCH_FAULT_SEED)", seed)
+	return seed
+}
 
 // faultLimits bounds every decode attempt in the fault harness: corrupted
 // input may error or (for unframed codecs) misdecode, but it must never
@@ -48,7 +69,7 @@ func FaultInjection(t *testing.T, c compress.Codec) {
 	})
 
 	t.Run("BitFlips", func(t *testing.T) {
-		rng := rand.New(rand.NewSource(0x5eed))
+		rng := rand.New(rand.NewSource(faultSeed(t, 0x5eed)))
 		nFlips := 64
 		if totalBits := 8 * len(comp); nFlips > totalBits {
 			nFlips = totalBits
@@ -112,7 +133,7 @@ func FaultInjection(t *testing.T, c compress.Codec) {
 	})
 
 	t.Run("RandomGarbage", func(t *testing.T) {
-		rng := rand.New(rand.NewSource(0xbad))
+		rng := rand.New(rand.NewSource(faultSeed(t, 0xbad)))
 		for trial := 0; trial < 128; trial++ {
 			buf := make([]byte, rng.Intn(2048))
 			rng.Read(buf)

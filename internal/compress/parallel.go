@@ -7,7 +7,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
+
+	"positbench/internal/trace"
 )
 
 // Parallel execution engine for the streaming layer. ParallelWriter and
@@ -38,10 +42,12 @@ import (
 // slices keeps the recycle path allocation-free: boxing a slice header into
 // an interface would itself allocate per chunk.
 type pwJob struct {
-	src   []byte
-	comp  []byte
-	err   error
-	ready chan struct{}
+	src       []byte
+	comp      []byte
+	err       error
+	ready     chan struct{}
+	submitted time.Time   // when submit() enqueued the job (queue-wait metric)
+	span      *trace.Span // per-chunk span; nil when the stream is untraced
 }
 
 // ParallelWriter compresses a stream chunk by chunk on a bounded worker
@@ -53,6 +59,9 @@ type ParallelWriter struct {
 	chunk   int
 	workers int
 	ctx     context.Context
+
+	span *trace.Span // request span from the context; parents the chunk spans
+	seq  int         // chunk index, for span labels
 
 	cur     *pwJob      // chunk currently being filled by Write
 	order   chan *pwJob // submission order; capacity bounds in-flight chunks
@@ -94,6 +103,7 @@ func NewParallelWriterContext(ctx context.Context, codec Codec, dst io.Writer, c
 		chunk:   chunkSize,
 		workers: workers,
 		ctx:     ctx,
+		span:    trace.FromContext(ctx),
 		order:   make(chan *pwJob, workers),
 		jobs:    make(chan *pwJob, workers),
 		done:    make(chan struct{}),
@@ -108,12 +118,30 @@ func NewParallelWriterContext(ctx context.Context, codec Codec, dst io.Writer, c
 }
 
 func (w *ParallelWriter) compressor() {
+	engine.workersAlive.Add(1)
+	defer engine.workersAlive.Add(-1)
 	defer w.wg.Done()
 	for job := range w.jobs {
+		engine.queueDepth.Add(-1)
+		wait := time.Since(job.submitted)
+		engine.queueWaitNS.Add(int64(wait))
+		job.span.AddStage("queue-wait", wait, 0, 0)
 		if err := w.ctx.Err(); err != nil {
 			job.err = err
 		} else {
-			job.comp, job.err = CompressAppend(w.codec, job.comp[:0], job.src)
+			engine.workersBusy.Add(1)
+			t0 := time.Now()
+			cs := job.span.Child("compress")
+			job.comp, job.err = CompressAppendTrace(w.codec, job.comp[:0], job.src, cs)
+			cs.SetBytes(int64(len(job.src)), int64(len(job.comp)))
+			cs.End()
+			engine.workersBusy.Add(-1)
+			engine.compressBusyNS.Add(int64(time.Since(t0)))
+			if job.err == nil {
+				engine.compressChunks.Add(1)
+				engine.compressBytesIn.Add(int64(len(job.src)))
+				engine.compressBytesOut.Add(int64(len(job.comp)))
+			}
 		}
 		job.ready <- struct{}{}
 	}
@@ -129,11 +157,23 @@ func (w *ParallelWriter) emitter() {
 		if err := w.firstErr(); err == nil {
 			if job.err != nil {
 				w.setErr(job.err)
-			} else {
+			} else if job.span == nil {
 				w.setErr(writeFrame(w.dst, w.hdr[:], job.comp))
+			} else {
+				t0 := time.Now()
+				err := writeFrame(w.dst, w.hdr[:], job.comp)
+				job.span.AddStage("frame-write", time.Since(t0), 0, int64(len(job.comp)))
+				w.setErr(err)
 			}
 		}
-		job.src, job.err = job.src[:0], nil
+		if job.span != nil {
+			if job.err != nil {
+				job.span.Annotate("error", job.err.Error())
+			}
+			job.span.SetBytes(int64(len(job.src)), int64(len(job.comp)))
+			job.span.End()
+		}
+		job.src, job.err, job.span = job.src[:0], nil, nil
 		w.jobPool.Put(job)
 	}
 }
@@ -207,6 +247,13 @@ func (w *ParallelWriter) Write(p []byte) (int, error) {
 func (w *ParallelWriter) submit() {
 	job := w.cur
 	w.cur = nil
+	if w.span.Enabled() {
+		job.span = w.span.Child("chunk")
+		job.span.Annotate("idx", strconv.Itoa(w.seq))
+	}
+	w.seq++
+	job.submitted = time.Now()
+	engine.queueDepth.Add(1)
 	w.order <- job
 	w.jobs <- job
 }
@@ -255,10 +302,12 @@ func (w *ParallelWriter) CloseWithError(err error) error {
 // recycled once Read has fully drained them, carrying their comp and out
 // buffers so steady-state streaming reuses both.
 type prSlot struct {
-	comp  []byte
-	out   []byte
-	err   error // io.EOF marks the clean end of stream
-	ready chan struct{}
+	comp    []byte
+	out     []byte
+	err     error // io.EOF marks the clean end of stream
+	ready   chan struct{}
+	fetched time.Time   // when the fetcher enqueued the slot (queue-wait metric)
+	span    *trace.Span // per-chunk span; nil when the stream is untraced
 }
 
 // ParallelReader decompresses a chunked stream with read-ahead workers:
@@ -267,6 +316,8 @@ type prSlot struct {
 // calls; the parallelism is internal.
 type ParallelReader struct {
 	ctx      context.Context
+	span     *trace.Span // request span from the context; parents the chunk spans
+	seq      int         // chunk index, for span labels
 	slots    chan *prSlot
 	jobs     chan *prSlot
 	stop     chan struct{}
@@ -306,6 +357,7 @@ func NewParallelReaderContext(ctx context.Context, codec Codec, src io.Reader, l
 	}
 	r := &ParallelReader{
 		ctx:      ctx,
+		span:     trace.FromContext(ctx),
 		slots:    make(chan *prSlot, workers),
 		jobs:     make(chan *prSlot, workers),
 		stop:     make(chan struct{}),
@@ -340,7 +392,11 @@ func (r *ParallelReader) fetch(src *bufio.Reader, lim DecodeLimits) {
 	defer close(r.jobs)
 	for {
 		slot := r.slotPool.Get().(*prSlot)
-		slot.err = nil
+		slot.err, slot.span = nil, nil
+		var t0 time.Time
+		if r.span.Enabled() {
+			t0 = time.Now()
+		}
 		comp, err := readFrameInto(src, lim, slot.comp[:0])
 		if err != nil || comp == nil {
 			if err == nil {
@@ -356,9 +412,18 @@ func (r *ParallelReader) fetch(src *bufio.Reader, lim DecodeLimits) {
 			return
 		}
 		slot.comp = comp
+		if r.span.Enabled() {
+			slot.span = r.span.Child("chunk")
+			slot.span.Annotate("idx", strconv.Itoa(r.seq))
+			slot.span.AddStage("frame-read", time.Since(t0), int64(len(comp)), 0)
+		}
+		r.seq++
+		slot.fetched = time.Now()
+		engine.queueDepth.Add(1)
 		select {
 		case r.slots <- slot:
 		case <-r.stop:
+			engine.queueDepth.Add(-1)
 			return
 		}
 		select {
@@ -367,6 +432,7 @@ func (r *ParallelReader) fetch(src *bufio.Reader, lim DecodeLimits) {
 			// The slot is already visible on r.slots but no worker will
 			// ever see it: resolve it here or a Read that raced the
 			// shutdown blocks on slot.ready forever.
+			engine.queueDepth.Add(-1)
 			slot.err = r.closedErr()
 			slot.ready <- struct{}{}
 			return
@@ -375,13 +441,38 @@ func (r *ParallelReader) fetch(src *bufio.Reader, lim DecodeLimits) {
 }
 
 func (r *ParallelReader) decompressor(codec Codec, lim DecodeLimits) {
+	engine.workersAlive.Add(1)
+	defer engine.workersAlive.Add(-1)
 	defer r.wg.Done()
 	for slot := range r.jobs {
+		engine.queueDepth.Add(-1)
+		wait := time.Since(slot.fetched)
+		engine.queueWaitNS.Add(int64(wait))
+		slot.span.AddStage("queue-wait", wait, 0, 0)
 		select {
 		case <-r.stop:
 			slot.err = r.closedErr()
 		default:
-			slot.out, slot.err = DecompressAppendLimits(codec, slot.out[:0], slot.comp, lim)
+			engine.workersBusy.Add(1)
+			t0 := time.Now()
+			ds := slot.span.Child("decompress")
+			slot.out, slot.err = DecompressAppendLimitsTrace(codec, slot.out[:0], slot.comp, lim, ds)
+			ds.SetBytes(int64(len(slot.comp)), int64(len(slot.out)))
+			ds.End()
+			engine.workersBusy.Add(-1)
+			engine.decompressBusyNS.Add(int64(time.Since(t0)))
+			if slot.err == nil {
+				engine.decompressChunks.Add(1)
+				engine.decompressBytesIn.Add(int64(len(slot.comp)))
+				engine.decompressBytesOut.Add(int64(len(slot.out)))
+			}
+		}
+		if slot.span != nil {
+			if slot.err != nil {
+				slot.span.Annotate("error", slot.err.Error())
+			}
+			slot.span.SetBytes(int64(len(slot.comp)), int64(len(slot.out)))
+			slot.span.End()
 		}
 		slot.ready <- struct{}{}
 	}
@@ -467,6 +558,7 @@ func (r *ParallelReader) Read(p []byte) (int, error) {
 		if r.cur != nil {
 			// The previous chunk is fully drained; its buffers go back to
 			// the fetcher for reuse. Callers only ever saw copies.
+			r.cur.span = nil // the span was ended by the decompressor
 			r.slotPool.Put(r.cur)
 			r.cur = nil
 		}

@@ -5,6 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
+
+	"positbench/internal/trace"
 )
 
 // Streaming adapters: wrap any block Codec in an io.WriteCloser /
@@ -25,7 +28,13 @@ type Writer struct {
 	hdr    [binary.MaxVarintLen64]byte
 	chunk  int
 	closed bool
+	span   *trace.Span // parents per-chunk spans; nil = untraced
 }
+
+// SetSpan attaches sp as the parent of this writer's per-chunk spans. Call
+// it before the first Write; a nil span (the default) disables tracing at
+// the cost of one branch per chunk.
+func (w *Writer) SetSpan(sp *trace.Span) { w.span = sp }
 
 // NewWriter returns a streaming compressor writing to dst. chunkSize <= 0
 // selects DefaultChunkSize.
@@ -59,13 +68,30 @@ func (w *Writer) Write(p []byte) (int, error) {
 }
 
 func (w *Writer) flush() error {
-	comp, err := CompressAppend(w.codec, w.comp[:0], w.buf)
+	chunk := w.span.Child("chunk") // nil-safe: nil span yields nil chunk
+	cs := chunk.Child("compress")
+	t0 := time.Now()
+	comp, err := CompressAppendTrace(w.codec, w.comp[:0], w.buf, cs)
+	engine.compressBusyNS.Add(int64(time.Since(t0)))
+	cs.SetBytes(int64(len(w.buf)), int64(len(comp)))
+	cs.End()
 	if err != nil {
+		chunk.End()
 		return err
 	}
+	engine.compressChunks.Add(1)
+	engine.compressBytesIn.Add(int64(len(w.buf)))
+	engine.compressBytesOut.Add(int64(len(comp)))
 	w.comp = comp
+	t1 := time.Now()
 	if err := writeFrame(w.dst, w.hdr[:], comp); err != nil {
+		chunk.End()
 		return err
+	}
+	if chunk != nil {
+		chunk.AddStage("frame-write", time.Since(t1), 0, int64(len(comp)))
+		chunk.SetBytes(int64(len(w.buf)), int64(len(comp)))
+		chunk.End()
 	}
 	w.buf = w.buf[:0]
 	return nil
@@ -96,7 +122,12 @@ type Reader struct {
 	out   []byte // reused decoded-chunk buffer; r.buf slices it
 	done  bool
 	err   error
+	span  *trace.Span // parents per-chunk spans; nil = untraced
 }
+
+// SetSpan attaches sp as the parent of this reader's per-chunk spans. Call
+// it before the first Read.
+func (r *Reader) SetSpan(sp *trace.Span) { r.span = sp }
 
 // NewReader returns a streaming decompressor over src with default decode
 // limits. The codec must match the one used for writing.
@@ -135,6 +166,10 @@ func (r *Reader) Read(p []byte) (int, error) {
 // fully drained, so the previous chunk's buffers are safe to reuse: Read
 // hands callers copies, never the backing arrays.
 func (r *Reader) nextChunk() error {
+	var t0 time.Time
+	if r.span.Enabled() {
+		t0 = time.Now()
+	}
 	comp, err := readFrameInto(r.src, r.lim, r.comp[:0])
 	if err != nil {
 		return err
@@ -144,9 +179,26 @@ func (r *Reader) nextChunk() error {
 		return nil
 	}
 	r.comp = comp
-	out, err := DecompressAppendLimits(r.codec, r.out[:0], comp, r.lim)
+	chunk := r.span.Child("chunk")
+	if chunk != nil {
+		chunk.AddStage("frame-read", time.Since(t0), int64(len(comp)), 0)
+	}
+	ds := chunk.Child("decompress")
+	t1 := time.Now()
+	out, err := DecompressAppendLimitsTrace(r.codec, r.out[:0], comp, r.lim, ds)
+	engine.decompressBusyNS.Add(int64(time.Since(t1)))
+	ds.SetBytes(int64(len(comp)), int64(len(out)))
+	ds.End()
 	if err != nil {
+		chunk.End()
 		return err
+	}
+	engine.decompressChunks.Add(1)
+	engine.decompressBytesIn.Add(int64(len(comp)))
+	engine.decompressBytesOut.Add(int64(len(out)))
+	if chunk != nil {
+		chunk.SetBytes(int64(len(comp)), int64(len(out)))
+		chunk.End()
 	}
 	r.out = out
 	r.buf = out

@@ -1,0 +1,46 @@
+package compress
+
+import (
+	"positbench/internal/trace"
+)
+
+// Tracing capabilities. Codecs that can attribute their work to internal
+// pipeline stages (BWT vs Huffman vs range coder) implement the *Trace
+// variants; the engines call them through the helpers below only when a
+// live span is present, so a codec's untraced hot path never sees a span
+// check.
+
+// TracedCompressor is implemented by codecs that can report per-stage
+// timings while compressing. The span is never nil when the engines call
+// this; implementations attach stage children to it.
+type TracedCompressor interface {
+	CompressAppendTrace(dst, src []byte, sp *trace.Span) ([]byte, error)
+}
+
+// TracedDecompressor is the decode-side capability.
+type TracedDecompressor interface {
+	DecompressAppendLimitsTrace(dst, comp []byte, lim DecodeLimits, sp *trace.Span) ([]byte, error)
+}
+
+// CompressAppendTrace compresses src with c, attaching per-stage spans to
+// sp when the codec supports it. A nil sp (tracing disabled) or an untraced
+// codec takes exactly the CompressAppend path.
+func CompressAppendTrace(c Codec, dst, src []byte, sp *trace.Span) ([]byte, error) {
+	if sp != nil {
+		if tc, ok := c.(TracedCompressor); ok {
+			return tc.CompressAppendTrace(dst, src, sp)
+		}
+	}
+	return CompressAppend(c, dst, src)
+}
+
+// DecompressAppendLimitsTrace is the decode-side twin of
+// CompressAppendTrace.
+func DecompressAppendLimitsTrace(c Codec, dst, comp []byte, lim DecodeLimits, sp *trace.Span) ([]byte, error) {
+	if sp != nil {
+		if td, ok := c.(TracedDecompressor); ok {
+			return td.DecompressAppendLimitsTrace(dst, comp, lim, sp)
+		}
+	}
+	return DecompressAppendLimits(c, dst, comp, lim)
+}

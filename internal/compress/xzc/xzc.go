@@ -9,11 +9,13 @@ package xzc
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"positbench/internal/bitio"
 	"positbench/internal/compress"
 	"positbench/internal/lz77"
 	"positbench/internal/rangecoder"
+	"positbench/internal/trace"
 )
 
 const (
@@ -261,15 +263,45 @@ func decodeLiteral(d *rangecoder.Decoder, probs []rangecoder.Prob, matched bool,
 // a prefix of each horizon is emitted so boundary truncation never affects
 // the output.
 func (c *Codec) Compress(src []byte) ([]byte, error) {
+	return c.compress(src, nil)
+}
+
+// CompressAppendTrace implements compress.TracedCompressor: same output as
+// Compress, plus model-init / opt-parse / rc-finish stage spans on sp.
+func (c *Codec) CompressAppendTrace(dst, src []byte, sp *trace.Span) ([]byte, error) {
+	out, err := c.compress(src, sp)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, out...), nil
+}
+
+func (c *Codec) compress(src []byte, sp *trace.Span) ([]byte, error) {
 	out := bitio.PutUvarint(nil, uint64(len(src)))
 	if len(src) == 0 {
 		return out, nil
 	}
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	enc := newOptEncoder(c, src)
+	if sp != nil {
+		sp.AddStage("model-init", time.Since(t0), int64(len(src)), 0)
+		t0 = time.Now()
+	}
 	if err := enc.run(); err != nil {
 		return nil, err
 	}
-	return append(out, enc.e.Finish()...), nil
+	if sp != nil {
+		sp.AddStage("opt-parse", time.Since(t0), int64(len(src)), 0)
+		t0 = time.Now()
+	}
+	out = append(out, enc.e.Finish()...)
+	if sp != nil {
+		sp.AddStage("rc-finish", time.Since(t0), 0, int64(len(out)))
+	}
+	return out, nil
 }
 
 const (
@@ -635,6 +667,20 @@ func (c *Codec) Decompress(comp []byte) ([]byte, error) {
 // DecompressLimits implements compress.Limited: the declared output size is
 // validated against lim before the output buffer grows.
 func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte, error) {
+	return c.decompressLimits(comp, lim, nil)
+}
+
+// DecompressAppendLimitsTrace implements compress.TracedDecompressor,
+// attaching model-init / rc-decode stage spans to sp.
+func (c *Codec) DecompressAppendLimitsTrace(dst, comp []byte, lim compress.DecodeLimits, sp *trace.Span) ([]byte, error) {
+	out, err := c.decompressLimits(comp, lim, sp)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, out...), nil
+}
+
+func (c *Codec) decompressLimits(comp []byte, lim compress.DecodeLimits, sp *trace.Span) ([]byte, error) {
 	size, n, err := bitio.Uvarint(comp)
 	if err != nil {
 		return nil, fmt.Errorf("xz: %w", err)
@@ -645,6 +691,10 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 	if size == 0 {
 		return []byte{}, nil
 	}
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	d := rangecoder.NewDecoder(comp[n:])
 	m := newModels()
 	// Cap the initial allocation: size is attacker-controlled input.
@@ -653,6 +703,10 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 		capacity = 1 << 20
 	}
 	out := make([]byte, 0, capacity)
+	if sp != nil {
+		sp.AddStage("model-init", time.Since(t0), int64(len(comp)), 0)
+		t0 = time.Now()
+	}
 	reps := [4]int{1, 2, 3, 4}
 	prevMatch := 0
 	for uint64(len(out)) < size {
@@ -707,9 +761,14 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 	if d.Err() != nil {
 		return nil, fmt.Errorf("xz: %w", d.Err())
 	}
+	if sp != nil {
+		sp.AddStage("rc-decode", time.Since(t0), int64(len(comp)), int64(len(out)))
+	}
 	return out, nil
 }
 
 var _ compress.Codec = (*Codec)(nil)
 var _ compress.Describer = (*Codec)(nil)
 var _ compress.Limited = (*Codec)(nil)
+var _ compress.TracedCompressor = (*Codec)(nil)
+var _ compress.TracedDecompressor = (*Codec)(nil)

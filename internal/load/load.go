@@ -1,0 +1,353 @@
+// Package load implements positbench's open-loop HTTP traffic generator:
+// the core of cmd/positload and the soak-test driver. It fires a mixed
+// codec/convert workload at a positd base URL at a target rate, keeps its
+// own per-codec byte bookkeeping (so a test can reconcile the server's
+// /metrics against ground truth), verifies every compress response by
+// decompressing it back, and reports latency percentiles per operation.
+//
+// Open loop means the arrival rate does not slow down when the server
+// does: ticks that find every worker slot busy are counted as dropped, not
+// queued, so saturation shows up in the report instead of silently
+// stretching the run.
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"positbench/internal/posit"
+	"positbench/internal/sdrbench"
+	"positbench/internal/stats"
+)
+
+// Config tunes one Run.
+type Config struct {
+	// BaseURL is the positd root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// QPS is the target operation start rate. <= 0 selects 50.
+	QPS float64
+	// Duration bounds the run. <= 0 selects 5s. The context passed to Run
+	// can end it earlier.
+	Duration time.Duration
+	// MaxInflight caps concurrently running operations; ticks beyond it
+	// are dropped (open loop). <= 0 selects 16.
+	MaxInflight int
+	// Codecs is the compress/decompress codec mix. Empty selects
+	// gzip+bzip2.
+	Codecs []string
+	// ConvertEvery mixes one /v1/convert operation in per N codec
+	// operations. 0 selects 4; negative disables conversion traffic.
+	ConvertEvery int
+	// Values is the float32 count per generated request body. <= 0
+	// selects 16384 (64 KiB bodies).
+	Values int
+	// Seed makes the workload deterministic; 0 selects 1.
+	Seed int64
+	// Client overrides the HTTP client (nil selects a dedicated one with
+	// sane timeouts).
+	Client *http.Client
+}
+
+// OpBytes is the generator-side bookkeeping for one operation class: what
+// we uploaded and what came back. For compress operations this mirrors the
+// server's per-codec bytes_in/bytes_out exactly.
+type OpBytes struct {
+	Ops      int64 `json:"ops"`
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+}
+
+// LatencySummary is the percentile view of one operation class.
+type LatencySummary struct {
+	Count  uint64 `json:"count"`
+	MeanUS int64  `json:"mean_us"`
+	P50US  int64  `json:"p50_us"`
+	P99US  int64  `json:"p99_us"`
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	Duration  string  `json:"duration"`
+	TargetQPS float64 `json:"target_qps"`
+	// Ticks is how many operation starts the open loop attempted;
+	// Started + Dropped == Ticks.
+	Ticks   int64 `json:"ticks"`
+	Started int64 `json:"started"`
+	Dropped int64 `json:"dropped"`
+
+	Status2xx   int64 `json:"status_2xx"`
+	Status4xx   int64 `json:"status_4xx"`
+	Status429   int64 `json:"status_429"`
+	Status5xx   int64 `json:"status_5xx"`
+	Transport   int64 `json:"transport_errors"`
+	Mismatches  int64 `json:"roundtrip_mismatches"`
+	BytesMoved  int64 `json:"bytes_moved"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	// Compress and Decompress are keyed by codec name; the compress entry
+	// for a codec must reconcile with the server's /metrics codec section.
+	Compress   map[string]*OpBytes `json:"compress"`
+	Decompress map[string]*OpBytes `json:"decompress"`
+	Convert    OpBytes             `json:"convert"`
+
+	Latency map[string]LatencySummary `json:"latency"`
+}
+
+// Failed reports whether the run saw anything a soak test must treat as a
+// failure: server errors, transport errors, or roundtrip mismatches.
+// Shed load (429s, drops) is expected behavior under deliberate overload.
+func (r *Report) Failed() bool {
+	return r.Status5xx > 0 || r.Transport > 0 || r.Mismatches > 0
+}
+
+// loader is the run-scoped state shared by workers.
+type loader struct {
+	cfg    Config
+	client *http.Client
+	bodies [][]byte // pregenerated request payloads
+
+	mu         sync.Mutex
+	rep        *Report
+	histograms map[string]*stats.LatencyHist
+}
+
+// Run drives the workload until cfg.Duration elapses or ctx ends, then
+// waits for in-flight operations to finish and returns the report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("load: BaseURL required")
+	}
+	if cfg.QPS <= 0 {
+		cfg.QPS = 50
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 16
+	}
+	if len(cfg.Codecs) == 0 {
+		cfg.Codecs = []string{"gzip", "bzip2"}
+	}
+	if cfg.ConvertEvery == 0 {
+		cfg.ConvertEvery = 4
+	}
+	if cfg.Values <= 0 {
+		cfg.Values = 16384
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * cfg.Duration}
+	}
+
+	l := &loader{
+		cfg:    cfg,
+		client: client,
+		bodies: makeBodies(cfg.Values),
+		rep: &Report{
+			TargetQPS:  cfg.QPS,
+			Compress:   map[string]*OpBytes{},
+			Decompress: map[string]*OpBytes{},
+			Latency:    map[string]LatencySummary{},
+		},
+		histograms: map[string]*stats.LatencyHist{},
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	slots := make(chan struct{}, cfg.MaxInflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	codecOps := 0
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-ticker.C:
+		}
+		l.rep.Ticks++
+		// Decide the operation on the loop goroutine so the sequence is
+		// deterministic for a given seed regardless of worker scheduling.
+		var op func(*loader)
+		if cfg.ConvertEvery > 0 && codecOps >= cfg.ConvertEvery {
+			codecOps = 0
+			body := l.bodies[rng.Intn(len(l.bodies))]
+			op = func(l *loader) { l.doConvert(ctx, body) }
+		} else {
+			codecOps++
+			codec := cfg.Codecs[rng.Intn(len(cfg.Codecs))]
+			body := l.bodies[rng.Intn(len(l.bodies))]
+			op = func(l *loader) { l.doRoundtrip(ctx, codec, body) }
+		}
+		select {
+		case slots <- struct{}{}:
+			l.rep.Started++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				op(l)
+			}()
+		default:
+			l.rep.Dropped++ // open loop: never queue behind a busy server
+		}
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	l.rep.Duration = elapsed.Round(time.Millisecond).String()
+	if secs := elapsed.Seconds(); secs > 0 {
+		l.rep.AchievedQPS = float64(l.rep.Started) / secs
+	}
+	for name, h := range l.histograms {
+		l.rep.Latency[name] = LatencySummary{
+			Count:  h.Count(),
+			MeanUS: h.Mean().Microseconds(),
+			P50US:  h.Quantile(0.5).Microseconds(),
+			P99US:  h.Quantile(0.99).Microseconds(),
+		}
+	}
+	return l.rep, nil
+}
+
+// makeBodies pregenerates one request payload per sdrbench input, sorted
+// by name for determinism: generating floats is CPU work that must not be
+// charged to request latency.
+func makeBodies(values int) [][]byte {
+	inputs := sdrbench.Inputs()
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Name < inputs[j].Name })
+	bodies := make([][]byte, 0, len(inputs))
+	for _, in := range inputs {
+		bodies = append(bodies, posit.EncodeFloat32LE(in.Generate(values)))
+	}
+	return bodies
+}
+
+// post sends one request and fully drains the response, recording the
+// status class and latency under the given histogram label.
+func (l *loader) post(ctx context.Context, label, url string, body []byte) ([]byte, int, bool) {
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		l.count(func(r *Report) { r.Transport++ })
+		return nil, 0, false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	t0 := time.Now()
+	resp, err := l.client.Do(req)
+	if err != nil {
+		// A request cut off by the run deadline is not a server failure.
+		if ctx.Err() == nil {
+			l.count(func(r *Report) { r.Transport++ })
+		}
+		return nil, 0, false
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	elapsed := time.Since(t0)
+	if err != nil {
+		if ctx.Err() == nil {
+			l.count(func(r *Report) { r.Transport++ })
+		}
+		return nil, resp.StatusCode, false
+	}
+	l.mu.Lock()
+	h := l.histograms[label]
+	if h == nil {
+		h = &stats.LatencyHist{}
+		l.histograms[label] = h
+	}
+	h.Observe(elapsed)
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		l.rep.Status429++
+	case resp.StatusCode >= 500:
+		l.rep.Status5xx++
+	case resp.StatusCode >= 400:
+		l.rep.Status4xx++
+	default:
+		l.rep.Status2xx++
+	}
+	l.mu.Unlock()
+	return out, resp.StatusCode, resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// count applies one locked mutation to the report.
+func (l *loader) count(f func(*Report)) {
+	l.mu.Lock()
+	f(l.rep)
+	l.mu.Unlock()
+}
+
+// opBytes returns the locked bookkeeping cell for codec in m.
+func opBytes(m map[string]*OpBytes, codec string) *OpBytes {
+	ob := m[codec]
+	if ob == nil {
+		ob = &OpBytes{}
+		m[codec] = ob
+	}
+	return ob
+}
+
+// doRoundtrip runs one compress + decompress + verify operation.
+func (l *loader) doRoundtrip(ctx context.Context, codec string, body []byte) {
+	comp, _, ok := l.post(ctx, "compress", l.cfg.BaseURL+"/v1/compress/"+codec, body)
+	if !ok {
+		return
+	}
+	l.count(func(r *Report) {
+		ob := opBytes(r.Compress, codec)
+		ob.Ops++
+		ob.BytesIn += int64(len(body))
+		ob.BytesOut += int64(len(comp))
+		r.BytesMoved += int64(len(body)) + int64(len(comp))
+	})
+	back, _, ok := l.post(ctx, "decompress", l.cfg.BaseURL+"/v1/decompress", comp)
+	if !ok {
+		return
+	}
+	l.count(func(r *Report) {
+		ob := opBytes(r.Decompress, codec)
+		ob.Ops++
+		ob.BytesIn += int64(len(comp))
+		ob.BytesOut += int64(len(back))
+		r.BytesMoved += int64(len(comp)) + int64(len(back))
+		if !bytes.Equal(back, body) {
+			r.Mismatches++
+		}
+	})
+}
+
+// doConvert runs one float32 -> posit conversion operation.
+func (l *loader) doConvert(ctx context.Context, body []byte) {
+	out, _, ok := l.post(ctx, "convert", l.cfg.BaseURL+"/v1/convert?to=posit", body)
+	if !ok {
+		return
+	}
+	l.count(func(r *Report) {
+		r.Convert.Ops++
+		r.Convert.BytesIn += int64(len(body))
+		r.Convert.BytesOut += int64(len(out))
+		r.BytesMoved += int64(len(body)) + int64(len(out))
+	})
+}

@@ -1,0 +1,187 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"positbench/internal/server"
+	"positbench/internal/trace"
+)
+
+// TestBurstAgainstPositd is the end-to-end observability check: drive a
+// short positload burst at an in-process positd, then reconcile the
+// server's /metrics against the generator's own bookkeeping and walk a
+// complete span tree out of /debug/traces.
+func TestBurstAgainstPositd(t *testing.T) {
+	srv, err := server.New(server.Config{AccessLog: io.Discard, ChunkSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	dbg := httptest.NewServer(srv.DebugTracesHandler())
+	defer dbg.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		QPS:         200,
+		Duration:    1500 * time.Millisecond,
+		MaxInflight: 8,
+		Codecs:      []string{"gzip", "bzip2"},
+		Values:      8192,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("burst failed: 5xx=%d transport=%d mismatches=%d",
+			rep.Status5xx, rep.Transport, rep.Mismatches)
+	}
+	if rep.Started == 0 || rep.Status2xx == 0 {
+		t.Fatalf("burst did no work: started=%d 2xx=%d", rep.Started, rep.Status2xx)
+	}
+	if rep.Convert.Ops == 0 {
+		t.Error("workload mix produced no convert operations")
+	}
+	for _, label := range []string{"compress", "decompress"} {
+		if rep.Latency[label].Count == 0 {
+			t.Errorf("no %s latency observations", label)
+		}
+	}
+
+	// /metrics must reconcile with the generator's own bookkeeping.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Inflight int64 `json:"inflight"`
+		Engine   struct {
+			QueueDepth     int64  `json:"queue_depth"`
+			WorkersBusy    int64  `json:"workers_busy"`
+			TracesCaptured uint64 `json:"traces_captured"`
+		} `json:"engine"`
+		Codecs map[string]map[string]struct {
+			Ops      int64 `json:"ops"`
+			BytesIn  int64 `json:"bytes_in"`
+			BytesOut int64 `json:"bytes_out"`
+		} `json:"codecs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Inflight != 0 {
+		t.Errorf("inflight = %d after burst drained, want 0", snap.Inflight)
+	}
+	if snap.Engine.QueueDepth != 0 {
+		t.Errorf("engine.queue_depth = %d after burst drained, want 0", snap.Engine.QueueDepth)
+	}
+	if snap.Engine.WorkersBusy != 0 {
+		t.Errorf("engine.workers_busy = %d after burst drained, want 0", snap.Engine.WorkersBusy)
+	}
+	if snap.Engine.TracesCaptured == 0 {
+		t.Error("no traces captured during the burst")
+	}
+	for codec, want := range rep.Compress {
+		got := snap.Codecs[codec]["compress"]
+		if got.Ops != want.Ops || got.BytesIn != want.BytesIn || got.BytesOut != want.BytesOut {
+			t.Errorf("codec %s compress: server {ops %d in %d out %d} != generator {ops %d in %d out %d}",
+				codec, got.Ops, got.BytesIn, got.BytesOut, want.Ops, want.BytesIn, want.BytesOut)
+		}
+	}
+	// Decompress op counts must reconcile too (byte totals include both
+	// wire formats, which the server accounts identically).
+	var wantDecOps, gotDecOps int64
+	for _, want := range rep.Decompress {
+		wantDecOps += want.Ops
+	}
+	for _, ops := range snap.Codecs {
+		gotDecOps += ops["decompress"].Ops
+	}
+	if gotDecOps != wantDecOps {
+		t.Errorf("decompress ops: server %d != generator %d", gotDecOps, wantDecOps)
+	}
+
+	// /debug/traces must hold a complete span tree for a compress
+	// roundtrip: root -> chunk -> {queue-wait, compress, frame-write},
+	// with codec-internal stages under the worker compress span.
+	dresp, err := http.Get(dbg.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var dump struct {
+		Traces []*trace.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Traces) == 0 {
+		t.Fatal("trace ring is empty after the burst")
+	}
+	var found bool
+	for _, tr := range dump.Traces {
+		if tr.Root.Name != "compress" {
+			continue
+		}
+		for _, chunk := range tr.Root.Children {
+			if chunk.Name != "chunk" {
+				continue
+			}
+			stages := map[string]*trace.SpanData{}
+			for _, st := range chunk.Children {
+				stages[st.Name] = st
+			}
+			cs := stages["compress"]
+			if stages["queue-wait"] == nil || cs == nil || stages["frame-write"] == nil {
+				continue
+			}
+			inner := 0
+			for range cs.Children {
+				inner++
+			}
+			if inner >= 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no trace shows a complete chunk span tree (queue-wait + compress with >= 2 codec stages + frame-write)")
+	}
+}
+
+// TestOpenLoopDropsUnderSaturation pins the open-loop property: with a
+// stalled server and a tiny concurrency cap, excess ticks are dropped
+// rather than queued.
+func TestOpenLoopDropsUnderSaturation(t *testing.T) {
+	release := make(chan struct{})
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer stall.Close()
+	defer close(release)
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     stall.URL,
+		QPS:         500,
+		Duration:    400 * time.Millisecond,
+		MaxInflight: 2,
+		Values:      64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Errorf("stalled server produced no drops (ticks=%d started=%d)", rep.Ticks, rep.Started)
+	}
+	if rep.Started > int64(2+rep.Ticks/10) {
+		t.Errorf("open loop queued behind a stalled server: started=%d with cap 2", rep.Started)
+	}
+}

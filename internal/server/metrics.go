@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"positbench/internal/compress"
 	"positbench/internal/stats"
 )
 
@@ -125,11 +126,23 @@ type codecExport struct {
 	Latency latencyExport `json:"latency"`
 }
 
+// engineExport is the /metrics view of the process-wide chunk-engine
+// counters: the raw gauges plus a derived worker-pool utilization.
+type engineExport struct {
+	compress.EngineStats
+	// Utilization is busy workers over alive workers at snapshot time
+	// (0 when no pool is running).
+	Utilization float64 `json:"worker_utilization"`
+	// TracesCaptured counts traces ever published to the debug ring.
+	TracesCaptured uint64 `json:"traces_captured"`
+}
+
 // metricsSnapshot is the full GET /metrics document.
 type metricsSnapshot struct {
 	UptimeSeconds float64                           `json:"uptime_seconds"`
 	Inflight      int64                             `json:"inflight"`
 	Rejected429   int64                             `json:"rejected_429"`
+	Engine        engineExport                      `json:"engine"`
 	Requests      map[string]routeExport            `json:"requests"`
 	Codecs        map[string]map[string]codecExport `json:"codecs"`
 }
@@ -144,6 +157,10 @@ func (m *metrics) snapshot() metricsSnapshot {
 		Rejected429:   m.rejected.Load(),
 		Requests:      make(map[string]routeExport, len(m.routes)),
 		Codecs:        map[string]map[string]codecExport{},
+	}
+	snap.Engine.EngineStats = compress.EngineSnapshot()
+	if alive := snap.Engine.WorkersAlive; alive > 0 {
+		snap.Engine.Utilization = float64(snap.Engine.WorkersBusy) / float64(alive)
 	}
 	for route, rs := range m.routes {
 		snap.Requests[route] = routeExport{routeStats: *rs, Latency: exportLatency(&rs.lat)}
@@ -179,9 +196,11 @@ func splitKey(key string) (codec, op string) {
 // handleMetrics serves the counter registry as JSON.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	snap := s.metrics.snapshot()
+	snap.Engine.TracesCaptured = s.tracer.Len()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.metrics.snapshot())
+	enc.Encode(snap)
 }
 
 // healthzResponse is the GET /healthz body.

@@ -57,6 +57,7 @@ func (c *countingWriter) Unwrap() http.ResponseWriter {
 func (s *Server) shell(route string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		cw := &countingWriter{ResponseWriter: w}
+		r, rid := ensureRequestID(cw, r)
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
@@ -64,7 +65,7 @@ func (s *Server) shell(route string, next http.Handler) http.Handler {
 					// A streaming handler aborted mid-body on purpose;
 					// account for it, then let net/http kill the
 					// connection.
-					s.finish(route, cw, r, start)
+					s.finish(route, cw, r, start, rid)
 					panic(p)
 				}
 				// Anything else is a bug: answer 500 if the status line
@@ -73,14 +74,14 @@ func (s *Server) shell(route string, next http.Handler) http.Handler {
 					writeErrorStatus(cw, http.StatusInternalServerError, "panic", "internal error")
 				}
 			}
-			s.finish(route, cw, r, start)
+			s.finish(route, cw, r, start, rid)
 		}()
 		next.ServeHTTP(cw, r)
 	})
 }
 
 // finish records one completed request in metrics and the access log.
-func (s *Server) finish(route string, cw *countingWriter, r *http.Request, start time.Time) {
+func (s *Server) finish(route string, cw *countingWriter, r *http.Request, start time.Time, rid string) {
 	status := cw.status
 	if !cw.wrote {
 		status = http.StatusOK // handler sent nothing; net/http will 200
@@ -88,15 +89,16 @@ func (s *Server) finish(route string, cw *countingWriter, r *http.Request, start
 	elapsed := time.Since(start)
 	s.metrics.recordRequest(route, status, elapsed, cw.bytes)
 	s.access.log(accessRecord{
-		Time:     start.UTC().Format(time.RFC3339Nano),
-		Method:   r.Method,
-		Path:     r.URL.Path,
-		Route:    route,
-		Status:   status,
-		Duration: elapsed.Round(time.Microsecond).String(),
-		BytesOut: cw.bytes,
-		BytesIn:  r.ContentLength,
-		Remote:   r.RemoteAddr,
+		Time:      start.UTC().Format(time.RFC3339Nano),
+		RequestID: rid,
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Route:     route,
+		Status:    status,
+		Duration:  elapsed.Round(time.Microsecond).String(),
+		BytesOut:  cw.bytes,
+		BytesIn:   r.ContentLength,
+		Remote:    r.RemoteAddr,
 	})
 }
 
@@ -153,15 +155,16 @@ func (s *Server) deadline(next http.Handler) http.Handler {
 
 // accessRecord is one structured access-log line.
 type accessRecord struct {
-	Time     string `json:"ts"`
-	Method   string `json:"method"`
-	Path     string `json:"path"`
-	Route    string `json:"route"`
-	Status   int    `json:"status"`
-	Duration string `json:"dur"`
-	BytesIn  int64  `json:"bytes_in"`
-	BytesOut int64  `json:"bytes_out"`
-	Remote   string `json:"remote,omitempty"`
+	Time      string `json:"ts"`
+	RequestID string `json:"request_id"`
+	Method    string `json:"method"`
+	Path      string `json:"path"`
+	Route     string `json:"route"`
+	Status    int    `json:"status"`
+	Duration  string `json:"dur"`
+	BytesIn   int64  `json:"bytes_in"`
+	BytesOut  int64  `json:"bytes_out"`
+	Remote    string `json:"remote,omitempty"`
 }
 
 // accessLogger serializes JSON lines to one writer.

@@ -28,6 +28,7 @@ import (
 
 	"positbench/internal/compress"
 	"positbench/internal/compress/all"
+	"positbench/internal/trace"
 )
 
 // Config tunes a Server. The zero value selects production defaults.
@@ -59,6 +60,11 @@ type Config struct {
 	// AccessLog receives one JSON line per request. Nil selects
 	// os.Stderr; use io.Discard to silence.
 	AccessLog io.Writer
+	// TraceCapacity sizes the ring buffer of recent request traces served
+	// by DebugTracesHandler. 0 selects trace.DefaultCapacity; negative
+	// disables tracing entirely (request spans are never created, leaving
+	// only a nil-check per pipeline stage).
+	TraceCapacity int
 }
 
 // Defaults for the zero Config.
@@ -77,6 +83,7 @@ type Server struct {
 	sem     chan struct{}
 	metrics *metrics
 	access  *accessLogger
+	tracer  *trace.Tracer // nil when tracing is disabled
 }
 
 // New validates cfg, fills defaults, and returns a ready Server.
@@ -112,6 +119,9 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		access:  &accessLogger{dst: cfg.AccessLog},
 	}
+	if cfg.TraceCapacity >= 0 {
+		s.tracer = trace.New(cfg.TraceCapacity)
+	}
 	for _, c := range cfg.Codecs {
 		if _, dup := s.codecs[c.Name()]; dup {
 			return nil, fmt.Errorf("server: duplicate codec %q", c.Name())
@@ -126,9 +136,11 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	api := func(route string, h http.HandlerFunc) http.Handler {
-		// Innermost to outermost: deadline, admission, then the
-		// accounting/log/recovery shell shared with the ops routes.
-		return s.shell(route, s.admit(s.deadline(h)))
+		// Innermost to outermost: deadline, admission, tracing, then the
+		// accounting/log/recovery shell shared with the ops routes. The
+		// root span sits outside admission so shed requests still leave a
+		// (tiny) trace, and inside the shell so the request ID exists.
+		return s.shell(route, s.traced(route, s.admit(s.deadline(h))))
 	}
 	mux.Handle("POST /v1/compress/{codec}", api("compress", s.handleCompress))
 	mux.Handle("POST /v1/decompress", api("decompress", s.handleDecompress))

@@ -1,0 +1,23 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key for span propagation.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sp. A nil span returns ctx unchanged, so
+// disabled tracing adds no context allocation on the request path.
+func NewContext(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil when tracing is off.
+// The nil return composes: every Span method no-ops on nil, so callers
+// never branch.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
