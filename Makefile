@@ -7,11 +7,18 @@
 #   make test-parallel  the parallel-engine test layer, race-enabled and
 #                    run twice (catches order-dependent scheduling bugs)
 #   make test-server the positd HTTP layer, race-enabled and run twice
+#   make test-gateway  the resilience + gateway layers, race-enabled and
+#                    run twice (includes the in-process chaos soak)
 #   make smoke-server  boot a real positd, curl a compress/decompress
 #                    roundtrip through it, diff byte-identity
 #   make soak-smoke  ~5 s positload run against a race-built positd:
 #                    zero 5xx / transport errors / roundtrip mismatches,
 #                    and the engine gauges drained afterwards
+#   make soak-gateway  chaos soak over real processes: positload through a
+#                    race-built positgw over 3 positd backends, one backend
+#                    kill -9'd and restarted mid-run; requires zero client
+#                    failures and exact status-class reconciliation between
+#                    the positload report and the gateway's /metrics
 #   make bench       serial-vs-parallel throughput; writes BENCH_compress.json
 #   make bench-smoke tiny-input benchmark pass under -race: catches data
 #                    races and crashes on the hot paths without waiting for
@@ -27,10 +34,12 @@ BENCH_OLD ?= results/BENCH_pre_pr4.json
 BENCH_NEW ?= BENCH_compress.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: all check vet build test race test-parallel test-server smoke-server soak-smoke bench bench-smoke bench-diff fuzz-smoke ci
+.PHONY: all check vet build test race test-parallel test-server test-gateway smoke-server soak-smoke soak-gateway bench bench-smoke bench-diff fuzz-smoke ci
 
 SOAK_DURATION ?= 5s
 SOAK_QPS ?= 80
+GW_SOAK_DURATION ?= 6s
+GW_SOAK_QPS ?= 40
 
 all: check
 
@@ -60,6 +69,12 @@ test-parallel:
 # through the parallel engine, so they inherit its scheduling sensitivity.
 test-server:
 	$(GO) test -race -count=2 ./internal/server/... ./cmd/positd/...
+
+# The resilience primitives and the gateway, twice under the race detector:
+# retries, hedging, breakers, and probing are all goroutine choreography,
+# so a second run with different schedules is the cheapest ordering fuzz.
+test-gateway:
+	$(GO) test -race -count=2 ./internal/resilience/... ./internal/gateway/...
 
 # End-to-end smoke over a real process and real sockets: boot positd on a
 # random port, push a body through compress then decompress with curl, and
@@ -105,6 +120,56 @@ soak-smoke:
 	kill -TERM $$pid; wait $$pid; \
 	echo "soak-smoke: clean run, gauges drained"
 
+# Chaos soak over real processes and real sockets: three positd backends
+# behind a race-built positgw, positload driving a verified workload
+# through the front while one backend is kill -9'd and later restarted on
+# its original address. positload must exit 0 (no 5xx, no transport
+# errors, no mismatches — the gateway masked the crash), and afterwards
+# the generator's status_* counts must equal the gateway's responses_*
+# counters exactly, with zero client aborts. positd is left unraced here
+# (soak-smoke already races it) so one CPU can feed the raced gateway.
+soak-gateway:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$gw $$b1 $$b2 $$b3 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -race -o $$tmp/positgw ./cmd/positgw; \
+	$(GO) build -o $$tmp/positd ./cmd/positd; \
+	$(GO) build -o $$tmp/positload ./cmd/positload; \
+	for i in 1 2 3; do \
+		$$tmp/positd -addr 127.0.0.1:0 -addr-file $$tmp/b$$i.addr >$$tmp/b$$i.log 2>&1 & eval b$$i=$$!; \
+	done; \
+	for i in 1 2 3; do \
+		for j in $$(seq 1 100); do [ -s $$tmp/b$$i.addr ] && break; sleep 0.1; done; \
+		[ -s $$tmp/b$$i.addr ] || { echo "backend $$i never wrote its address"; cat $$tmp/b$$i.log; exit 1; }; \
+	done; \
+	backends=$$(cat $$tmp/b1.addr),$$(cat $$tmp/b2.addr),$$(cat $$tmp/b3.addr); \
+	$$tmp/positgw -addr 127.0.0.1:0 -addr-file $$tmp/gw.addr -backends $$backends \
+		-breaker-threshold 2 -breaker-cooldown 100ms -probe-interval 50ms \
+		-fail-threshold 2 -rise-threshold 1 -hedge-after 1s -quiet >$$tmp/gw.log 2>&1 & gw=$$!; \
+	for j in $$(seq 1 100); do [ -s $$tmp/gw.addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/gw.addr ] || { echo "gateway never wrote its address"; cat $$tmp/gw.log; exit 1; }; \
+	gwaddr=$$(cat $$tmp/gw.addr); \
+	$$tmp/positload -addr-file $$tmp/gw.addr -duration $(GW_SOAK_DURATION) -grace 3s \
+		-qps $(GW_SOAK_QPS) -codecs gzip -values 4096 >$$tmp/report.json & ld=$$!; \
+	sleep 2; \
+	victim=$$(cat $$tmp/b2.addr); \
+	kill -9 $$b2; echo "soak-gateway: kill -9 backend 2 ($$victim)"; \
+	sleep 1; \
+	$$tmp/positd -addr $$victim -addr-file $$tmp/b2.addr >>$$tmp/b2.log 2>&1 & b2=$$!; \
+	echo "soak-gateway: restarted backend 2 on $$victim"; \
+	wait $$ld || { echo "positload FAILED"; cat $$tmp/report.json; tail -20 $$tmp/gw.log; exit 1; }; \
+	curl -sSf "http://$$gwaddr/metrics" >$$tmp/gw-metrics.json; \
+	for cls in 2xx 4xx 429 5xx; do \
+		want=$$(grep -o "\"status_$$cls\": *[0-9]*" $$tmp/report.json | grep -o '[0-9]*$$'); \
+		got=$$(grep -o "\"responses_$$cls\": *[0-9]*" $$tmp/gw-metrics.json | grep -o '[0-9]*$$'); \
+		[ "$$got" = "$$want" ] || { echo "responses_$$cls: gateway counted $$got, positload received $$want"; exit 1; }; \
+	done; \
+	grep -q '"responses_499": 0' $$tmp/gw-metrics.json || { echo "gateway recorded client aborts"; exit 1; }; \
+	grep -q '"aborted_mid_stream": 0' $$tmp/gw-metrics.json || { echo "gateway aborted relays mid-stream"; exit 1; }; \
+	retries=$$(grep -o '"retries_total": *[0-9]*' $$tmp/gw-metrics.json | grep -o '[0-9]*$$'); \
+	kill -TERM $$gw; wait $$gw; \
+	kill -TERM $$b1 $$b2 $$b3; wait $$b1 $$b2 $$b3; \
+	echo "soak-gateway: crash masked, counters reconciled exactly (retries=$$retries)"
+
 # Throughput benchmarks, recorded to BENCH_compress.json so serial-vs-
 # parallel speedups are diffable across commits. Three repetitions, best
 # observed per metric recorded (see recordBench): on a shared runner a
@@ -139,4 +204,4 @@ fuzz-smoke:
 		done; \
 	done
 
-ci: check race test-parallel test-server smoke-server soak-smoke bench-smoke fuzz-smoke
+ci: check race test-parallel test-server test-gateway smoke-server soak-smoke soak-gateway bench-smoke fuzz-smoke

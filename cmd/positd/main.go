@@ -7,8 +7,8 @@
 // Usage:
 //
 //	positd [-addr :8080] [-max-body N] [-max-out N] [-inflight N]
-//	       [-timeout D] [-chunk N] [-workers N] [-drain D] [-addr-file PATH]
-//	       [-pprof ADDR] [-traces N]
+//	       [-timeout D] [-chunk N] [-workers N] [-drain D] [-drain-grace D]
+//	       [-addr-file PATH] [-pprof ADDR] [-traces N]
 //
 // -pprof exposes net/http/pprof and GET /debug/traces (the recent-request
 // trace ring) on its own listener, never on the serving mux: profiling and
@@ -54,17 +54,18 @@ func writeAddrFile(path, addr string) error {
 func run(args []string) int {
 	fs := flag.NewFlagSet("positd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		addrFile = fs.String("addr-file", "", "write the bound listen address to this file once serving (for scripts)")
-		maxBody  = fs.Int64("max-body", server.DefaultMaxBodyBytes, "hard cap on any request body, bytes")
-		maxOut   = fs.Int64("max-out", 0, "cap on decoded bytes per chunk; 0 selects the compress package default")
-		inflight = fs.Int("inflight", server.DefaultMaxInflight, "max concurrently served API requests; excess load is shed with 429")
-		timeout  = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline; <0 disables")
-		chunk    = fs.Int("chunk", 0, "streaming chunk size, bytes; 0 selects the compress package default")
-		workers  = fs.Int("workers", 0, "worker pool size per request; 0 selects GOMAXPROCS")
-		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
-		pprofAt  = fs.String("pprof", "", "expose net/http/pprof and /debug/traces on this separate address (empty disables; keep it on loopback)")
-		traces   = fs.Int("traces", 0, "request-trace ring size; 0 selects the default, <0 disables tracing")
+		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile   = fs.String("addr-file", "", "write the bound listen address to this file once serving (for scripts)")
+		maxBody    = fs.Int64("max-body", server.DefaultMaxBodyBytes, "hard cap on any request body, bytes")
+		maxOut     = fs.Int64("max-out", 0, "cap on decoded bytes per chunk; 0 selects the compress package default")
+		inflight   = fs.Int("inflight", server.DefaultMaxInflight, "max concurrently served API requests; excess load is shed with 429")
+		timeout    = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline; <0 disables")
+		chunk      = fs.Int("chunk", 0, "streaming chunk size, bytes; 0 selects the compress package default")
+		workers    = fs.Int("workers", 0, "worker pool size per request; 0 selects GOMAXPROCS")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
+		drainGrace = fs.Duration("drain-grace", 0, "pause between flipping /readyz unready and closing the listener, so balancers stop routing here first")
+		pprofAt    = fs.String("pprof", "", "expose net/http/pprof and /debug/traces on this separate address (empty disables; keep it on loopback)")
+		traces     = fs.Int("traces", 0, "request-trace ring size; 0 selects the default, <0 disables tracing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +84,9 @@ func run(args []string) int {
 		log.Printf("positd: %v", err)
 		return 1
 	}
+	// Unready until the listener is actually accepting: a router probing
+	// /readyz during startup must not route here yet.
+	srv.SetReady(false)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -137,6 +141,7 @@ func run(args []string) int {
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+	srv.SetReady(true)
 	log.Printf("positd: serving on %s", bound)
 
 	stop := make(chan os.Signal, 1)
@@ -144,7 +149,14 @@ func run(args []string) int {
 
 	select {
 	case sig := <-stop:
-		log.Printf("positd: %v: draining for up to %v", sig, *drain)
+		// Drain ordering: flip /readyz first and keep the listener open for
+		// -drain-grace, so health checkers observe unready and eject this
+		// backend before connections start being refused; then drain.
+		log.Printf("positd: %v: flipping /readyz, draining for up to %v", sig, *drain)
+		srv.SetReady(false)
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

@@ -105,6 +105,63 @@ func TestRunPprofListener(t *testing.T) {
 	}
 }
 
+// TestRunDrainGraceFlipsReadyz pins the drain ordering: after SIGTERM the
+// daemon answers 503 on /readyz (and still 200 on /healthz) while the
+// listener stays open for -drain-grace, then exits clean.
+func TestRunDrainGraceFlipsReadyz(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	exitC := make(chan int, 1)
+	go func() {
+		exitC <- run([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-drain", "5s", "-drain-grace", "700ms"})
+	}()
+	addr := waitForAddr(t, addrFile)
+	base := "http://" + addr
+
+	status := func(path string) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return -1
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", got)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Within the grace window the listener must still answer — unready on
+	// /readyz, alive on /healthz.
+	deadline := time.Now().Add(600 * time.Millisecond)
+	flipped := false
+	for time.Now().Before(deadline) {
+		if status("/readyz") == http.StatusServiceUnavailable {
+			flipped = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !flipped {
+		t.Fatal("readyz never flipped to 503 during the drain grace")
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz during drain grace = %d, want 200 (liveness must not flip)", got)
+	}
+	select {
+	case code := <-exitC:
+		if code != 0 {
+			t.Fatalf("run exited %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after the drain grace")
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if code := run([]string{"-addr"}); code != 2 {
 		t.Fatalf("bad flags exited %d, want 2", code)

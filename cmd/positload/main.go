@@ -7,10 +7,16 @@
 //
 // Usage:
 //
-//	positload -url http://127.0.0.1:8080 [-qps N] [-duration D]
+//	positload -url http://127.0.0.1:8080 [-qps N] [-duration D] [-grace D]
 //	          [-inflight N] [-codecs a,b] [-convert-every N]
-//	          [-values N] [-seed N]
+//	          [-values N] [-seed N] [-retry-429 N]
 //	positload -addr-file PATH ...   # read the target from a positd addr file
+//
+// -grace lets operations already in flight at the end of -duration finish
+// instead of being cut off, which a soak needs when it reconciles this
+// report's status counts exactly against a server's /metrics. -retry-429
+// re-sends shed requests that carry a Retry-After header, honoring the
+// advertised delay; retries are reported under retried_429.
 //
 // Exit status is 0 when the run saw no server errors, transport errors, or
 // roundtrip mismatches; 1 otherwise (shed load — 429s and dropped ticks —
@@ -41,6 +47,8 @@ func run(args []string) int {
 		addrFile = fs.String("addr-file", "", "read the target address from this positd -addr-file instead of -url")
 		qps      = fs.Float64("qps", 50, "target operation start rate (open loop)")
 		duration = fs.Duration("duration", 5*time.Second, "run length")
+		grace    = fs.Duration("grace", 0, "extra time for in-flight operations to finish after the last tick")
+		retry429 = fs.Int("retry-429", 0, "max re-sends per operation after a 429 with Retry-After; 0 selects the default, <0 disables")
 		inflight = fs.Int("inflight", 16, "max concurrently running operations; excess ticks are dropped")
 		codecs   = fs.String("codecs", "gzip,bzip2", "comma-separated codec mix for compress/decompress traffic")
 		convert  = fs.Int("convert-every", 4, "mix one /v1/convert op per N codec ops; <0 disables")
@@ -72,6 +80,8 @@ func run(args []string) int {
 		BaseURL:      strings.TrimRight(base, "/"),
 		QPS:          *qps,
 		Duration:     *duration,
+		Grace:        *grace,
+		Retry429:     *retry429,
 		MaxInflight:  *inflight,
 		Codecs:       strings.Split(*codecs, ","),
 		ConvertEvery: *convert,

@@ -126,6 +126,8 @@ func TestParallelReaderChunkAllocs(t *testing.T) {
 				t.Fatal(err)
 			}
 			noGC(t)
+			// workers=1 routes through the serial fallback, so this doubles
+			// as the bench-smoke for that path staying allocation-free.
 			r := compress.NewParallelReader(tc.codec, bytes.NewReader(stream.Bytes()), 1)
 			defer r.Close()
 			buf := make([]byte, allocChunk)

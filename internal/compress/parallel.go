@@ -330,6 +330,12 @@ type ParallelReader struct {
 	cur      *prSlot // slot whose out buffer buf aliases; recycled when drained
 	slotPool sync.Pool
 	err      error
+
+	// serial, when non-nil, replaces the whole pool: with one worker the
+	// pipeline cannot overlap anything, so construction falls back to the
+	// buffer-reusing serial Reader and every method delegates to it. See
+	// NewParallelReaderContext.
+	serial *Reader
 }
 
 // NewParallelReader returns a parallel streaming decompressor over src with
@@ -354,6 +360,17 @@ func NewParallelReaderLimits(codec Codec, src io.Reader, lim DecodeLimits, worke
 func NewParallelReaderContext(ctx context.Context, codec Codec, src io.Reader, lim DecodeLimits, workers int) *ParallelReader {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		// One worker cannot overlap fetch with decode: the pool shape only
+		// adds channel hops, goroutine switches, and per-chunk buffer
+		// copies over the serial path. On a 1-CPU host (GOMAXPROCS=1) that
+		// overhead is a measured regression, so delegate to the serial
+		// Reader, which reuses its buffers across chunks. Error taxonomy
+		// and limits are identical — both paths share readFrameInto.
+		sr := NewReaderLimits(codec, src, lim)
+		sr.SetSpan(trace.FromContext(ctx))
+		return &ParallelReader{ctx: ctx, serial: sr}
 	}
 	r := &ParallelReader{
 		ctx:      ctx,
@@ -554,6 +571,20 @@ func (r *ParallelReader) Read(p []byte) (int, error) {
 	if r.err != nil {
 		return 0, r.err
 	}
+	if r.serial != nil {
+		// Single-worker fallback. The pool path surfaces cancellation and
+		// keeps the first error sticky; mirror both so callers cannot tell
+		// the modes apart.
+		if err := r.ctx.Err(); err != nil {
+			r.err = err
+			return 0, r.err
+		}
+		n, err := r.serial.Read(p)
+		if err != nil {
+			r.err = err
+		}
+		return n, err
+	}
 	for len(r.buf) == 0 {
 		if r.cur != nil {
 			// The previous chunk is fully drained; its buffers go back to
@@ -603,6 +634,9 @@ func (r *ParallelReader) shutdown() {
 func (r *ParallelReader) Close() error {
 	if r.err == nil {
 		r.err = fmt.Errorf("compress: read after Close")
+	}
+	if r.serial != nil {
+		return nil
 	}
 	r.shutdown()
 	return nil

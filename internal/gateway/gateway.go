@@ -1,0 +1,413 @@
+// Package gateway implements positgw: a resilient reverse proxy that
+// shards requests across a fleet of positd backends.
+//
+// Requests are routed by consistent hashing — an explicit X-Shard-Key
+// header when the client has an affinity key, the request-body fingerprint
+// otherwise — so the same payload keeps hitting the same backend while it
+// is healthy. Around that placement sits a resilience layer built from
+// positbench/internal/resilience:
+//
+//   - per-try timeouts with capped-exponential-backoff retries across the
+//     ring's failover sequence,
+//   - idempotency-aware retry policy: only requests whose bodies were fully
+//     buffered (<= MaxBufferBytes) are retried or hedged; half-streamed
+//     uploads are never replayed,
+//   - latency-triggered hedging: a stalled try launches a second one on the
+//     next backend, first success wins, the loser is cancelled,
+//   - a circuit breaker per backend with half-open probing, plus fail-static
+//     override when every backend looks broken,
+//   - active health checking of each backend's /readyz with ejection and
+//     rise-threshold recovery.
+//
+// Mid-stream upstream failures past the point where the client saw a 200
+// abort the connection (http.ErrAbortHandler) rather than truncating
+// silently: a partial body must never parse as a complete one, even though
+// the container CRC would catch it one layer down.
+package gateway
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"positbench/internal/resilience"
+	"positbench/internal/trace"
+)
+
+// Config tunes a Gateway. The zero value of every field selects a
+// production default; Backends is required.
+type Config struct {
+	// Backends are the positd base URLs (e.g. "http://127.0.0.1:9011").
+	// A bare host:port gets "http://" prepended.
+	Backends []string
+	// Replicas is the virtual-point count per backend on the hash ring.
+	Replicas int
+	// MaxBufferBytes caps request- and response-body buffering. Bodies at
+	// or under the cap make the request retry- and hedge-safe; larger ones
+	// are streamed through exactly once. 0 selects DefaultMaxBufferBytes.
+	MaxBufferBytes int64
+	// MaxTries bounds how many backends one request may be sent to.
+	// 0 selects min(DefaultMaxTries, len(Backends)).
+	MaxTries int
+	// PerTryTimeout bounds each individual try. 0 selects
+	// DefaultPerTryTimeout; negative disables.
+	PerTryTimeout time.Duration
+	// HedgeAfter launches a hedge try when the current one has not resolved
+	// in time. 0 selects DefaultHedgeAfter; negative disables hedging.
+	HedgeAfter time.Duration
+	// Backoff shapes the delay before failure-triggered retries.
+	Backoff resilience.Backoff
+	// BreakerThreshold and BreakerCooldown configure each backend's circuit
+	// breaker (consecutive failures to open; time open before a half-open
+	// probe). 0 selects the resilience defaults.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProbeInterval is the active health-check period. 0 selects
+	// DefaultProbeInterval; negative disables active probing.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request. 0 selects DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// ProbePath is the backend readiness endpoint. "" selects "/readyz".
+	ProbePath string
+	// FailThreshold ejects a backend after this many consecutive probe
+	// failures; RiseThreshold recovers it after this many consecutive
+	// successes. 0 selects the defaults (3 and 2).
+	FailThreshold int
+	RiseThreshold int
+	// Clock drives retries, hedging, breakers, and probe scheduling. Nil
+	// selects the system clock; tests inject resilience.FakeClock.
+	Clock resilience.Clock
+	// Transport performs the upstream requests. Nil selects a dedicated
+	// transport with sane connection pooling.
+	Transport http.RoundTripper
+	// AccessLog receives one JSON line per proxied request. Nil selects
+	// os.Stderr; io.Discard silences.
+	AccessLog io.Writer
+	// TraceCapacity sizes the ring of recent gateway traces. 0 selects
+	// trace.DefaultCapacity; negative disables tracing.
+	TraceCapacity int
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxBufferBytes = int64(8) << 20 // 8 MiB
+	DefaultMaxTries       = 3
+	DefaultPerTryTimeout  = 30 * time.Second
+	DefaultHedgeAfter     = 250 * time.Millisecond
+	DefaultProbeInterval  = time.Second
+	DefaultProbeTimeout   = 2 * time.Second
+	DefaultFailThreshold  = 3
+	DefaultRiseThreshold  = 2
+)
+
+// Gateway is the positgw request handler. Create with New, mount via
+// Handler, start active health checking with StartProbes.
+type Gateway struct {
+	cfg      Config
+	backends []*backend
+	ring     *ring
+	clock    resilience.Clock
+	client   *http.Client
+	metrics  *gwMetrics
+	access   *accessLogger
+	tracer   *trace.Tracer // nil when tracing is disabled
+	draining atomic.Bool
+}
+
+// New validates cfg, fills defaults, and returns a ready Gateway.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends configured")
+	}
+	if cfg.MaxBufferBytes <= 0 {
+		cfg.MaxBufferBytes = DefaultMaxBufferBytes
+	}
+	if cfg.MaxTries <= 0 {
+		cfg.MaxTries = DefaultMaxTries
+	}
+	if cfg.MaxTries > len(cfg.Backends) {
+		cfg.MaxTries = len(cfg.Backends)
+	}
+	if cfg.PerTryTimeout == 0 {
+		cfg.PerTryTimeout = DefaultPerTryTimeout
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = DefaultHedgeAfter
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.ProbePath == "" {
+		cfg.ProbePath = "/readyz"
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	if cfg.RiseThreshold <= 0 {
+		cfg.RiseThreshold = DefaultRiseThreshold
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = resilience.System
+	}
+	if cfg.AccessLog == nil {
+		cfg.AccessLog = os.Stderr
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	g := &Gateway{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		client: &http.Client{
+			Transport: transport,
+			// Relay 3xx verbatim; following them would hide the backend's
+			// answer from the client.
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		},
+		metrics: newGWMetrics(),
+		access:  &accessLogger{dst: cfg.AccessLog},
+	}
+	if cfg.TraceCapacity >= 0 {
+		g.tracer = trace.New(cfg.TraceCapacity)
+	}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Backends {
+		u, err := parseBackendURL(raw)
+		if err != nil {
+			return nil, err
+		}
+		if seen[u.Host] {
+			return nil, fmt.Errorf("gateway: duplicate backend %q", u.Host)
+		}
+		seen[u.Host] = true
+		b := &backend{
+			url:     u,
+			name:    u.Host,
+			breaker: resilience.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		}
+		b.ready.Store(true)
+		g.backends = append(g.backends, b)
+	}
+	g.ring = newRing(len(g.backends), cfg.Replicas)
+	return g, nil
+}
+
+// parseBackendURL normalizes one backend address to a scheme+host URL.
+func parseBackendURL(raw string) (*url.URL, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("gateway: empty backend address")
+	}
+	withScheme := raw
+	if !hasScheme(raw) {
+		withScheme = "http://" + raw
+	}
+	u, err := url.Parse(withScheme)
+	if err != nil || u.Host == "" {
+		return nil, fmt.Errorf("gateway: bad backend address %q", raw)
+	}
+	return &url.URL{Scheme: u.Scheme, Host: u.Host}, nil
+}
+
+func hasScheme(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == ':':
+			return i+2 < len(s) && s[i+1] == '/' && s[i+2] == '/'
+		case s[i] == '/' || s[i] == '.':
+			return false
+		}
+	}
+	return false
+}
+
+// SetDraining flips the gateway's own /readyz: true answers 503 so an
+// upstream balancer stops sending new work before Shutdown closes the
+// listener. Proxying continues while draining.
+func (g *Gateway) SetDraining(v bool) { g.draining.Store(v) }
+
+// Backends reports the configured backend names (host:port), ring order.
+func (g *Gateway) Backends() []string {
+	names := make([]string, len(g.backends))
+	for i, b := range g.backends {
+		names[i] = b.name
+	}
+	return names
+}
+
+// Tracer exposes the gateway's trace ring (nil when disabled); positgw
+// mounts trace.Handler-style debug output off it.
+func (g *Gateway) Tracer() *trace.Tracer { return g.tracer }
+
+// Handler returns the gateway mux: ops endpoints plus the catch-all proxy.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", g.shell("healthz", http.HandlerFunc(g.handleHealthz)))
+	mux.Handle("GET /readyz", g.shell("readyz", http.HandlerFunc(g.handleReadyz)))
+	mux.Handle("GET /metrics", g.shell("metrics", http.HandlerFunc(g.handleMetrics)))
+	mux.Handle("/", g.shell("proxy", http.HandlerFunc(g.handleProxy)))
+	return mux
+}
+
+// shell is the outermost middleware on every route: panic recovery, the
+// access log, and — on the proxy route only — the exact per-class response
+// accounting the soak harness reconciles against the load generator.
+func (g *Gateway) shell(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &countingWriter{ResponseWriter: w}
+		rid := ensureRequestID(cw, r)
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					g.finish(route, cw, r, start, rid, true)
+					panic(p)
+				}
+				if !cw.wrote {
+					writeError(cw, http.StatusInternalServerError, "panic", "internal error")
+				}
+			}
+			g.finish(route, cw, r, start, rid, false)
+		}()
+		next.ServeHTTP(cw, r)
+	})
+}
+
+func (g *Gateway) finish(route string, cw *countingWriter, r *http.Request, start time.Time, rid string, aborted bool) {
+	status := cw.status
+	if !cw.wrote {
+		status = http.StatusOK
+	}
+	if route == "proxy" {
+		if aborted {
+			// The client never got a complete response; counting a class
+			// would double-book against the load generator's error count.
+			g.metrics.abortedMidStream.Add(1)
+		} else {
+			g.metrics.countResponse(status)
+		}
+	}
+	g.access.log(accessRecord{
+		Time:      start.UTC().Format(time.RFC3339Nano),
+		RequestID: rid,
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Route:     route,
+		Status:    status,
+		Duration:  time.Since(start).Round(time.Microsecond).String(),
+		BytesOut:  cw.bytes,
+		BytesIn:   r.ContentLength,
+		Remote:    r.RemoteAddr,
+		Aborted:   aborted,
+	})
+}
+
+// handleHealthz is gateway liveness: alive as long as the process serves.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"backends": len(g.backends),
+	})
+}
+
+// handleReadyz is gateway readiness: 503 while draining or when no backend
+// is available to take traffic.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := 0
+	for _, b := range g.backends {
+		if b.Ready() {
+			ready++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	status := http.StatusOK
+	state := "ready"
+	switch {
+	case g.draining.Load():
+		status, state = http.StatusServiceUnavailable, "draining"
+	case ready == 0:
+		status, state = http.StatusServiceUnavailable, "no_ready_backends"
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         state,
+		"ready_backends": ready,
+		"backends":       len(g.backends),
+	})
+}
+
+// ensureRequestID propagates or mints the request ID and echoes it.
+func ensureRequestID(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > 128 {
+		var raw [8]byte
+		rand.Read(raw[:])
+		id = hex.EncodeToString(raw[:])
+		r.Header.Set("X-Request-ID", id) // forwarded upstream as-is
+	}
+	w.Header().Set("X-Request-ID", id)
+	return id
+}
+
+// countingWriter records status and body bytes for the access log and the
+// response-class counters, and exposes whether the status line is on the
+// wire (the abort path needs to know).
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (c *countingWriter) WriteHeader(status int) {
+	if !c.wrote {
+		c.wrote = true
+		c.status = status
+		c.ResponseWriter.WriteHeader(status)
+	}
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if !c.wrote {
+		c.wrote = true
+		c.status = http.StatusOK
+	}
+	n, err := c.ResponseWriter.Write(p)
+	c.bytes += int64(n)
+	return n, err
+}
+
+func (c *countingWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (c *countingWriter) Unwrap() http.ResponseWriter { return c.ResponseWriter }
+
+// writeError emits the same JSON error shape positd uses, so clients see
+// one error contract whether the gateway or the backend answered.
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	blob, _ := json.Marshal(struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}{Error: msg, Kind: kind})
+	w.Write(append(blob, '\n'))
+}

@@ -1,0 +1,117 @@
+package gateway
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"positbench/internal/resilience"
+)
+
+// A stalled shard owner is hedged after HedgeAfter on the fake clock: the
+// hedge try wins on the next backend, the stalled try is cancelled, and
+// the client sees one clean 200. No sleeps — the only time source is the
+// injected clock.
+func TestProxyHedgeStalledBackend(t *testing.T) {
+	fc := resilience.NewFakeClock(time.Time{})
+	started := make(chan struct{})
+	cancelled := make(chan struct{})
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Consume the body so the server's background read can observe the
+		// gateway hanging up (an unread body defers close detection).
+		io.Copy(io.Discard, r.Body)
+		close(started)
+		<-r.Context().Done() // hold the request until the gateway gives up on us
+		close(cancelled)
+	}))
+	defer stall.Close()
+	quick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hedged")
+	}))
+	defer quick.Close()
+
+	g, front := newTestGateway(t, []string{stall.URL, quick.URL}, func(cfg *Config) {
+		cfg.Clock = fc
+		cfg.HedgeAfter = 100 * time.Millisecond
+		cfg.PerTryTimeout = -1 // isolate the hedge timer as the only waiter
+	})
+
+	key := keyOwnedBy(t, g, 0)
+	respCh := make(chan *http.Response, 1)
+	go func() {
+		respCh <- postShard(t, front.URL+"/v1/x", key, "payload")
+	}()
+
+	<-started        // the shard owner holds the first try
+	fc.BlockUntil(1) // the hedge timer is armed
+	fc.Advance(100 * time.Millisecond)
+
+	resp := <-respCh
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "hedged" {
+		t.Fatalf("got %d %q, want 200 from the hedge", resp.StatusCode, body)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled try was never cancelled after the hedge won")
+	}
+	snap := g.snapshot()
+	if snap.HedgesLaunched != 1 || snap.HedgeWins != 1 {
+		t.Fatalf("snapshot = %+v, want one winning hedge", snap)
+	}
+	if snap.RetriesTotal != 0 {
+		t.Fatalf("retries_total = %d; the hedge must not count as a retry", snap.RetriesTotal)
+	}
+	if snap.Responses2xx != 1 {
+		t.Fatalf("responses_2xx = %d, want exactly 1", snap.Responses2xx)
+	}
+}
+
+// The per-try watchdog fails a try that never answers, and the retry path
+// recovers — driven entirely by the fake clock.
+func TestProxyPerTryTimeout(t *testing.T) {
+	fc := resilience.NewFakeClock(time.Time{})
+	started := make(chan struct{})
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		close(started)
+		<-r.Context().Done()
+	}))
+	defer stall.Close()
+	quick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer quick.Close()
+
+	g, front := newTestGateway(t, []string{stall.URL, quick.URL}, func(cfg *Config) {
+		cfg.Clock = fc
+		cfg.PerTryTimeout = time.Second
+		cfg.HedgeAfter = -1 // retries only; the watchdog is the only waiter
+		cfg.Backoff = resilience.Backoff{Base: time.Nanosecond, Max: time.Nanosecond, NoJitter: true}
+	})
+
+	key := keyOwnedBy(t, g, 0)
+	respCh := make(chan *http.Response, 1)
+	go func() {
+		respCh <- postShard(t, front.URL+"/v1/x", key, "payload")
+	}()
+
+	<-started
+	fc.BlockUntil(1) // the first try's watchdog
+	fc.Advance(time.Second)
+	fc.BlockUntil(1) // the backoff timer before the retry
+	fc.Advance(time.Nanosecond)
+
+	resp := <-respCh
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after the timed-out try failed over", resp.StatusCode)
+	}
+	if snap := g.snapshot(); snap.RetriesTotal != 1 {
+		t.Fatalf("retries_total = %d, want 1", snap.RetriesTotal)
+	}
+}

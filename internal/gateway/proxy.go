@@ -1,0 +1,343 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"positbench/internal/resilience"
+	"positbench/internal/trace"
+)
+
+// errNoBackend means every eligible backend was already tried.
+var errNoBackend = errors.New("gateway: no backend available")
+
+// upstream is one try's successful outcome: the response, body-buffered up
+// to the cap, plus the remaining stream and its release when it overflowed.
+type upstream struct {
+	status  int
+	header  http.Header
+	body    []byte
+	rest    io.ReadCloser // non-nil when the body exceeded the buffer cap
+	release func()        // ends the try's context; call once done with rest
+	backend *backend
+}
+
+// dispose tears down a result that lost the race or finished relaying.
+func (u *upstream) dispose() {
+	if u.rest != nil {
+		u.rest.Close()
+	}
+	if u.release != nil {
+		u.release()
+	}
+}
+
+// handleProxy is the catch-all data-plane route: shard, try, retry, hedge,
+// relay.
+func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
+	var sp *trace.Span
+	if g.tracer != nil {
+		sp = g.tracer.Start("proxy", r.Header.Get("X-Request-ID"))
+		sp.Annotate("path", r.URL.Path)
+		defer sp.End()
+	}
+
+	body, overflowed, err := readUpTo(r.Body, g.cfg.MaxBufferBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "body_read", err.Error())
+		return
+	}
+	key := shardKey(r, body)
+	st := newTryState(g.ring.sequence(key), len(g.backends))
+	sp.Annotate("shard_key", strconv.FormatUint(key, 16))
+
+	if overflowed {
+		// The body cannot be replayed: stream it through exactly once, no
+		// retries, no hedging. Half-streamed POSTs must never be resent.
+		g.metrics.bodiesStreamed.Add(1)
+		sp.Annotate("mode", "streamed")
+		g.proxyStreaming(w, r, body, st, sp)
+		return
+	}
+	g.proxyBuffered(w, r, body, st, sp)
+}
+
+// proxyBuffered runs the full resilience plan over a replayable request.
+func (g *Gateway) proxyBuffered(w http.ResponseWriter, r *http.Request, body []byte, st *tryState, sp *trace.Span) {
+	hedge := g.cfg.HedgeAfter
+	if hedge < 0 {
+		hedge = 0
+	}
+	plan := resilience.Plan[*upstream]{
+		Clock:      g.clock,
+		HedgeAfter: hedge,
+		Delay:      func(i int) time.Duration { return g.cfg.Backoff.Delay(i - 1) },
+		Dispose:    func(u *upstream) { u.dispose() },
+	}
+	arms := make([]func(ctx context.Context) (*upstream, error), 0, g.cfg.MaxTries)
+	for i := 0; i < g.cfg.MaxTries; i++ {
+		arms = append(arms, func(ctx context.Context) (*upstream, error) {
+			return g.tryBuffered(ctx, r, body, st)
+		})
+	}
+	u, stats, err := plan.Do(r.Context(), arms)
+
+	if retries := int64(stats.Launched) - 1 - int64(stats.Hedges); retries > 0 {
+		g.metrics.retriesTotal.Add(retries)
+	}
+	g.metrics.hedgesLaunched.Add(int64(stats.Hedges))
+	if stats.HedgeWon {
+		g.metrics.hedgeWins.Add(1)
+	}
+	sp.Annotate("tries", strconv.Itoa(stats.Launched))
+	if stats.Hedges > 0 {
+		sp.Annotate("hedges", strconv.Itoa(stats.Hedges))
+	}
+
+	if err != nil {
+		if r.Context().Err() != nil {
+			sp.Annotate("outcome", "client_gone")
+			writeError(w, statusClientClosedRequest, "client_closed_request",
+				"client went away before a backend answered")
+			return
+		}
+		// Forward the last retryable upstream answer (a 429 with its
+		// Retry-After, or a 5xx) so the client reacts to the backend's own
+		// signal; fall back to a synthetic 502 when no backend answered.
+		if status, hdr, blob := st.lastFail(); status != 0 {
+			sp.Annotate("outcome", "exhausted_"+strconv.Itoa(status))
+			copyRelayHeaders(w.Header(), hdr)
+			w.WriteHeader(status)
+			w.Write(blob)
+			return
+		}
+		sp.Annotate("outcome", "no_backend")
+		g.metrics.noBackend.Add(1)
+		writeError(w, http.StatusBadGateway, "no_backend", err.Error())
+		return
+	}
+
+	sp.Annotate("backend", u.backend.name)
+	sp.SetBytes(int64(len(body)), int64(len(u.body)))
+	g.relay(w, u)
+}
+
+// proxyStreaming forwards an unbuffered (over-cap) request body in a
+// single try.
+func (g *Gateway) proxyStreaming(w http.ResponseWriter, r *http.Request, prefix []byte, st *tryState, sp *trace.Span) {
+	b, forced := g.claim(st)
+	if b == nil {
+		g.metrics.noBackend.Add(1)
+		writeError(w, http.StatusBadGateway, "no_backend", errNoBackend.Error())
+		return
+	}
+	b.requests.Add(1)
+	if forced {
+		g.metrics.forcedTries.Add(1)
+	}
+	sp.Annotate("backend", b.name)
+	req := g.upstreamRequest(r.Context(), r, b, io.MultiReader(bytes.NewReader(prefix), r.Body), r.ContentLength)
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.breaker.Record(false)
+		b.failures.Add(1)
+		writeError(w, http.StatusBadGateway, "upstream_failure", err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	b.breaker.Record(resp.StatusCode < 500)
+	if resp.StatusCode >= 500 {
+		b.failures.Add(1)
+	}
+	copyRelayHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line is on the wire: kill the connection rather than
+		// let a truncated body masquerade as a complete response.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// tryBuffered sends one try of a replayable request to the next backend in
+// the preference order. Retryable outcomes (transport error, per-try
+// timeout, 429, 5xx) return an error; everything else — including
+// deterministic 4xx client errors — is a result to relay.
+func (g *Gateway) tryBuffered(ctx context.Context, r *http.Request, body []byte, st *tryState) (*upstream, error) {
+	b, forced := g.claim(st)
+	if b == nil {
+		return nil, errNoBackend
+	}
+	b.requests.Add(1)
+	if forced {
+		g.metrics.forcedTries.Add(1)
+	}
+
+	tctx, tcancel := context.WithCancel(ctx)
+	var settleOnce sync.Once
+	settled := make(chan struct{})
+	settle := func() { settleOnce.Do(func() { close(settled) }) }
+	var timedOut atomic.Bool
+	if g.cfg.PerTryTimeout > 0 {
+		go func() {
+			select {
+			case <-g.clock.After(g.cfg.PerTryTimeout):
+				timedOut.Store(true)
+				tcancel()
+			case <-settled:
+			}
+		}()
+	}
+	fail := func(err error) (*upstream, error) {
+		settle()
+		tcancel()
+		b.breaker.Record(false)
+		b.failures.Add(1)
+		if timedOut.Load() {
+			err = fmt.Errorf("gateway: per-try timeout on %s: %w", b.name, err)
+		}
+		return nil, err
+	}
+
+	req := g.upstreamRequest(tctx, r, b, bytes.NewReader(body), int64(len(body)))
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<10))
+		resp.Body.Close()
+		st.saveFail(resp.StatusCode, resp.Header, blob)
+		settle()
+		tcancel()
+		// A 429 is a healthy backend shedding load, not a failure the
+		// breaker should count; a 5xx is.
+		saturated := resp.StatusCode == http.StatusTooManyRequests
+		b.breaker.Record(saturated)
+		if !saturated {
+			b.failures.Add(1)
+		}
+		return nil, fmt.Errorf("gateway: backend %s answered %d", b.name, resp.StatusCode)
+	}
+
+	buf, overflowed, err := readUpTo(resp.Body, g.cfg.MaxBufferBytes)
+	if err != nil {
+		// The backend died mid-body before the client saw anything: fully
+		// retryable, the next try replays the request elsewhere.
+		resp.Body.Close()
+		return fail(fmt.Errorf("gateway: reading %s response: %w", b.name, err))
+	}
+	b.breaker.Record(true)
+	u := &upstream{status: resp.StatusCode, header: resp.Header, body: buf, backend: b}
+	if overflowed {
+		// Stop the per-try watchdog and hand the live stream to the relay;
+		// the try context stays open until release.
+		settle()
+		u.rest = resp.Body
+		u.release = tcancel
+	} else {
+		resp.Body.Close()
+		settle()
+		tcancel()
+	}
+	return u, nil
+}
+
+// relay writes a winning upstream result to the client, streaming any
+// over-cap remainder and aborting the connection on a mid-stream failure.
+func (g *Gateway) relay(w http.ResponseWriter, u *upstream) {
+	copyRelayHeaders(w.Header(), u.header)
+	w.WriteHeader(u.status)
+	w.Write(u.body)
+	if u.rest != nil {
+		if _, err := io.Copy(w, u.rest); err != nil {
+			u.dispose()
+			panic(http.ErrAbortHandler)
+		}
+	}
+	u.dispose()
+}
+
+// shardKey picks the routing hash: an explicit X-Shard-Key wins, then the
+// body fingerprint, then the path (for bodyless requests).
+func shardKey(r *http.Request, body []byte) uint64 {
+	if k := r.Header.Get("X-Shard-Key"); k != "" {
+		return hashString(k)
+	}
+	if len(body) > 0 {
+		return hashBytes(body)
+	}
+	return hashString(r.URL.Path)
+}
+
+// readUpTo reads rd until EOF or just past the cap. overflowed reports
+// that rd has more to give; the returned bytes are then a prefix and rd
+// continues where they stop.
+func readUpTo(rd io.Reader, capBytes int64) (buf []byte, overflowed bool, err error) {
+	if rd == nil {
+		return nil, false, nil
+	}
+	var b bytes.Buffer
+	n, err := io.Copy(&b, io.LimitReader(rd, capBytes+1))
+	if err != nil {
+		return nil, false, err
+	}
+	return b.Bytes(), n > capBytes, nil
+}
+
+// upstreamRequest rewrites the inbound request against one backend.
+func (g *Gateway) upstreamRequest(ctx context.Context, r *http.Request, b *backend, body io.Reader, contentLength int64) *http.Request {
+	u := *r.URL
+	u.Scheme = b.url.Scheme
+	u.Host = b.url.Host
+	req, _ := http.NewRequestWithContext(ctx, r.Method, u.String(), body)
+	req.Header = r.Header.Clone()
+	stripHopByHop(req.Header)
+	req.ContentLength = contentLength
+	if host, _, ok := splitHostPort(r.RemoteAddr); ok {
+		if prior := req.Header.Get("X-Forwarded-For"); prior != "" {
+			req.Header.Set("X-Forwarded-For", prior+", "+host)
+		} else {
+			req.Header.Set("X-Forwarded-For", host)
+		}
+	}
+	return req
+}
+
+// hopByHopHeaders never cross a proxy (RFC 9110 §7.6.1).
+var hopByHopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Proxy-Connection", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func stripHopByHop(h http.Header) {
+	for _, k := range hopByHopHeaders {
+		h.Del(k)
+	}
+}
+
+// copyRelayHeaders copies end-to-end response headers to the client.
+func copyRelayHeaders(dst http.Header, src map[string][]string) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+	stripHopByHop(dst)
+}
+
+func splitHostPort(addr string) (host, port string, ok bool) {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i], addr[i+1:], true
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,240 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"positbench/internal/stats"
+)
+
+// TestChaosScheduleDeterministicAndBalanced pins the controller contract:
+// a seed fully determines the kill schedule, kills alternate with
+// restarts for the same victim, and the run never ends with a target down.
+func TestChaosScheduleDeterministicAndBalanced(t *testing.T) {
+	// Ending the run after a fixed number of strikes (rather than a wall-
+	// clock deadline) keeps the comparison exact: a time-bounded run can fit
+	// one cycle more or less depending on scheduler load, which is timing
+	// drift, not schedule divergence.
+	const strikes = 5
+	run := func(seed int64) []ChaosEvent {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		var mu sync.Mutex
+		down := map[string]bool{}
+		kills := 0
+		targets := make([]ChaosTarget, 3)
+		for i, name := range []string{"b0", "b1", "b2"} {
+			name := name
+			targets[i] = FuncTarget{
+				TargetName: name,
+				KillFn: func() error {
+					mu.Lock()
+					defer mu.Unlock()
+					if down[name] {
+						return errors.New("double kill")
+					}
+					down[name] = true
+					if kills++; kills == strikes {
+						cancel()
+					}
+					return nil
+				},
+				RestartFn: func() error {
+					mu.Lock()
+					defer mu.Unlock()
+					if !down[name] {
+						return errors.New("restart while up")
+					}
+					down[name] = false
+					return nil
+				},
+			}
+		}
+		events, err := (&Chaos{
+			Targets: targets,
+			MinUp:   10 * time.Millisecond, MaxUp: 30 * time.Millisecond,
+			MinDown: 5 * time.Millisecond, MaxDown: 15 * time.Millisecond,
+			Seed: seed,
+		}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for name, d := range down {
+			if d {
+				t.Fatalf("run ended with %s still down", name)
+			}
+		}
+		return events
+	}
+
+	a, b := run(42), run(42)
+	if len(a) != 2*strikes {
+		t.Fatalf("%d strikes produced %d events, want %d", strikes, len(a), 2*strikes)
+	}
+	for _, ev := range a {
+		if ev.Err != "" {
+			t.Fatalf("event %+v carries an action error", ev)
+		}
+	}
+	// Same seed, same schedule (timings drift, the action sequence must
+	// not).
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Target != b[i].Target || a[i].Action != b[i].Action {
+			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChaosSeedEnvOverride(t *testing.T) {
+	if got, err := ChaosSeed(7); err != nil || got != 7 {
+		t.Fatalf("explicit seed: got %d, %v", got, err)
+	}
+	t.Setenv("POSITBENCH_CHAOS_SEED", "0x2a")
+	if got, err := ChaosSeed(0); err != nil || got != 0x2a {
+		t.Fatalf("env seed: got %d, %v", got, err)
+	}
+	if _, err := ChaosSeed(0); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("POSITBENCH_CHAOS_SEED", "not-a-seed")
+	if _, err := ChaosSeed(0); err == nil {
+		t.Fatal("garbage POSITBENCH_CHAOS_SEED did not error")
+	}
+	t.Setenv("POSITBENCH_CHAOS_SEED", "")
+	if got, err := ChaosSeed(0); err != nil || got != 1 {
+		t.Fatalf("default seed: got %d, %v", got, err)
+	}
+}
+
+func TestChaosNoTargets(t *testing.T) {
+	if _, err := (&Chaos{}).Run(context.Background()); err == nil {
+		t.Fatal("chaos with no targets did not error")
+	}
+}
+
+// TestPostHonorsRetryAfter pins the shed-then-retry contract: a 429 with
+// Retry-After is re-sent after the advertised delay, every shed response
+// still lands in status_429 (server counters reconcile), and the re-sends
+// are visible in retried_429.
+func TestPostHonorsRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	hits := 0
+	var gaps []time.Duration
+	last := time.Now()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		mu.Lock()
+		hits++
+		n := hits
+		gaps = append(gaps, time.Since(last))
+		last = time.Now()
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("finally"))
+	}))
+	defer ts.Close()
+
+	l := &loader{
+		cfg:        Config{Retry429: 3},
+		client:     ts.Client(),
+		rep:        &Report{},
+		histograms: map[string]*stats.LatencyHist{},
+	}
+	out, status, ok := l.post(context.Background(), "compress", ts.URL, []byte("x"))
+	if !ok || status != http.StatusOK || string(out) != "finally" {
+		t.Fatalf("post after sheds = (%q, %d, %v), want the 200 body", out, status, ok)
+	}
+	if hits != 3 {
+		t.Fatalf("server saw %d attempts, want 3", hits)
+	}
+	for _, gap := range gaps[1:] {
+		if gap < 900*time.Millisecond {
+			t.Fatalf("retry arrived %v after the 429, before the 1s Retry-After", gap)
+		}
+	}
+	if l.rep.Status429 != 2 || l.rep.Retried429 != 2 || l.rep.Status2xx != 1 {
+		t.Fatalf("counters 429=%d retried=%d 2xx=%d, want 2/2/1",
+			l.rep.Status429, l.rep.Retried429, l.rep.Status2xx)
+	}
+}
+
+// TestPostRetryBudgetAndMissingHint: no Retry-After means no retry, and
+// the retry budget bounds how long one slot chases a saturated server.
+func TestPostRetryBudgetAndMissingHint(t *testing.T) {
+	var hits int
+	var withHint bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		hits++
+		if withHint {
+			w.Header().Set("Retry-After", "0")
+		}
+		http.Error(w, "shed", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	newLoader := func(budget int) *loader {
+		return &loader{
+			cfg:        Config{Retry429: budget},
+			client:     ts.Client(),
+			rep:        &Report{},
+			histograms: map[string]*stats.LatencyHist{},
+		}
+	}
+
+	// Hint absent: one attempt, no retries, shed recorded.
+	l := newLoader(3)
+	if _, status, ok := l.post(context.Background(), "x", ts.URL, nil); ok || status != http.StatusTooManyRequests {
+		t.Fatalf("shed post = (%d, %v), want unretried 429", status, ok)
+	}
+	if hits != 1 || l.rep.Status429 != 1 || l.rep.Retried429 != 0 {
+		t.Fatalf("no-hint: hits=%d 429=%d retried=%d, want 1/1/0", hits, l.rep.Status429, l.rep.Retried429)
+	}
+
+	// Hint present but server never recovers: budget caps the attempts.
+	hits, withHint = 0, true
+	l = newLoader(2)
+	if _, status, _ := l.post(context.Background(), "x", ts.URL, nil); status != http.StatusTooManyRequests {
+		t.Fatalf("exhausted post status = %d, want 429", status)
+	}
+	if hits != 3 || l.rep.Status429 != 3 || l.rep.Retried429 != 2 {
+		t.Fatalf("budget: hits=%d 429=%d retried=%d, want 3/3/2", hits, l.rep.Status429, l.rep.Retried429)
+	}
+
+	// Negative budget disables retries even with a hint.
+	hits = 0
+	l = newLoader(-1)
+	l.post(context.Background(), "x", ts.URL, nil)
+	if hits != 1 || l.rep.Retried429 != 0 {
+		t.Fatalf("disabled: hits=%d retried=%d, want 1/0", hits, l.rep.Retried429)
+	}
+
+	// An oversized hint is shed for good, not honored.
+	req := httptest.NewRequest("GET", "/", nil)
+	_ = req
+	resp := &http.Response{Header: http.Header{"Retry-After": []string{"3600"}}}
+	if _, ok := retryAfter(resp); ok {
+		t.Fatal("an hour-long Retry-After should not be honored")
+	}
+	resp.Header.Set("Retry-After", strings.Repeat("9", 30))
+	if _, ok := retryAfter(resp); ok {
+		t.Fatal("garbage Retry-After should not be honored")
+	}
+}

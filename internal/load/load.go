@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,6 +37,20 @@ type Config struct {
 	// Duration bounds the run. <= 0 selects 5s. The context passed to Run
 	// can end it earlier.
 	Duration time.Duration
+	// Grace extends the context past Duration so operations already in
+	// flight when the last tick fires can finish instead of being cut off
+	// mid-request. New ticks never start after Duration. 0 keeps the old
+	// behavior (the deadline aborts in-flight work); a soak that wants to
+	// reconcile its counters exactly against a server's /metrics needs a
+	// Grace, because an aborted upload is work the server saw but the
+	// generator never accounted.
+	Grace time.Duration
+	// Retry429 is how many times one logical operation re-sends after a
+	// 429 that carries a Retry-After header, honoring the advertised
+	// delay. Each shed response is still counted in Status429 (so server
+	// counters reconcile); each re-send is counted in Retried429.
+	// 0 selects 2; negative disables retries.
+	Retry429 int
 	// MaxInflight caps concurrently running operations; ticks beyond it
 	// are dropped (open loop). <= 0 selects 16.
 	MaxInflight int
@@ -82,13 +97,16 @@ type Report struct {
 	Started int64 `json:"started"`
 	Dropped int64 `json:"dropped"`
 
-	Status2xx   int64 `json:"status_2xx"`
-	Status4xx   int64 `json:"status_4xx"`
-	Status429   int64 `json:"status_429"`
-	Status5xx   int64 `json:"status_5xx"`
-	Transport   int64 `json:"transport_errors"`
-	Mismatches  int64 `json:"roundtrip_mismatches"`
-	BytesMoved  int64 `json:"bytes_moved"`
+	Status2xx int64 `json:"status_2xx"`
+	Status4xx int64 `json:"status_4xx"`
+	Status429 int64 `json:"status_429"`
+	Status5xx int64 `json:"status_5xx"`
+	// Retried429 counts re-sends after a 429 with Retry-After: shed, then
+	// retried. Every shed response is also in Status429.
+	Retried429  int64   `json:"retried_429"`
+	Transport   int64   `json:"transport_errors"`
+	Mismatches  int64   `json:"roundtrip_mismatches"`
+	BytesMoved  int64   `json:"bytes_moved"`
 	AchievedQPS float64 `json:"achieved_qps"`
 
 	// Compress and Decompress are keyed by codec name; the compress entry
@@ -145,9 +163,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Retry429 == 0 {
+		cfg.Retry429 = 2
+	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 2 * cfg.Duration}
+		client = &http.Client{Timeout: 2 * (cfg.Duration + cfg.Grace)}
 	}
 
 	l := &loader{
@@ -163,8 +184,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		histograms: map[string]*stats.LatencyHist{},
 	}
 
-	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	// Ticks stop at Duration; the context runs Grace longer so in-flight
+	// operations can complete instead of being aborted at the deadline.
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration+cfg.Grace)
 	defer cancel()
+	lastTick := time.NewTimer(cfg.Duration)
+	defer lastTick.Stop()
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	interval := time.Duration(float64(time.Second) / cfg.QPS)
@@ -183,6 +208,8 @@ loop:
 	for {
 		select {
 		case <-ctx.Done():
+			break loop
+		case <-lastTick.C:
 			break loop
 		case <-ticker.C:
 		}
@@ -244,13 +271,57 @@ func makeBodies(values int) [][]byte {
 	return bodies
 }
 
+// maxRetryAfterWait caps how long a worker slot honors one Retry-After
+// hint: a server advertising a longer backoff than this is treated as shed
+// for good, so the open loop cannot be parked indefinitely by one response.
+const maxRetryAfterWait = 5 * time.Second
+
+// retryAfter extracts a usable delay from a 429's Retry-After header
+// (delta-seconds form only; an HTTP-date or garbage yields no retry).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	raw := resp.Header.Get("Retry-After")
+	if raw == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(raw)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfterWait {
+		return 0, false
+	}
+	return d, true
+}
+
 // post sends one request and fully drains the response, recording the
-// status class and latency under the given histogram label.
+// status class and latency under the given histogram label. A 429 carrying
+// a Retry-After is re-sent up to cfg.Retry429 times after honoring the
+// advertised delay; every response, shed or not, is counted, so the class
+// totals still reconcile one-to-one with the server's response counters.
 func (l *loader) post(ctx context.Context, label, url string, body []byte) ([]byte, int, bool) {
+	for attempt := 0; ; attempt++ {
+		out, status, ok, wait, hinted := l.postOnce(ctx, label, url, body)
+		if status != http.StatusTooManyRequests || !hinted || attempt >= l.cfg.Retry429 {
+			return out, status, ok
+		}
+		select {
+		case <-ctx.Done():
+			return out, status, ok
+		case <-time.After(wait):
+		}
+		l.count(func(r *Report) { r.Retried429++ })
+	}
+}
+
+// postOnce sends one request and fully drains the response, recording the
+// status class and latency under the given histogram label. For a 429 it
+// also reports the parsed Retry-After hint, so post can honor it.
+func (l *loader) postOnce(ctx context.Context, label, url string, body []byte) (_ []byte, status int, ok bool, wait time.Duration, hinted bool) {
 	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
 	if err != nil {
 		l.count(func(r *Report) { r.Transport++ })
-		return nil, 0, false
+		return nil, 0, false, 0, false
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	t0 := time.Now()
@@ -260,7 +331,7 @@ func (l *loader) post(ctx context.Context, label, url string, body []byte) ([]by
 		if ctx.Err() == nil {
 			l.count(func(r *Report) { r.Transport++ })
 		}
-		return nil, 0, false
+		return nil, 0, false, 0, false
 	}
 	defer resp.Body.Close()
 	out, err := io.ReadAll(resp.Body)
@@ -269,7 +340,7 @@ func (l *loader) post(ctx context.Context, label, url string, body []byte) ([]by
 		if ctx.Err() == nil {
 			l.count(func(r *Report) { r.Transport++ })
 		}
-		return nil, resp.StatusCode, false
+		return nil, resp.StatusCode, false, 0, false
 	}
 	l.mu.Lock()
 	h := l.histograms[label]
@@ -289,7 +360,10 @@ func (l *loader) post(ctx context.Context, label, url string, body []byte) ([]by
 		l.rep.Status2xx++
 	}
 	l.mu.Unlock()
-	return out, resp.StatusCode, resp.StatusCode >= 200 && resp.StatusCode < 300
+	if resp.StatusCode == http.StatusTooManyRequests {
+		wait, hinted = retryAfter(resp)
+	}
+	return out, resp.StatusCode, resp.StatusCode >= 200 && resp.StatusCode < 300, wait, hinted
 }
 
 // count applies one locked mutation to the report.

@@ -1,0 +1,77 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with equal jitter. The
+// zero value selects the defaults below. Delay is pure given Rand, so tests
+// inject a fixed Rand and assert exact values; with a real Rand the result
+// is still bounded within [(1-Jitter)·d, d], which the tests pin.
+type Backoff struct {
+	// Base is the un-jittered delay before the first retry. <= 0 selects
+	// DefaultBackoffBase.
+	Base time.Duration
+	// Max caps the un-jittered exponential growth. <= 0 selects
+	// DefaultBackoffMax.
+	Max time.Duration
+	// Jitter is the randomized fraction of each delay, in [0, 1]: the
+	// delay is d·(1-Jitter) + d·Jitter·Rand(). Negative selects
+	// DefaultBackoffJitter; 0 must be asked for explicitly with NoJitter.
+	Jitter float64
+	// NoJitter disables jitter entirely (deterministic delays).
+	NoJitter bool
+	// Rand supplies the jitter source in [0, 1). Nil selects the global
+	// math/rand source.
+	Rand func() float64
+}
+
+// Defaults for the zero Backoff.
+const (
+	DefaultBackoffBase   = 25 * time.Millisecond
+	DefaultBackoffMax    = 2 * time.Second
+	DefaultBackoffJitter = 0.5
+)
+
+// Delay returns the pause before retry number retry (0 = the first retry).
+// Negative retry values return 0.
+func (b Backoff) Delay(retry int) time.Duration {
+	if retry < 0 {
+		return 0
+	}
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	d := base
+	for i := 0; i < retry; i++ {
+		d *= 2
+		if d >= max || d < 0 { // d < 0: overflow
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	if b.NoJitter {
+		return d
+	}
+	jitter := b.Jitter
+	if jitter < 0 || jitter > 1 {
+		jitter = DefaultBackoffJitter
+	} else if jitter == 0 {
+		jitter = DefaultBackoffJitter
+	}
+	rnd := b.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	fixed := float64(d) * (1 - jitter)
+	return time.Duration(fixed + float64(d)*jitter*rnd())
+}

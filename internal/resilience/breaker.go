@@ -1,0 +1,175 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is admitted; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String renders the state for metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker with deterministic-clock
+// transitions:
+//
+//	closed --(threshold consecutive failures)--> open
+//	open   --(cooldown elapsed, next Allow)----> half-open (probe admitted)
+//	half-open --(probe success)--> closed
+//	half-open --(probe failure)--> open (cooldown restarts)
+//
+// A success recorded while open (a caller that bypassed the breaker under
+// fail-static pressure and got through) also closes it: the backend is
+// demonstrably back.
+//
+// All methods are safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	clock    Clock
+	thresh   int
+	cooldown time.Duration
+
+	state   BreakerState
+	fails   int       // consecutive failures while closed
+	until   time.Time // open until (cooldown deadline)
+	probing bool      // a half-open probe is outstanding
+	opens   uint64    // total closed/half-open -> open transitions
+}
+
+// Defaults for NewBreaker arguments <= 0.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 2 * time.Second
+)
+
+// NewBreaker returns a closed breaker. threshold <= 0 selects
+// DefaultBreakerThreshold, cooldown <= 0 DefaultBreakerCooldown, a nil
+// clock the system clock.
+func NewBreaker(threshold int, cooldown time.Duration, clock Clock) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	if clock == nil {
+		clock = System
+	}
+	return &Breaker{clock: clock, thresh: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may proceed, and claims the half-open
+// probe slot when the cooldown has elapsed: the first Allow after the
+// cooldown returns true and moves the breaker to half-open; further Allows
+// return false until that probe's outcome is Recorded.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Record reports one request outcome to the breaker. Callers that got true
+// from Allow must always Record exactly once; callers that force a request
+// through a refusing breaker (fail-static) should Record too.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.thresh {
+			b.trip()
+		}
+	case BreakerOpen:
+		// Only a forced (fail-static) request reports here. Success proves
+		// the backend recovered; failure restarts the cooldown so the next
+		// half-open probe is not scheduled off a stale deadline.
+		if ok {
+			b.reset()
+		} else {
+			b.until = b.clock.Now().Add(b.cooldown)
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.reset()
+		} else {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker and restarts the cooldown. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.until = b.clock.Now().Add(b.cooldown)
+	b.fails = 0
+	b.probing = false
+	b.opens++
+}
+
+// reset closes the breaker. Caller holds b.mu.
+func (b *Breaker) reset() {
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// State returns the breaker's current position without side effects. An
+// elapsed cooldown still reports open: only Allow performs the open ->
+// half-open transition, so State is a pure observation for metrics.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens reports the total number of times the breaker has opened.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

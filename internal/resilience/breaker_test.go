@@ -1,0 +1,137 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The full transition cycle on a fake clock: closed -> open after the
+// failure threshold, refusal during cooldown, exactly one half-open probe
+// after it, probe failure re-opening, probe success closing.
+func TestBreakerTransitions(t *testing.T) {
+	fc := NewFakeClock(time.Time{})
+	b := NewBreaker(3, time.Second, fc)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", b.State())
+	}
+	// Failures below the threshold keep it closed; a success resets the run.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatalf("breaker opened before threshold (state %v)", b.State())
+	}
+	b.Record(false) // third consecutive failure
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("opens = %d, want 1", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown not quite elapsed: still refusing.
+	fc.Advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted a request 1ms before the cooldown elapsed")
+	}
+	// Cooldown elapsed: exactly one probe is admitted.
+	fc.Advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after the cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second request admitted while the probe is outstanding")
+	}
+
+	// Probe failure: re-open, cooldown restarts from now.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+	fc.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused after the restarted cooldown")
+	}
+	// Probe success: closed, failure count cleared.
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("failure run survived the close (stale consecutive count)")
+	}
+}
+
+// A forced success while open (fail-static traffic that got through) closes
+// the breaker; a forced failure restarts the cooldown.
+func TestBreakerForcedOutcomesWhileOpen(t *testing.T) {
+	fc := NewFakeClock(time.Time{})
+	b := NewBreaker(1, time.Second, fc)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	// Forced failure at t+500ms pushes the half-open deadline to t+1500ms.
+	fc.Advance(500 * time.Millisecond)
+	b.Record(false)
+	fc.Advance(time.Second) // t+1500ms exactly
+	if !b.Allow() {
+		t.Fatal("probe refused at the restarted cooldown deadline")
+	}
+	b.Record(false) // probe fails, open again
+	b.Record(true)  // forced success: backend is back
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after forced success = %v, want closed", b.State())
+	}
+}
+
+// Concurrent Allow calls in half-open admit exactly one probe.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	fc := NewFakeClock(time.Time{})
+	b := NewBreaker(1, time.Second, fc)
+	b.Record(false)
+	fc.Advance(time.Second)
+	var admitted int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", admitted)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0, nil)
+	if b.thresh != DefaultBreakerThreshold || b.cooldown != DefaultBreakerCooldown {
+		t.Fatalf("defaults not applied: threshold=%d cooldown=%v", b.thresh, b.cooldown)
+	}
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("state strings changed; metrics consumers depend on them")
+	}
+}

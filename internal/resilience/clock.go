@@ -1,0 +1,118 @@
+// Package resilience provides the failure-handling primitives behind the
+// positgw gateway: an injectable clock, capped exponential backoff with
+// jitter, a per-backend circuit breaker, and a hedged multi-try execution
+// plan (retries plus latency-triggered hedging with loser cancellation).
+//
+// Every primitive takes its notion of time through the Clock interface so
+// the state machines are testable deterministically: a test drives a
+// FakeClock forward and asserts exact transitions, with no time.Sleep and
+// no wall-clock dependence. Production code passes System (or nil, which
+// selects System everywhere).
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the time source the resilience primitives observe. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers one value once d has elapsed.
+	// Abandoned channels must not leak unboundedly (time.After semantics).
+	After(d time.Duration) <-chan time.Time
+}
+
+// System is the wall-clock Clock.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced Clock for deterministic tests. Timers
+// fire synchronously inside Advance, in deadline order.
+type FakeClock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at start (a zero start selects
+// an arbitrary fixed epoch, so tests need not invent one).
+func NewFakeClock(start time.Time) *FakeClock {
+	if start.IsZero() {
+		start = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	c := &FakeClock{now: start}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when the fake time has advanced by d.
+// A non-positive d fires immediately (before After returns).
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, &fakeWaiter{at: c.now.Add(d), ch: ch})
+	c.cond.Broadcast()
+	return ch
+}
+
+// Advance moves the fake time forward by d, firing every timer whose
+// deadline is reached, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	sort.SliceStable(c.waiters, func(i, j int) bool { return c.waiters[i].at.Before(c.waiters[j].at) })
+	keep := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			w.ch <- c.now
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+}
+
+// BlockUntil returns once at least n timers are outstanding. Tests use it
+// to rendezvous with code under test before calling Advance, removing the
+// race between "the timer was created" and "the clock moved".
+func (c *FakeClock) BlockUntil(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.waiters) < n {
+		c.cond.Wait()
+	}
+}
+
+// Waiters reports how many timers are outstanding.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// TryStats summarizes one Plan.Do execution for metrics and trace
+// annotations.
+type TryStats struct {
+	// Launched is how many arms actually started.
+	Launched int
+	// Hedges is how many of those launches were latency-triggered (the
+	// previous arm had not failed yet, just stalled past HedgeAfter).
+	Hedges int
+	// Winner is the index of the arm whose value was returned, -1 when Do
+	// returned an error.
+	Winner int
+	// HedgeWon reports whether the winning arm was a hedge launch.
+	HedgeWon bool
+}
+
+// ErrNoArms is returned by Plan.Do when called with an empty arm list.
+var ErrNoArms = errors.New("resilience: no arms to run")
+
+// Plan executes a sequence of alternative attempts ("arms") for one logical
+// operation — in a gateway, one proxied request with each arm bound to a
+// different backend. Do launches arm 0 and then brings further arms in on
+// two triggers:
+//
+//   - failure: an arm returned an error; the next unstarted arm launches
+//     after Delay (capped-exponential backoff in practice),
+//   - latency: no arm has resolved within HedgeAfter of the last launch;
+//     the next arm launches as a hedge while earlier arms keep running.
+//
+// The first arm to return a nil error wins: every other outstanding arm's
+// context is cancelled, and any late success is passed to Dispose. When all
+// arms fail, Do returns the error of the last arm to fail.
+//
+// The zero Plan retries immediately with no hedging on the system clock.
+type Plan[T any] struct {
+	// Clock drives hedge timers and backoff waits. Nil selects System.
+	Clock Clock
+	// HedgeAfter is the stall threshold that launches the next arm while
+	// the previous ones are still in flight. <= 0 disables hedging.
+	HedgeAfter time.Duration
+	// Delay returns the pause before failure-triggered launch of arm i
+	// (i >= 1); nil means launch immediately. Backoff.Delay(i-1) is the
+	// usual implementation.
+	Delay func(i int) time.Duration
+	// Dispose receives successful values that lost the race (a hedge whose
+	// sibling won first). Nil drops them; resource-carrying values (open
+	// response bodies) need a real Dispose.
+	Dispose func(T)
+}
+
+// armResult carries one arm's outcome.
+type armResult[T any] struct {
+	val T
+	err error
+	arm int
+}
+
+// Do runs the arms under the plan. Each arm receives a context derived from
+// ctx that is cancelled when another arm wins or ctx itself ends; arms must
+// return promptly on cancellation. Do never launches a new arm after ctx is
+// done, and returns ctx.Err() if it ends with no winner.
+func (p Plan[T]) Do(ctx context.Context, arms []func(context.Context) (T, error)) (T, TryStats, error) {
+	var zero T
+	stats := TryStats{Winner: -1}
+	if len(arms) == 0 {
+		return zero, stats, ErrNoArms
+	}
+	clock := p.Clock
+	if clock == nil {
+		clock = System
+	}
+
+	results := make(chan armResult[T], len(arms)) // buffered: arms never block on send
+	cancels := make([]context.CancelFunc, len(arms))
+	hedged := make([]bool, len(arms))
+	launched, outstanding := 0, 0
+
+	launch := func(isHedge bool) {
+		i := launched
+		launched++
+		outstanding++
+		stats.Launched = launched
+		hedged[i] = isHedge
+		if isHedge {
+			stats.Hedges++
+		}
+		actx, cancel := context.WithCancel(ctx)
+		cancels[i] = cancel
+		go func() {
+			v, err := arms[i](actx)
+			results <- armResult[T]{val: v, err: err, arm: i}
+		}()
+	}
+
+	// cleanup cancels every launched arm except keep (-1: all) and disposes
+	// late successes in the background; the buffered channel lets arms
+	// finish regardless.
+	cleanup := func(keep int) {
+		for i := 0; i < launched; i++ {
+			if i != keep {
+				cancels[i]()
+			}
+		}
+		if outstanding > 0 {
+			remaining := outstanding
+			go func() {
+				for i := 0; i < remaining; i++ {
+					r := <-results
+					if r.err == nil && p.Dispose != nil {
+						p.Dispose(r.val)
+					}
+				}
+			}()
+		}
+	}
+
+	var hedgeCh, delayCh <-chan time.Time
+	resetHedge := func() {
+		hedgeCh = nil
+		if p.HedgeAfter > 0 && launched < len(arms) {
+			hedgeCh = clock.After(p.HedgeAfter)
+		}
+	}
+
+	launch(false)
+	resetHedge()
+	var lastErr error
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				stats.Winner = r.arm
+				stats.HedgeWon = hedged[r.arm]
+				cleanup(r.arm)
+				// The winner keeps its context until the caller is done
+				// with the value; the caller owns calling its release if
+				// the value carries one (see Dispose).
+				return r.val, stats, nil
+			}
+			lastErr = r.err
+			if launched == len(arms) || ctx.Err() != nil {
+				if outstanding == 0 {
+					cleanup(-1)
+					if ctx.Err() != nil && launched < len(arms) {
+						lastErr = ctx.Err()
+					}
+					return zero, stats, lastErr
+				}
+				continue // an earlier arm may still win
+			}
+			// Failure-triggered launch, after the backoff delay. The hedge
+			// timer is superseded: the delay channel owns the next launch.
+			if delayCh == nil {
+				var d time.Duration
+				if p.Delay != nil {
+					d = p.Delay(launched)
+				}
+				if d <= 0 {
+					launch(false)
+					resetHedge()
+				} else {
+					hedgeCh = nil
+					delayCh = clock.After(d)
+				}
+			}
+		case <-delayCh:
+			delayCh = nil
+			launch(false)
+			resetHedge()
+		case <-hedgeCh:
+			hedgeCh = nil
+			if launched < len(arms) && ctx.Err() == nil {
+				launch(true)
+				resetHedge()
+			}
+		case <-ctx.Done():
+			cleanup(-1)
+			if outstanding == 0 && lastErr != nil {
+				return zero, stats, lastErr
+			}
+			return zero, stats, ctx.Err()
+		}
+	}
+}

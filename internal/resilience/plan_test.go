@@ -1,0 +1,238 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A first-arm success launches nothing else.
+func TestPlanFirstArmWins(t *testing.T) {
+	fc := NewFakeClock(time.Time{})
+	p := Plan[int]{Clock: fc, HedgeAfter: time.Second}
+	extra := false
+	v, stats, err := p.Do(context.Background(), []func(context.Context) (int, error){
+		func(context.Context) (int, error) { return 42, nil },
+		func(context.Context) (int, error) { extra = true; return 0, nil },
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("Do = (%d, %v), want (42, nil)", v, err)
+	}
+	if extra {
+		t.Fatal("second arm launched despite first-arm success")
+	}
+	want := TryStats{Launched: 1, Hedges: 0, Winner: 0, HedgeWon: false}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+}
+
+func TestPlanNoArms(t *testing.T) {
+	var p Plan[int]
+	if _, _, err := p.Do(context.Background(), nil); !errors.Is(err, ErrNoArms) {
+		t.Fatalf("err = %v, want ErrNoArms", err)
+	}
+}
+
+// A failure launches the next arm only after the backoff delay, measured on
+// the fake clock.
+func TestPlanFailureRetryWaitsDelay(t *testing.T) {
+	fc := NewFakeClock(time.Time{})
+	start := fc.Now()
+	p := Plan[string]{Clock: fc, Delay: func(i int) time.Duration {
+		if i != 1 {
+			t.Errorf("Delay called with arm index %d, want 1", i)
+		}
+		return 100 * time.Millisecond
+	}}
+	var launchedAt time.Time
+	done := make(chan struct{})
+	var v string
+	var stats TryStats
+	var err error
+	go func() {
+		defer close(done)
+		v, stats, err = p.Do(context.Background(), []func(context.Context) (string, error){
+			func(context.Context) (string, error) { return "", errors.New("arm0 down") },
+			func(context.Context) (string, error) { launchedAt = fc.Now(); return "ok", nil },
+		})
+	}()
+	fc.BlockUntil(1) // the backoff timer for arm 1
+	fc.Advance(99 * time.Millisecond)
+	if w := fc.Waiters(); w != 1 {
+		t.Fatalf("backoff timer fired 1ms early (waiters=%d)", w)
+	}
+	fc.Advance(1 * time.Millisecond)
+	<-done
+	if err != nil || v != "ok" {
+		t.Fatalf("Do = (%q, %v), want (ok, nil)", v, err)
+	}
+	if got := launchedAt.Sub(start); got != 100*time.Millisecond {
+		t.Fatalf("arm 1 launched %v after start, want 100ms", got)
+	}
+	want := TryStats{Launched: 2, Hedges: 0, Winner: 1, HedgeWon: false}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+}
+
+// A stalled arm triggers a hedge after HedgeAfter; the hedge wins and the
+// stalled loser observes cancellation.
+func TestPlanHedgeWinsCancelsLoser(t *testing.T) {
+	fc := NewFakeClock(time.Time{})
+	p := Plan[string]{Clock: fc, HedgeAfter: 50 * time.Millisecond}
+	loserCancelled := make(chan struct{})
+	done := make(chan struct{})
+	var v string
+	var stats TryStats
+	var err error
+	go func() {
+		defer close(done)
+		v, stats, err = p.Do(context.Background(), []func(context.Context) (string, error){
+			func(ctx context.Context) (string, error) {
+				<-ctx.Done() // stall until cancelled by the winner
+				close(loserCancelled)
+				return "", ctx.Err()
+			},
+			func(context.Context) (string, error) { return "hedge", nil },
+		})
+	}()
+	fc.BlockUntil(1) // the hedge timer
+	fc.Advance(50 * time.Millisecond)
+	<-done
+	if err != nil || v != "hedge" {
+		t.Fatalf("Do = (%q, %v), want (hedge, nil)", v, err)
+	}
+	want := TryStats{Launched: 2, Hedges: 1, Winner: 1, HedgeWon: true}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+	select {
+	case <-loserCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled loser never observed cancellation")
+	}
+}
+
+// The hedge timer re-arms after every launch: a plan over three stalled arms
+// brings them in one HedgeAfter apart.
+func TestPlanHedgeTimerRearms(t *testing.T) {
+	fc := NewFakeClock(time.Time{})
+	p := Plan[int]{Clock: fc, HedgeAfter: 50 * time.Millisecond}
+	release := make(chan struct{})
+	stall := func(ctx context.Context) (int, error) {
+		select {
+		case <-release:
+			return 3, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	done := make(chan struct{})
+	var stats TryStats
+	var err error
+	go func() {
+		defer close(done)
+		_, stats, err = p.Do(context.Background(), []func(context.Context) (int, error){stall, stall, stall})
+	}()
+	fc.BlockUntil(1)
+	fc.Advance(50 * time.Millisecond) // launches arm 1
+	fc.BlockUntil(1)                  // a fresh hedge timer proves arm 1 launched
+	fc.Advance(50 * time.Millisecond) // launches arm 2; no further timer (no arms left)
+	close(release)
+	<-done
+	if err != nil {
+		t.Fatalf("Do err = %v", err)
+	}
+	// Any of the three released arms may win the race; the re-arming is
+	// what's under test.
+	if stats.Launched != 3 || stats.Hedges != 2 {
+		t.Fatalf("stats = %+v, want 3 launches and 2 hedges", stats)
+	}
+}
+
+// When every arm fails, Do returns the error of the last arm to fail.
+func TestPlanAllFail(t *testing.T) {
+	var p Plan[int] // zero value: immediate retries, no hedging
+	errLast := errors.New("arm2 down")
+	_, stats, err := p.Do(context.Background(), []func(context.Context) (int, error){
+		func(context.Context) (int, error) { return 0, errors.New("arm0 down") },
+		func(context.Context) (int, error) { return 0, errors.New("arm1 down") },
+		func(context.Context) (int, error) { return 0, errLast },
+	})
+	if !errors.Is(err, errLast) {
+		t.Fatalf("err = %v, want %v", err, errLast)
+	}
+	if stats.Launched != 3 || stats.Winner != -1 {
+		t.Fatalf("stats = %+v, want 3 launches and no winner", stats)
+	}
+}
+
+// A loser that succeeds after the winner is handed to Dispose, not leaked.
+func TestPlanDisposesLateSuccess(t *testing.T) {
+	fc := NewFakeClock(time.Time{})
+	disposed := make(chan string, 1)
+	p := Plan[string]{
+		Clock:      fc,
+		HedgeAfter: 50 * time.Millisecond,
+		Dispose:    func(v string) { disposed <- v },
+	}
+	done := make(chan struct{})
+	var v string
+	var err error
+	go func() {
+		defer close(done)
+		v, _, err = p.Do(context.Background(), []func(context.Context) (string, error){
+			func(ctx context.Context) (string, error) {
+				<-ctx.Done()
+				return "late", nil // succeeds anyway, ignoring cancellation
+			},
+			func(context.Context) (string, error) { return "winner", nil },
+		})
+	}()
+	fc.BlockUntil(1)
+	fc.Advance(50 * time.Millisecond)
+	<-done
+	if err != nil || v != "winner" {
+		t.Fatalf("Do = (%q, %v), want (winner, nil)", v, err)
+	}
+	select {
+	case got := <-disposed:
+		if got != "late" {
+			t.Fatalf("disposed %q, want %q", got, "late")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late success never disposed")
+	}
+}
+
+// Cancelling the caller's context ends Do promptly with ctx.Err.
+func TestPlanContextCancel(t *testing.T) {
+	fc := NewFakeClock(time.Time{})
+	p := Plan[int]{Clock: fc, HedgeAfter: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := p.Do(ctx, []func(context.Context) (int, error){
+			func(ctx context.Context) (int, error) {
+				close(started)
+				<-ctx.Done()
+				return 0, ctx.Err()
+			},
+			func(context.Context) (int, error) { return 1, nil }, // never reached
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after context cancellation")
+	}
+}

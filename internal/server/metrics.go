@@ -213,7 +213,8 @@ type healthzResponse struct {
 
 // handleHealthz answers liveness probes. It bypasses admission so a
 // saturated server still reports alive (saturation is visible separately
-// via inflight and rejected_429).
+// via inflight and rejected_429). Liveness never flips during drain —
+// restarting a draining process would only lose the in-flight work.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(healthzResponse{
@@ -222,4 +223,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight:      s.metrics.inflight.Load(),
 		Codecs:        len(s.names),
 	})
+}
+
+// handleReadyz answers readiness probes: 200 while the server should
+// receive new traffic, 503 before the listener is warmed up and again once
+// a drain begins (see SetReady). Routers act on /readyz; supervisors act
+// on /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status, state := http.StatusOK, "ready"
+	if !s.ready.Load() {
+		status, state = http.StatusServiceUnavailable, "unready"
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Status   string `json:"status"`
+		Inflight int64  `json:"inflight"`
+	}{Status: state, Inflight: s.metrics.inflight.Load()})
 }

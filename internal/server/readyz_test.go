@@ -1,0 +1,58 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// Liveness and readiness are separate verdicts: /healthz stays 200 across
+// SetReady flips, /readyz follows them. positgw's health checker and any
+// balancer key off /readyz; supervisors key off /healthz.
+func TestReadyzFollowsSetReady(t *testing.T) {
+	s, ts := newTestServer(t, Config{AccessLog: io.Discard})
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+		return resp.StatusCode, doc
+	}
+
+	if code, doc := get("/readyz"); code != http.StatusOK || doc["status"] != "ready" {
+		t.Fatalf("fresh server readyz = %d %v, want 200 ready", code, doc)
+	}
+
+	s.SetReady(false)
+	if code, doc := get("/readyz"); code != http.StatusServiceUnavailable || doc["status"] != "unready" {
+		t.Fatalf("unready readyz = %d %v, want 503 unready", code, doc)
+	}
+	// The liveness verdict must not follow the readiness flip.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while unready = %d, want 200", code)
+	}
+	// The API keeps serving while unready: drain means "no NEW traffic",
+	// and routers enforce that — the server itself still answers.
+	resp, err := http.Get(ts.URL + "/v1/codecs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("codecs while unready = %d, want 200", resp.StatusCode)
+	}
+
+	s.SetReady(true)
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after re-ready = %d, want 200", code)
+	}
+}

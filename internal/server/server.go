@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"positbench/internal/compress"
@@ -84,6 +85,7 @@ type Server struct {
 	metrics *metrics
 	access  *accessLogger
 	tracer  *trace.Tracer // nil when tracing is disabled
+	ready   atomic.Bool   // GET /readyz verdict; see SetReady
 }
 
 // New validates cfg, fills defaults, and returns a ready Server.
@@ -129,8 +131,17 @@ func New(cfg Config) (*Server, error) {
 		s.codecs[c.Name()] = c
 		s.names = append(s.names, c.Name())
 	}
+	s.ready.Store(true)
 	return s, nil
 }
+
+// SetReady flips the GET /readyz verdict. Liveness (/healthz) and
+// readiness (/readyz) are deliberately split: a process is alive from New
+// until exit, but only ready while it should receive new traffic. The
+// daemon turns readiness off before the listener is accepting and again at
+// the start of a drain, so load balancers and the positgw health checker
+// stop routing to it before the listener actually closes.
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
 
 // Handler returns the fully middleware-wrapped route mux.
 func (s *Server) Handler() http.Handler {
@@ -150,6 +161,7 @@ func (s *Server) Handler() http.Handler {
 	// Ops endpoints bypass admission and deadlines: a saturated or
 	// draining server must still answer its probes.
 	mux.Handle("GET /healthz", s.shell("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /readyz", s.shell("readyz", http.HandlerFunc(s.handleReadyz)))
 	mux.Handle("GET /metrics", s.shell("metrics", http.HandlerFunc(s.handleMetrics)))
 	return mux
 }
