@@ -6,6 +6,8 @@
 #                    known-bad frames; catches decode-path panics fast)
 #   make test-parallel  the parallel-engine test layer, race-enabled and
 #                    run twice (catches order-dependent scheduling bugs)
+#   make test-predict  the predictive codec family (internal/predict and
+#                    positpack v2), race-enabled and run twice
 #   make test-server the positd HTTP layer, race-enabled and run twice
 #   make test-gateway  the resilience + gateway layers, race-enabled and
 #                    run twice (includes the in-process chaos soak)
@@ -30,11 +32,15 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCH_WORKERS ?= 4
-BENCH_OLD ?= results/BENCH_pre_pr4.json
+# Default baseline: HEAD-before-PR7 measured on the same hardware and day as
+# the current report. The older results/BENCH_pre_pr4.json is kept for
+# history, but its absolute numbers came from a faster machine state and
+# cross-day diffs against it measure the environment, not the code.
+BENCH_OLD ?= results/BENCH_pre_pr7.json
 BENCH_NEW ?= BENCH_compress.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: all check vet build test race test-parallel test-server test-gateway smoke-server soak-smoke soak-gateway bench bench-smoke bench-diff fuzz-smoke ci
+.PHONY: all check vet build test race test-parallel test-predict test-server test-gateway smoke-server soak-smoke soak-gateway bench bench-smoke bench-diff fuzz-smoke ci
 
 SOAK_DURATION ?= 5s
 SOAK_QPS ?= 80
@@ -64,6 +70,13 @@ race:
 # different goroutine schedules, which is what shakes out ordering bugs.
 test-parallel:
 	$(GO) test -race -count=2 -run 'Parallel|Stream|Equivalence' ./internal/compress/...
+
+# The predictive codec family, twice under the race detector: the codecs
+# share pooled predictor state across the engine's worker goroutines, so a
+# second run with different schedules is the cheapest ordering fuzz for the
+# pool discipline (and the golden/property wall reruns for free).
+test-predict:
+	$(GO) test -race -count=2 ./internal/predict/... ./internal/positpack/...
 
 # The HTTP service layer, twice under the race detector: handlers stream
 # through the parallel engine, so they inherit its scheduling sensitivity.
@@ -204,4 +217,4 @@ fuzz-smoke:
 		done; \
 	done
 
-ci: check race test-parallel test-server test-gateway smoke-server soak-smoke soak-gateway bench-smoke fuzz-smoke
+ci: check race test-parallel test-predict test-server test-gateway smoke-server soak-smoke soak-gateway bench-smoke fuzz-smoke

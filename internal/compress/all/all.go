@@ -1,7 +1,9 @@
 // Package all assembles the full codec registry used by the study: the five
 // general-purpose compressor classes in the order the paper's figures list
-// them. The LC pipeline compressor is added separately by the study engine
-// because its pipeline is chosen per encoding.
+// them, followed by the repo's own predictive float codecs (fpc32 and
+// fpc-posit, the FCM/DFCM family). The LC pipeline compressor is added
+// separately by the study engine because its pipeline is chosen per
+// encoding.
 package all
 
 import (
@@ -14,18 +16,21 @@ import (
 	"positbench/internal/compress/xzc"
 	"positbench/internal/compress/zstdc"
 	"positbench/internal/container"
+	"positbench/internal/positpack"
+	"positbench/internal/predict"
 )
 
-// Codecs returns fresh instances of the five general-purpose codecs at
-// maximum-effort settings (the paper's --best flags). Every codec is wrapped
-// in the framed container so its output is self-identifying and its decode
-// path is checksummed and resource-limited.
+// Codecs returns fresh instances of the registry codecs: the paper's five
+// general-purpose classes at maximum-effort settings (the paper's --best
+// flags) plus the predictive family. Every codec is wrapped in the framed
+// container so its output is self-identifying and its decode path is
+// checksummed and resource-limited.
 func Codecs() []compress.Codec {
 	return wrap(Raw())
 }
 
-// Raw returns the five codecs without the container frame, for callers that
-// need the bare compressed streams (e.g. byte-exact interop tests).
+// Raw returns the registry codecs without the container frame, for callers
+// that need the bare compressed streams (e.g. byte-exact interop tests).
 func Raw() []compress.Codec {
 	return []compress.Codec{
 		bzip2c.New(),
@@ -33,6 +38,8 @@ func Raw() []compress.Codec {
 		lz4c.New(),
 		xzc.New(),
 		zstdc.New(),
+		predict.New(),
+		positpack.NewV2(),
 	}
 }
 

@@ -3,7 +3,7 @@ package compress_test
 // Allocation-regression tests for the streaming engine's buffer pooling:
 // once the pools are warm, compressing or decompressing a chunk through the
 // parallel engine must not allocate for codecs that implement the Append
-// capabilities (gzip and lz4). A regression here silently reintroduces
+// capabilities (gzip, lz4, and fpc32). A regression here silently reintroduces
 // per-chunk garbage at multi-GB/s rates.
 //
 // GC is disabled before the pools are warmed: a collection would clear the
@@ -19,6 +19,7 @@ import (
 	"positbench/internal/compress"
 	"positbench/internal/compress/gzipc"
 	"positbench/internal/compress/lz4c"
+	"positbench/internal/predict"
 )
 
 const allocChunk = 64 << 10
@@ -50,6 +51,10 @@ func allocCases() map[string]allocCase {
 	return map[string]allocCase{
 		"gzip": {codec: gzipc.New(), decAllow: gzipDecodeAllowance},
 		"lz4":  {codec: lz4c.New(), decAllow: 0},
+		// fpc32 (plain mode) pools its predictor tables, residual buffers,
+		// and bit reader/writer; the split-mode sibling is excluded because
+		// per-block Huffman construction allocates by design.
+		"fpc32": {codec: predict.New(), decAllow: 0},
 	}
 }
 

@@ -9,14 +9,39 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"positbench/internal/compress"
 )
 
+// exercised records, per test binary, the codec names Run has been invoked
+// on. The registry meta-test uses it to fail if a codec is registered
+// without ever facing this suite — a new codec cannot silently skip the
+// fault-injection / stream-equivalence wall.
+var (
+	exercisedMu sync.Mutex
+	exercised   = map[string]bool{}
+)
+
+// Exercised returns a snapshot of the codec names Run has covered so far in
+// this test binary.
+func Exercised() map[string]bool {
+	exercisedMu.Lock()
+	defer exercisedMu.Unlock()
+	out := make(map[string]bool, len(exercised))
+	for k, v := range exercised {
+		out[k] = v
+	}
+	return out
+}
+
 // Run exercises the full conformance suite on c.
 func Run(t *testing.T, c compress.Codec) {
 	t.Helper()
+	exercisedMu.Lock()
+	exercised[c.Name()] = true
+	exercisedMu.Unlock()
 	t.Run("Empty", func(t *testing.T) { roundtrip(t, c, nil) })
 	t.Run("OneByte", func(t *testing.T) { roundtrip(t, c, []byte{42}) })
 	t.Run("AllSame", func(t *testing.T) { roundtrip(t, c, bytes.Repeat([]byte{7}, 10000)) })

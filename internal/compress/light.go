@@ -1,0 +1,20 @@
+package compress
+
+// LightDecoder is implemented by codecs whose decompression runs at
+// memory-bandwidth-class speed (byte copies, table lookups — no entropy
+// modeling worth parallelizing). The parallel engine uses it as a
+// scheduling hint: on a single-CPU host the worker pool cannot overlap
+// anything, and for a light decoder the pool's channel hops and buffer
+// copies cost more than the decode itself, so the engine falls back to the
+// serial reader even when more workers were requested.
+type LightDecoder interface {
+	// DecodeIsLight reports whether decompression is cheap enough that
+	// pool overhead dominates on a single CPU.
+	DecodeIsLight() bool
+}
+
+// DecodeIsLight reports whether c advertises a light decode path.
+func DecodeIsLight(c Codec) bool {
+	ld, ok := c.(LightDecoder)
+	return ok && ld.DecodeIsLight()
+}

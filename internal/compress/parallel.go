@@ -361,12 +361,18 @@ func NewParallelReaderContext(ctx context.Context, codec Codec, src io.Reader, l
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
+	if workers == 1 || (runtime.GOMAXPROCS(0) == 1 && DecodeIsLight(codec)) {
 		// One worker cannot overlap fetch with decode: the pool shape only
 		// adds channel hops, goroutine switches, and per-chunk buffer
 		// copies over the serial path. On a 1-CPU host (GOMAXPROCS=1) that
 		// overhead is a measured regression, so delegate to the serial
-		// Reader, which reuses its buffers across chunks. Error taxonomy
+		// Reader, which reuses its buffers across chunks. The same applies
+		// on a 1-CPU host even when more workers were requested, for codecs
+		// that advertise a light decode path (lz4-, zstd-, fpc-class):
+		// extra workers cannot add CPU, and for those codecs the pool
+		// overhead exceeds the decode work itself. Heavy decoders keep the
+		// requested pool — its cost vanishes in their decode time, and
+		// explicit worker counts keep meaning something. Error taxonomy
 		// and limits are identical — both paths share readFrameInto.
 		sr := NewReaderLimits(codec, src, lim)
 		sr.SetSpan(trace.FromContext(ctx))

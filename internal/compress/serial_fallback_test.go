@@ -36,6 +36,57 @@ func TestParallelReaderSerialFallbackEngages(t *testing.T) {
 	r.Close()
 }
 
+// lightCodec is a passthrough that advertises a light decode path, standing
+// in for the lz4/zstd/fpc class.
+type lightCodec struct{ passthrough }
+
+func (lightCodec) DecodeIsLight() bool { return true }
+
+// On a 1-CPU host, extra workers cannot help a light decoder: the fallback
+// must engage even when more workers were requested. Heavy codecs keep the
+// requested pool, and with real CPUs available the light hint changes
+// nothing — three decisions pinned so the ROADMAP regression (parallel
+// decode trailing serial for lz4/zstd on the 1-CPU box) cannot return.
+func TestParallelReaderLightCodecFallback(t *testing.T) {
+	stream := writeSerial(t, lightCodec{}, parallelData(8<<10), 1024)
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	r := NewParallelReader(lightCodec{}, bytes.NewReader(stream), 4)
+	if r.serial == nil {
+		t.Fatal("light codec with workers=4 under GOMAXPROCS(1) did not engage the serial fallback")
+	}
+	r.Close()
+
+	heavy := writeSerial(t, passthrough{}, parallelData(8<<10), 1024)
+	r = NewParallelReader(passthrough{}, bytes.NewReader(heavy), 4)
+	if r.serial != nil {
+		t.Fatal("heavy codec with explicit workers=4 engaged the fallback; the pool should run")
+	}
+	r.Close()
+
+	runtime.GOMAXPROCS(2)
+	r = NewParallelReader(lightCodec{}, bytes.NewReader(stream), 4)
+	if r.serial != nil {
+		t.Fatal("light codec with real CPUs available engaged the fallback; the pool should run")
+	}
+	r.Close()
+
+	// And the fallback path must still decode correctly for the light
+	// codec, workers>1 notwithstanding.
+	runtime.GOMAXPROCS(1)
+	r = NewParallelReader(lightCodec{}, bytes.NewReader(stream), 4)
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, parallelData(8<<10)) {
+		t.Fatal("light-codec fallback decoded wrong bytes")
+	}
+}
+
 // The fallback is observationally identical to the pool: same bytes, same
 // post-EOF stickiness, same read-after-Close error, same cancellation.
 // (The alloc win it buys is pinned by TestParallelReaderChunkAllocs, whose

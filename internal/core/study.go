@@ -1,6 +1,7 @@
 // Package core implements the paper's experiment: the compressibility of
 // the 14 SDRBench inputs encoded as IEEE-754 binary32 versus posit<32,3>,
-// measured over the five general-purpose codecs and LC-synthesized
+// measured over the registry codecs (the paper's five general-purpose
+// classes plus the predictive fpc32/fpc-posit family) and LC-synthesized
 // pipelines. It exposes one structured result type per table and figure.
 package core
 
@@ -32,7 +33,7 @@ type Options struct {
 	// ValuesPerInput is the number of float32 values generated per input
 	// (default sdrbench.DefaultValues = 1 Mi values = 4 MiB).
 	ValuesPerInput int
-	// Codecs are the general-purpose codecs to evaluate (default all five).
+	// Codecs are the codecs to evaluate (default the full registry).
 	Codecs []compress.Codec
 	// WithLC adds the LC compressor: a full pipeline search per encoding,
 	// global best pipeline (Figures 3/4) and per-file best (Figure 6).
@@ -265,9 +266,9 @@ func (st *Study) runLC() error {
 	return nil
 }
 
-// CodecNames lists the measured codec names in figure order (the five
-// general-purpose codecs alphabetically as the paper's figures do, with lc
-// included when present).
+// CodecNames lists the measured codec names in figure order (registry
+// codecs alphabetically as the paper's figures do, with lc included when
+// present).
 func (st *Study) CodecNames() []string {
 	seen := map[string]bool{}
 	var names []string

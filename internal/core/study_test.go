@@ -33,8 +33,8 @@ func smallStudy(t *testing.T) *Study {
 
 func TestStudyMeasurementsComplete(t *testing.T) {
 	st := smallStudy(t)
-	// 5 general codecs + lc, 14 inputs, 2 encodings.
-	want := 6 * 14 * 2
+	// 5 general codecs + the predictive pair + lc, 14 inputs, 2 encodings.
+	want := 8 * 14 * 2
 	if len(st.Measurements) != want {
 		t.Fatalf("got %d measurements, want %d", len(st.Measurements), want)
 	}
@@ -47,7 +47,7 @@ func TestStudyMeasurementsComplete(t *testing.T) {
 		}
 	}
 	names := st.CodecNames()
-	if len(names) != 6 {
+	if len(names) != 8 {
 		t.Fatalf("codec names: %v", names)
 	}
 }
@@ -224,9 +224,9 @@ func TestWriteCSVs(t *testing.T) {
 	if !strings.Contains(string(b), "delta_pct_vs_ieee") {
 		t.Error("fig4.csv missing delta column")
 	}
-	// measurements has 6 codecs x 14 inputs x 2 encodings + header.
+	// measurements has 8 codecs x 14 inputs x 2 encodings + header.
 	b, _ = os.ReadFile(filepath.Join(dir, "measurements.csv"))
-	if got := len(strings.Split(strings.TrimSpace(string(b)), "\n")); got != 6*14*2+1 {
+	if got := len(strings.Split(strings.TrimSpace(string(b)), "\n")); got != 8*14*2+1 {
 		t.Errorf("measurements.csv rows: %d", got)
 	}
 }
