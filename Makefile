@@ -9,6 +9,10 @@
 #   make test-predict  the predictive codec family (internal/predict and
 #                    positpack v2), race-enabled and run twice
 #   make test-server the positd HTTP layer, race-enabled and run twice
+#   make test-advisor  the adaptive codec selection layer (internal/advisor
+#                    and cmd/positadvise), race-enabled and run twice: the
+#                    decision cache's single-flight coalescing is goroutine
+#                    choreography, so schedules are the thing to vary
 #   make test-gateway  the resilience + gateway layers, race-enabled and
 #                    run twice (includes the in-process chaos soak)
 #   make smoke-server  boot a real positd, curl a compress/decompress
@@ -16,6 +20,11 @@
 #   make soak-smoke  ~5 s positload run against a race-built positd:
 #                    zero 5xx / transport errors / roundtrip mismatches,
 #                    and the engine gauges drained afterwards
+#   make soak-auto   positload with the -auto arm against a race-built
+#                    positd: advisor decisions flow, the cache gets hits,
+#                    and auto's p50 stays within one latency-histogram
+#                    bucket (2x) of direct compress — the coarse overhead
+#                    gate the log2-bucketed histogram can support
 #   make soak-gateway  chaos soak over real processes: positload through a
 #                    race-built positgw over 3 positd backends, one backend
 #                    kill -9'd and restarted mid-run; requires zero client
@@ -40,7 +49,7 @@ BENCH_OLD ?= results/BENCH_pre_pr7.json
 BENCH_NEW ?= BENCH_compress.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: all check vet build test race test-parallel test-predict test-server test-gateway smoke-server soak-smoke soak-gateway bench bench-smoke bench-diff fuzz-smoke ci
+.PHONY: all check vet build test race test-parallel test-predict test-server test-advisor test-gateway smoke-server soak-smoke soak-auto soak-gateway bench bench-smoke bench-diff fuzz-smoke ci
 
 SOAK_DURATION ?= 5s
 SOAK_QPS ?= 80
@@ -82,6 +91,12 @@ test-predict:
 # through the parallel engine, so they inherit its scheduling sensitivity.
 test-server:
 	$(GO) test -race -count=2 ./internal/server/... ./cmd/positd/...
+
+# The adaptive-selection layer, twice under the race detector: concurrent
+# auto requests race for the decision cache's single-flight leadership, so
+# a second run with different schedules is the cheapest ordering fuzz.
+test-advisor:
+	$(GO) test -race -count=2 ./internal/advisor/... ./cmd/positadvise/...
 
 # The resilience primitives and the gateway, twice under the race detector:
 # retries, hedging, breakers, and probing are all goroutine choreography,
@@ -132,6 +147,41 @@ soak-smoke:
 	[ $$drained = 1 ] || { echo "gauges never drained"; cat $$tmp/metrics.json; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "soak-smoke: clean run, gauges drained"
+
+# Auto-mode soak: positload mixes /v1/compress/auto into the workload (one
+# auto roundtrip per 2 direct codec ops). The run must be clean, the
+# advisor must have made decisions and — because the generator cycles a
+# fixed body set — served repeats from its cache, and auto's p50 must stay
+# within 2x of direct compress. 2x is one bucket of the log2 latency
+# histogram: the smallest overhead gate that instrument can support, far
+# above the <5% the advisor actually costs on cache hits, so a pass means
+# "no pathological decision cost", not "free". positd is left unraced here
+# (soak-smoke already races it): a raced server crawls through the first
+# pass over the body set, which is exactly the all-miss phase, and the
+# cache-hit assertion needs the workload to come back around.
+soak-auto:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/positd ./cmd/positd; \
+	$(GO) build -o $$tmp/positload ./cmd/positload; \
+	$$tmp/positd -addr 127.0.0.1:0 -addr-file $$tmp/addr >$$tmp/positd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "positd never wrote its address"; cat $$tmp/positd.log; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	$$tmp/positload -addr-file $$tmp/addr -duration $(SOAK_DURATION) -grace 3s \
+		-qps $(SOAK_QPS) -codecs zstd -auto 2 -values 4096 >$$tmp/report.json; \
+	grep -q '"auto"' $$tmp/report.json || { echo "report has no auto section"; cat $$tmp/report.json; exit 1; }; \
+	curl -sSf "http://$$addr/metrics" >$$tmp/metrics.json; \
+	decisions=$$(grep -o '"decisions": *[0-9]*' $$tmp/metrics.json | grep -o '[0-9]*$$'); \
+	hits=$$(grep -o '"cache_hits": *[0-9]*' $$tmp/metrics.json | grep -o '[0-9]*$$'); \
+	[ "$${decisions:-0}" -gt 0 ] || { echo "advisor made no decisions"; exit 1; }; \
+	[ "$${hits:-0}" -gt 0 ] || { echo "repeated bodies never hit the decision cache"; exit 1; }; \
+	autop50=$$(grep -A4 '"auto"' $$tmp/report.json | grep -o '"p50_us": *[0-9]*' | head -1 | grep -o '[0-9]*$$'); \
+	compp50=$$(grep -A4 '"compress"' $$tmp/report.json | grep -o '"p50_us": *[0-9]*' | head -1 | grep -o '[0-9]*$$'); \
+	[ -n "$$autop50" ] && [ -n "$$compp50" ] || { echo "missing latency sections"; cat $$tmp/report.json; exit 1; }; \
+	[ "$$autop50" -le $$((2 * compp50)) ] || { echo "auto p50 $${autop50}us > 2x compress p50 $${compp50}us"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "soak-auto: $$decisions decisions, $$hits cache hits, auto p50 $${autop50}us vs compress $${compp50}us"
 
 # Chaos soak over real processes and real sockets: three positd backends
 # behind a race-built positgw, positload driving a verified workload
@@ -217,4 +267,4 @@ fuzz-smoke:
 		done; \
 	done
 
-ci: check race test-parallel test-predict test-server test-gateway smoke-server soak-smoke soak-gateway bench-smoke fuzz-smoke
+ci: check race test-parallel test-predict test-server test-advisor test-gateway smoke-server soak-smoke soak-auto soak-gateway bench-smoke fuzz-smoke

@@ -1,0 +1,107 @@
+// Command positadvise is the offline face of the adaptive codec advisor:
+// point it at float/posit data files and it reports, as JSON, which codec
+// (or LC pipeline) the advisor would pick for each — the same decision
+// positd's POST /v1/compress/auto makes per request, but with the full
+// evidence trail (stream fingerprint, every trial candidate's sampled
+// ratio and timing) that the server only exposes as response headers.
+//
+// Usage:
+//
+//	positadvise [-sample N] [-hint a,b] [-compact] FILE...
+//	positadvise < data.f32            # single input on stdin
+//
+// Unlike the server, which can only sniff the head of a stream it must
+// then replay, positadvise has the whole file and samples seeded windows
+// spread across it, so its decisions are deterministic for a given file
+// and also robust to data whose character drifts after the header.
+//
+// Exit status is 0 when every input was advised, 1 otherwise.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"positbench/internal/advisor"
+	"positbench/internal/compress/all"
+)
+
+// advice is one input's JSON document.
+type advice struct {
+	File     string           `json:"file"`
+	Bytes    int              `json:"bytes"`
+	Decision advisor.Decision `json:"decision"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("positadvise: ")
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout))
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) int {
+	fs := flag.NewFlagSet("positadvise", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	sample := fs.Int("sample", advisor.DefaultSampleBytes, "sample-size budget in bytes")
+	hintsFlag := fs.String("hint", "", "comma-separated codec constraint (e.g. gzip,zstd,lc)")
+	compact := fs.Bool("compact", false, "one JSON line per input instead of indented documents")
+	if err := fs.Parse(args); err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	adv, err := advisor.New(advisor.Config{Codecs: all.Codecs(), SampleBytes: *sample})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var hints []string
+	if *hintsFlag != "" {
+		hints = strings.Split(*hintsFlag, ",")
+	}
+
+	enc := json.NewEncoder(stdout)
+	if !*compact {
+		enc.SetIndent("", "  ")
+	}
+	advise := func(name string, data []byte) error {
+		dec, err := adv.Decide(context.Background(), advisor.Sample(data, adv.SampleBytes()), hints, nil)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return enc.Encode(advice{File: name, Bytes: len(data), Decision: dec})
+	}
+
+	if fs.NArg() == 0 {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if err := advise("-", data); err != nil {
+			log.Print(err)
+			return 1
+		}
+		return 0
+	}
+	status := 0
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Print(err)
+			status = 1
+			continue
+		}
+		if err := advise(path, data); err != nil {
+			log.Print(err)
+			status = 1
+		}
+	}
+	return status
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"positbench/internal/posit"
+)
+
+// waveFile writes n float32 values of a smooth wave to dir.
+func waveFile(t *testing.T, dir string, n int) string {
+	t.Helper()
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i)/64) * 100)
+	}
+	path := filepath.Join(dir, "wave.f32")
+	if err := os.WriteFile(path, posit.EncodeFloat32LE(vals), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+type adviceDoc struct {
+	File     string `json:"file"`
+	Bytes    int    `json:"bytes"`
+	Decision struct {
+		Codec       string  `json:"codec"`
+		Source      string  `json:"source"`
+		Confidence  float64 `json:"confidence"`
+		Fingerprint struct {
+			Key string `json:"key"`
+		} `json:"fingerprint"`
+		Candidates []struct {
+			Codec   string `json:"codec"`
+			CompLen int    `json:"comp_len"`
+		} `json:"candidates"`
+	} `json:"decision"`
+}
+
+func TestAdviseFile(t *testing.T) {
+	path := waveFile(t, t.TempDir(), 8192)
+	var out bytes.Buffer
+	if code := run([]string{path}, nil, &out); code != 0 {
+		t.Fatalf("exit %d: %s", code, out.String())
+	}
+	var doc adviceDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if doc.File != path || doc.Bytes != 4*8192 {
+		t.Fatalf("doc header = %q/%d", doc.File, doc.Bytes)
+	}
+	if doc.Decision.Codec == "" || doc.Decision.Fingerprint.Key == "" {
+		t.Fatalf("incomplete decision: %+v", doc.Decision)
+	}
+	if len(doc.Decision.Candidates) == 0 {
+		t.Fatal("offline advice must carry the full candidate evidence")
+	}
+
+	// Same file, fresh process state: the decision (pick, fingerprint,
+	// candidate sizes — everything but wall-clock timings) must repeat.
+	var again bytes.Buffer
+	if code := run([]string{path}, nil, &again); code != 0 {
+		t.Fatalf("second run exit %d", code)
+	}
+	var doc2 adviceDoc
+	if err := json.Unmarshal(again.Bytes(), &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Decision.Codec != doc.Decision.Codec ||
+		doc2.Decision.Fingerprint.Key != doc.Decision.Fingerprint.Key ||
+		doc2.Decision.Confidence != doc.Decision.Confidence {
+		t.Fatalf("advice not deterministic: %+v vs %+v", doc.Decision, doc2.Decision)
+	}
+	for i := range doc.Decision.Candidates {
+		a, b := doc.Decision.Candidates[i], doc2.Decision.Candidates[i]
+		if a.Codec != b.Codec || a.CompLen != b.CompLen {
+			t.Fatalf("candidate %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestAdviseStdinAndHints(t *testing.T) {
+	vals := make([]float32, 4096)
+	for i := range vals {
+		vals[i] = float32(i % 17)
+	}
+	data := posit.EncodeFloat32LE(vals)
+
+	var out bytes.Buffer
+	if code := run([]string{"-compact", "-hint", "gzip"}, bytes.NewReader(data), &out); code != 0 {
+		t.Fatalf("exit %d: %s", code, out.String())
+	}
+	if lines := strings.Count(strings.TrimSpace(out.String()), "\n"); lines != 0 {
+		t.Fatalf("-compact emitted %d extra lines", lines)
+	}
+	var doc adviceDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.File != "-" || doc.Decision.Codec != "gzip" {
+		t.Fatalf("hinted stdin advice = %q/%q, want -/gzip", doc.File, doc.Decision.Codec)
+	}
+
+	if code := run([]string{"-hint", "nope"}, bytes.NewReader(data), io.Discard); code == 0 {
+		t.Fatal("unknown hint must fail")
+	}
+}
+
+func TestAdviseMissingFile(t *testing.T) {
+	if code := run([]string{filepath.Join(t.TempDir(), "absent.f32")}, nil, io.Discard); code != 1 {
+		t.Fatalf("missing file exit = %d, want 1", code)
+	}
+}

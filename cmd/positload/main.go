@@ -8,9 +8,14 @@
 // Usage:
 //
 //	positload -url http://127.0.0.1:8080 [-qps N] [-duration D] [-grace D]
-//	          [-inflight N] [-codecs a,b] [-convert-every N]
+//	          [-inflight N] [-codecs a,b] [-convert-every N] [-auto N]
 //	          [-values N] [-seed N] [-retry-429 N]
 //	positload -addr-file PATH ...   # read the target from a positd addr file
+//
+// -auto N mixes one POST /v1/compress/auto roundtrip in per N direct codec
+// operations: the server's advisor picks the codec, and the report books
+// those bytes per chosen codec (the X-Positd-Codec response header) under
+// "auto", reconcilable against the server's codecs.<name>.auto metrics.
 //
 // -grace lets operations already in flight at the end of -duration finish
 // instead of being cut off, which a soak needs when it reconciles this
@@ -52,6 +57,7 @@ func run(args []string) int {
 		inflight = fs.Int("inflight", 16, "max concurrently running operations; excess ticks are dropped")
 		codecs   = fs.String("codecs", "gzip,bzip2", "comma-separated codec mix for compress/decompress traffic")
 		convert  = fs.Int("convert-every", 4, "mix one /v1/convert op per N codec ops; <0 disables")
+		auto     = fs.Int("auto", 0, "mix one /v1/compress/auto roundtrip per N codec ops; <=0 disables")
 		values   = fs.Int("values", 16384, "float32 values per generated request body")
 		seed     = fs.Int64("seed", 1, "workload RNG seed")
 	)
@@ -85,6 +91,7 @@ func run(args []string) int {
 		MaxInflight:  *inflight,
 		Codecs:       strings.Split(*codecs, ","),
 		ConvertEvery: *convert,
+		AutoEvery:    *auto,
 		Values:       *values,
 		Seed:         *seed,
 	})

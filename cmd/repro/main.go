@@ -12,12 +12,15 @@
 //
 // Usage:
 //
-//	repro [-exp all|table1|table2|table3|precision|fig3|fig4|fig5|fig6|ext]
+//	repro [-exp all|table1|table2|table3|precision|fig3|fig4|fig5|fig6|ext|auto]
 //	      [-values N] [-p N] [-verify] [-v]
 //
 // The "ext" experiment runs this work's extension: the special-purpose
 // posit field compressor (internal/positpack) against the best
-// general-purpose codec per input.
+// general-purpose codec per input. The "auto" experiment scores the
+// adaptive codec advisor (internal/advisor): its sample-driven pick per
+// input, as an eighth column next to the seven registry codecs, against
+// the exhaustive per-file best.
 package main
 
 import (
@@ -56,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	needStudy := map[string]bool{
 		"all": true, "table3": true, "precision": true,
 		"fig3": true, "fig4": true, "fig5": true, "fig6": true, "ext": true,
+		"auto": true,
 	}
 	needLC := map[string]bool{"all": true, "fig3": true, "fig4": true, "fig6": true}
 
@@ -146,6 +150,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(stdout, "Extension: special-purpose posit compressor (positpack) on posit data")
+		fmt.Fprint(stdout, out)
+		fmt.Fprintln(stdout)
+	}
+	if show("auto") {
+		out, err := st.RenderAutoStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "Extension: adaptive codec selection (advisor pick vs per-file best)")
 		fmt.Fprint(stdout, out)
 		fmt.Fprintln(stdout)
 	}

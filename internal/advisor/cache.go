@@ -1,0 +1,93 @@
+package advisor
+
+import (
+	"container/list"
+	"sync"
+)
+
+// flight is one in-progress decision computation. Concurrent Decide calls
+// for the same key find the leader's flight and wait on done instead of
+// re-running the trials.
+type flight struct {
+	done chan struct{}
+	dec  Decision
+}
+
+// lruCache is the bounded decision cache plus the single-flight table. Both
+// live under one mutex so the "cached? in flight? become leader" check is a
+// single atomic step — two goroutines can never both become leader for one
+// key, and a finishing leader publishes to the cache and wakes waiters
+// without a window where a third caller would re-run the trials.
+type lruCache struct {
+	mu        sync.Mutex
+	capacity  int        // <= 0 disables storage; single-flight still coalesces
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	flights   map[string]*flight
+	evictions int64
+}
+
+type lruEntry struct {
+	key string
+	dec Decision
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		flights:  map[string]*flight{},
+	}
+}
+
+// lookup resolves key in one step: a cache hit returns (dec, true, nil,
+// false); an in-progress flight returns (_, false, f, false) for the caller
+// to wait on; otherwise the caller is registered as leader and must call
+// finish with the computed decision.
+func (c *lruCache) lookup(key string) (dec Decision, hit bool, f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry).dec, true, nil, false
+	}
+	if f, ok := c.flights[key]; ok {
+		return Decision{}, false, f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return Decision{}, false, f, true
+}
+
+// finish publishes the leader's decision: it lands in the cache (evicting
+// the least-recently-used entry past capacity) and every waiter on f wakes
+// with it.
+func (c *lruCache) finish(key string, f *flight, dec Decision) {
+	c.mu.Lock()
+	if c.capacity > 0 {
+		if el, ok := c.items[key]; ok {
+			el.Value.(*lruEntry).dec = dec
+			c.ll.MoveToFront(el)
+		} else {
+			c.items[key] = c.ll.PushFront(&lruEntry{key: key, dec: dec})
+			for c.ll.Len() > c.capacity {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.items, oldest.Value.(*lruEntry).key)
+				c.evictions++
+			}
+		}
+	}
+	delete(c.flights, key)
+	c.mu.Unlock()
+	f.dec = dec
+	close(f.done)
+}
+
+// stats reports current length and lifetime evictions.
+func (c *lruCache) stats() (length int, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.evictions
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"positbench/internal/advisor"
+	"positbench/internal/stats"
+)
+
+// Adaptive-selection extension: score the advisor's offline picks against
+// the study's own exhaustive measurements.
+
+// AutoRow is one input x encoding advisor decision, scored with the
+// study's full-input measurement of the chosen codec.
+type AutoRow struct {
+	Input     string
+	Encoding  Encoding
+	Chosen    string
+	Source    string
+	AutoRatio float64 // chosen codec's measured full-input ratio
+	Best      string  // per-file best registry codec
+	BestRatio float64
+}
+
+// AutoStudy replays the advisor offline over every prepared input: the
+// input's bytes are sampled with the same seeded multi-window scheme
+// cmd/positadvise uses on files, the advisor trial-compresses the sample,
+// and its pick is scored with the study's existing measurement for that
+// codec — no recompression of the full input. LC candidates are disabled
+// so every possible pick has a registry measurement to score against;
+// that makes "auto" an eighth column next to the seven registry codecs.
+func (st *Study) AutoStudy() ([]AutoRow, error) {
+	adv, err := advisor.New(advisor.Config{
+		Codecs:      st.Opts.Codecs,
+		LCPipelines: []string{}, // non-nil and empty: registry codecs only
+		Workers:     st.Opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building advisor: %w", err)
+	}
+	eligible := map[string]bool{}
+	for _, name := range adv.Names() {
+		eligible[name] = true
+	}
+	rows := make([]AutoRow, 0, 2*len(st.Inputs))
+	for _, in := range st.Inputs {
+		for _, enc := range []Encoding{EncIEEE, EncPosit} {
+			data := in.Bytes(enc)
+			sample := advisor.Sample(data, adv.SampleBytes())
+			dec, err := adv.Decide(context.Background(), sample, nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: advising %s (%s): %w", in.Spec.Name, enc, err)
+			}
+			row := AutoRow{Input: in.Spec.Name, Encoding: enc, Chosen: dec.Codec, Source: dec.Source}
+			if m, ok := st.Ratio(dec.Codec, in.Spec.Name, enc); ok {
+				row.AutoRatio = m.Ratio
+			} else {
+				return nil, fmt.Errorf("core: advisor chose %q but the study never measured it on %s (%s)",
+					dec.Codec, in.Spec.Name, enc)
+			}
+			for _, m := range st.Measurements {
+				if m.Input == in.Spec.Name && m.Encoding == enc && eligible[m.Codec] && m.Ratio > row.BestRatio {
+					row.Best, row.BestRatio = m.Codec, m.Ratio
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// AutoGeoMeans aggregates one encoding's auto and per-file-best ratios.
+func AutoGeoMeans(rows []AutoRow, enc Encoding) (auto, best float64) {
+	var autos, bests []float64
+	for _, r := range rows {
+		if r.Encoding == enc {
+			autos = append(autos, r.AutoRatio)
+			bests = append(bests, r.BestRatio)
+		}
+	}
+	return stats.GeoMean(autos), stats.GeoMean(bests)
+}
+
+// RenderAutoStudy renders the adaptive-selection extension: the advisor's
+// sample-driven pick per input next to the exhaustive per-file best, with
+// per-encoding geomeans and the relative gap the acceptance gate watches.
+func (st *Study) RenderAutoStudy() (string, error) {
+	rows, err := st.AutoStudy()
+	if err != nil {
+		return "", err
+	}
+	t := stats.NewTable("Input", "enc", "auto pick", "auto CR", "best codec", "best CR")
+	for _, r := range rows {
+		t.AddRow(r.Input, string(r.Encoding), r.Chosen, fmt.Sprintf("%.3f", r.AutoRatio),
+			r.Best, fmt.Sprintf("%.3f", r.BestRatio))
+	}
+	out := t.String()
+	for _, enc := range []Encoding{EncIEEE, EncPosit} {
+		auto, best := AutoGeoMeans(rows, enc)
+		gapPct := 0.0
+		if best > 0 {
+			gapPct = 100 * (best - auto) / best
+		}
+		out += fmt.Sprintf("geomean (%s): auto %.3f vs per-file best %.3f (gap %.2f%%)\n",
+			enc, auto, best, gapPct)
+	}
+	return out, nil
+}

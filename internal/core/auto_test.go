@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAutoStudy checks the adaptive-selection extension: every input x
+// encoding cell gets a decision the study actually measured, per-file best
+// is never below the auto pick, and the geomean gap stays inside the 1%
+// acceptance envelope the advisor is built to hold.
+func TestAutoStudy(t *testing.T) {
+	st := smallStudy(t)
+	rows, err := st.AutoStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(st.Inputs); len(rows) != want {
+		t.Fatalf("got %d auto rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Chosen == "" || r.AutoRatio <= 0 {
+			t.Fatalf("bad decision row %+v", r)
+		}
+		if r.Chosen == "lc" {
+			t.Fatalf("offline auto study must stick to registry codecs, chose lc on %s", r.Input)
+		}
+		if r.BestRatio < r.AutoRatio {
+			t.Fatalf("per-file best %.3f below auto pick %.3f on %s (%s)",
+				r.BestRatio, r.AutoRatio, r.Input, r.Encoding)
+		}
+	}
+	for _, enc := range []Encoding{EncIEEE, EncPosit} {
+		auto, best := AutoGeoMeans(rows, enc)
+		if auto <= 0 || best <= 0 {
+			t.Fatalf("degenerate geomeans auto=%.3f best=%.3f (%s)", auto, best, enc)
+		}
+		if gap := 100 * (best - auto) / best; gap > 1.0 {
+			t.Errorf("auto geomean %.3f trails per-file best %.3f by %.2f%% (%s), want <= 1%%",
+				auto, best, gap, enc)
+		}
+	}
+}
+
+// TestAutoStudyDeterministic pins that two offline replays pick the same
+// codecs: the sampler is seeded and the advisor breaks ties stably.
+func TestAutoStudyDeterministic(t *testing.T) {
+	st := smallStudy(t)
+	a, err := st.AutoStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.AutoStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Chosen != b[i].Chosen {
+			t.Fatalf("replay diverged on %s (%s): %q vs %q",
+				a[i].Input, a[i].Encoding, a[i].Chosen, b[i].Chosen)
+		}
+	}
+}
+
+func TestRenderAutoStudy(t *testing.T) {
+	st := smallStudy(t)
+	out, err := st.RenderAutoStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"auto pick", "geomean (ieee)", "geomean (posit)", "gap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered auto study missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"positbench/internal/server"
+)
+
+// autoBody builds n float32 values of a smooth wave, the shape the advisor
+// reliably classifies as float-like.
+func autoBody(n int) []byte {
+	out := make([]byte, 0, 4*n)
+	for i := 0; i < n; i++ {
+		v := float32(math.Sin(float64(i)/64) * 100)
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	return out
+}
+
+// TestProxyAutoPassthrough drives POST /v1/compress/auto through the
+// gateway against a real positd backend, once buffered (replay-safe) and
+// once past the buffer cap (streamed, single-try), and checks that the
+// advisor's decision headers relay intact, the stream roundtrips through
+// /v1/decompress, and the gateway's auto_* metrics account both shapes.
+func TestProxyAutoPassthrough(t *testing.T) {
+	srv, err := server.New(server.Config{AccessLog: io.Discard, ChunkSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := httptest.NewServer(srv.Handler())
+	defer backend.Close()
+	g, front := newTestGateway(t, []string{backend.URL}, func(c *Config) {
+		c.MaxBufferBytes = 64 << 10 // small cap so the second request streams
+	})
+
+	small := autoBody(4 << 10) // 16 KiB: buffered
+	resp := postShard(t, front.URL+"/v1/compress/auto", "", string(small))
+	comp, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("buffered auto status = %d: %s", resp.StatusCode, comp)
+	}
+	chosen := resp.Header.Get("X-Positd-Codec")
+	if chosen == "" {
+		t.Fatal("gateway dropped the X-Positd-Codec decision header")
+	}
+	if resp.Header.Get("X-Positd-Auto-Source") == "" {
+		t.Fatal("gateway dropped the X-Positd-Auto-Source decision header")
+	}
+	dresp := postShard(t, front.URL+"/v1/decompress", "", string(comp))
+	back, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || !bytes.Equal(back, small) {
+		t.Fatalf("auto roundtrip through gateway failed: status %d, %d bytes back", dresp.StatusCode, len(back))
+	}
+
+	large := autoBody(32 << 10) // 128 KiB: over the 64 KiB cap, streamed
+	resp2 := postShard(t, front.URL+"/v1/compress/auto", "", string(large))
+	comp2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("streamed auto status = %d", resp2.StatusCode)
+	}
+	if resp2.Header.Get("X-Positd-Codec") == "" {
+		t.Fatal("streamed auto lost the decision header")
+	}
+	dresp2 := postShard(t, front.URL+"/v1/decompress", "", string(comp2))
+	back2, _ := io.ReadAll(dresp2.Body)
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusOK || !bytes.Equal(back2, large) {
+		t.Fatalf("streamed auto roundtrip failed: status %d, %d bytes back", dresp2.StatusCode, len(back2))
+	}
+
+	snap := g.snapshot()
+	if snap.AutoRequests != 2 {
+		t.Errorf("auto_requests = %d, want 2", snap.AutoRequests)
+	}
+	if snap.AutoStreamed != 1 {
+		t.Errorf("auto_streamed = %d, want 1 (only the over-cap body)", snap.AutoStreamed)
+	}
+	var chosenTotal int64
+	for _, n := range snap.AutoChosen {
+		chosenTotal += n
+	}
+	if chosenTotal != 2 {
+		t.Errorf("auto_chosen totals %d across %v, want 2", chosenTotal, snap.AutoChosen)
+	}
+	if snap.AutoChosen[chosen] == 0 {
+		t.Errorf("auto_chosen missing the relayed codec %q: %v", chosen, snap.AutoChosen)
+	}
+	// Decompress traffic must not leak into the auto counters.
+	if snap.Responses2xx != 4 {
+		t.Errorf("responses_2xx = %d, want 4", snap.Responses2xx)
+	}
+}

@@ -32,10 +32,36 @@ type gwMetrics struct {
 	noBackend        atomic.Int64 // requests that exhausted every backend
 	abortedMidStream atomic.Int64 // connections aborted after the status line
 	bodiesStreamed   atomic.Int64 // requests too large to buffer (single-try)
+
+	// Adaptive-codec passthrough: the gateway never decides codecs itself,
+	// but it watches POST /v1/compress/auto go by and surfaces what the
+	// backends' advisors chose (the relayed X-Positd-Codec header).
+	autoRequests atomic.Int64 // auto requests proxied
+	autoStreamed atomic.Int64 // auto requests too large to buffer
+	autoMu       sync.Mutex
+	autoChosen   map[string]int64 // successful auto responses per chosen codec
 }
 
 func newGWMetrics() *gwMetrics {
-	return &gwMetrics{start: time.Now()}
+	return &gwMetrics{start: time.Now(), autoChosen: map[string]int64{}}
+}
+
+// recordAutoChosen accounts one successful auto response by chosen codec.
+func (m *gwMetrics) recordAutoChosen(codec string) {
+	m.autoMu.Lock()
+	m.autoChosen[codec]++
+	m.autoMu.Unlock()
+}
+
+// autoChosenSnapshot copies the per-codec choice counters.
+func (m *gwMetrics) autoChosenSnapshot() map[string]int64 {
+	m.autoMu.Lock()
+	defer m.autoMu.Unlock()
+	out := make(map[string]int64, len(m.autoChosen))
+	for k, v := range m.autoChosen {
+		out[k] = v
+	}
+	return out
 }
 
 // statusClientClosedRequest mirrors positd's taxonomy for "the client went
@@ -87,6 +113,9 @@ type metricsSnapshot struct {
 	NoBackend        int64                    `json:"no_backend"`
 	AbortedMidStream int64                    `json:"aborted_mid_stream"`
 	BodiesStreamed   int64                    `json:"bodies_streamed"`
+	AutoRequests     int64                    `json:"auto_requests"`
+	AutoStreamed     int64                    `json:"auto_streamed"`
+	AutoChosen       map[string]int64         `json:"auto_chosen,omitempty"`
 	TracesCaptured   uint64                   `json:"traces_captured"`
 	Backends         map[string]backendExport `json:"backends"`
 }
@@ -110,6 +139,9 @@ func (g *Gateway) snapshot() metricsSnapshot {
 		NoBackend:        m.noBackend.Load(),
 		AbortedMidStream: m.abortedMidStream.Load(),
 		BodiesStreamed:   m.bodiesStreamed.Load(),
+		AutoRequests:     m.autoRequests.Load(),
+		AutoStreamed:     m.autoStreamed.Load(),
+		AutoChosen:       m.autoChosenSnapshot(),
 		Backends:         make(map[string]backendExport, len(g.backends)),
 	}
 	if g.tracer != nil {

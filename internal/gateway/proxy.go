@@ -55,6 +55,9 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "body_read", err.Error())
 		return
 	}
+	if isAutoCompress(r) {
+		g.metrics.autoRequests.Add(1)
+	}
 	key := shardKey(r, body)
 	st := newTryState(g.ring.sequence(key), len(g.backends))
 	sp.Annotate("shard_key", strconv.FormatUint(key, 16))
@@ -62,12 +65,36 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	if overflowed {
 		// The body cannot be replayed: stream it through exactly once, no
 		// retries, no hedging. Half-streamed POSTs must never be resent.
+		// Auto requests take this path too: the backend only samples the
+		// stream head, so replay safety, not advice quality, is what the
+		// buffering boundary protects.
 		g.metrics.bodiesStreamed.Add(1)
+		if isAutoCompress(r) {
+			g.metrics.autoStreamed.Add(1)
+		}
 		sp.Annotate("mode", "streamed")
 		g.proxyStreaming(w, r, body, st, sp)
 		return
 	}
 	g.proxyBuffered(w, r, body, st, sp)
+}
+
+// isAutoCompress reports whether r asks a backend's advisor to pick the
+// codec; the gateway surfaces those decisions in its own metrics.
+func isAutoCompress(r *http.Request) bool {
+	return r.Method == http.MethodPost && r.URL.Path == "/v1/compress/auto"
+}
+
+// observeAutoChoice records which codec the backend's advisor chose for a
+// successfully answered auto request, from the relayed response header.
+func (g *Gateway) observeAutoChoice(r *http.Request, status int, hdr http.Header, sp *trace.Span) {
+	if !isAutoCompress(r) || status < 200 || status >= 300 {
+		return
+	}
+	if chosen := hdr.Get("X-Positd-Codec"); chosen != "" {
+		g.metrics.recordAutoChosen(chosen)
+		sp.Annotate("auto_codec", chosen)
+	}
 }
 
 // proxyBuffered runs the full resilience plan over a replayable request.
@@ -127,6 +154,7 @@ func (g *Gateway) proxyBuffered(w http.ResponseWriter, r *http.Request, body []b
 
 	sp.Annotate("backend", u.backend.name)
 	sp.SetBytes(int64(len(body)), int64(len(u.body)))
+	g.observeAutoChoice(r, u.status, u.header, sp)
 	g.relay(w, u)
 }
 
@@ -157,6 +185,7 @@ func (g *Gateway) proxyStreaming(w http.ResponseWriter, r *http.Request, prefix 
 	if resp.StatusCode >= 500 {
 		b.failures.Add(1)
 	}
+	g.observeAutoChoice(r, resp.StatusCode, resp.Header, sp)
 	copyRelayHeaders(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
 	if _, err := io.Copy(w, resp.Body); err != nil {

@@ -60,6 +60,10 @@ type Config struct {
 	// ConvertEvery mixes one /v1/convert operation in per N codec
 	// operations. 0 selects 4; negative disables conversion traffic.
 	ConvertEvery int
+	// AutoEvery mixes one /v1/compress/auto roundtrip in per N direct
+	// codec operations. <= 0 disables auto traffic (the default, so
+	// existing reconciliation suites are unchanged).
+	AutoEvery int
 	// Values is the float32 count per generated request body. <= 0
 	// selects 16384 (64 KiB bodies).
 	Values int
@@ -114,6 +118,12 @@ type Report struct {
 	Compress   map[string]*OpBytes `json:"compress"`
 	Decompress map[string]*OpBytes `json:"decompress"`
 	Convert    OpBytes             `json:"convert"`
+	// Auto is keyed by the codec the server's advisor chose (the
+	// X-Positd-Codec response header); each entry must reconcile exactly
+	// with the server's codecs.<name>.auto metrics. The decompress half of
+	// an auto roundtrip is accounted in Decompress under the chosen codec,
+	// because that is where the server accounts it too.
+	Auto map[string]*OpBytes `json:"auto,omitempty"`
 
 	Latency map[string]LatencySummary `json:"latency"`
 }
@@ -179,6 +189,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			TargetQPS:  cfg.QPS,
 			Compress:   map[string]*OpBytes{},
 			Decompress: map[string]*OpBytes{},
+			Auto:       map[string]*OpBytes{},
 			Latency:    map[string]LatencySummary{},
 		},
 		histograms: map[string]*stats.LatencyHist{},
@@ -202,7 +213,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	slots := make(chan struct{}, cfg.MaxInflight)
 	var wg sync.WaitGroup
 	start := time.Now()
-	codecOps := 0
+	codecOps, sinceAuto := 0, 0
 
 loop:
 	for {
@@ -217,12 +228,18 @@ loop:
 		// Decide the operation on the loop goroutine so the sequence is
 		// deterministic for a given seed regardless of worker scheduling.
 		var op func(*loader)
-		if cfg.ConvertEvery > 0 && codecOps >= cfg.ConvertEvery {
+		switch {
+		case cfg.ConvertEvery > 0 && codecOps >= cfg.ConvertEvery:
 			codecOps = 0
 			body := l.bodies[rng.Intn(len(l.bodies))]
 			op = func(l *loader) { l.doConvert(ctx, body) }
-		} else {
+		case cfg.AutoEvery > 0 && sinceAuto >= cfg.AutoEvery:
+			sinceAuto = 0
+			body := l.bodies[rng.Intn(len(l.bodies))]
+			op = func(l *loader) { l.doAuto(ctx, body) }
+		default:
 			codecOps++
+			sinceAuto++
 			codec := cfg.Codecs[rng.Intn(len(cfg.Codecs))]
 			body := l.bodies[rng.Intn(len(l.bodies))]
 			op = func(l *loader) { l.doRoundtrip(ctx, codec, body) }
@@ -300,14 +317,21 @@ func retryAfter(resp *http.Response) (time.Duration, bool) {
 // advertised delay; every response, shed or not, is counted, so the class
 // totals still reconcile one-to-one with the server's response counters.
 func (l *loader) post(ctx context.Context, label, url string, body []byte) ([]byte, int, bool) {
+	out, _, status, ok := l.postHdr(ctx, label, url, body)
+	return out, status, ok
+}
+
+// postHdr is post for callers that also need the response headers (the
+// auto arm reads the server's codec choice from X-Positd-Codec).
+func (l *loader) postHdr(ctx context.Context, label, url string, body []byte) ([]byte, http.Header, int, bool) {
 	for attempt := 0; ; attempt++ {
-		out, status, ok, wait, hinted := l.postOnce(ctx, label, url, body)
+		out, hdr, status, ok, wait, hinted := l.postOnce(ctx, label, url, body)
 		if status != http.StatusTooManyRequests || !hinted || attempt >= l.cfg.Retry429 {
-			return out, status, ok
+			return out, hdr, status, ok
 		}
 		select {
 		case <-ctx.Done():
-			return out, status, ok
+			return out, hdr, status, ok
 		case <-time.After(wait):
 		}
 		l.count(func(r *Report) { r.Retried429++ })
@@ -317,11 +341,11 @@ func (l *loader) post(ctx context.Context, label, url string, body []byte) ([]by
 // postOnce sends one request and fully drains the response, recording the
 // status class and latency under the given histogram label. For a 429 it
 // also reports the parsed Retry-After hint, so post can honor it.
-func (l *loader) postOnce(ctx context.Context, label, url string, body []byte) (_ []byte, status int, ok bool, wait time.Duration, hinted bool) {
+func (l *loader) postOnce(ctx context.Context, label, url string, body []byte) (_ []byte, hdr http.Header, status int, ok bool, wait time.Duration, hinted bool) {
 	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
 	if err != nil {
 		l.count(func(r *Report) { r.Transport++ })
-		return nil, 0, false, 0, false
+		return nil, nil, 0, false, 0, false
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	t0 := time.Now()
@@ -331,7 +355,7 @@ func (l *loader) postOnce(ctx context.Context, label, url string, body []byte) (
 		if ctx.Err() == nil {
 			l.count(func(r *Report) { r.Transport++ })
 		}
-		return nil, 0, false, 0, false
+		return nil, nil, 0, false, 0, false
 	}
 	defer resp.Body.Close()
 	out, err := io.ReadAll(resp.Body)
@@ -340,7 +364,7 @@ func (l *loader) postOnce(ctx context.Context, label, url string, body []byte) (
 		if ctx.Err() == nil {
 			l.count(func(r *Report) { r.Transport++ })
 		}
-		return nil, resp.StatusCode, false, 0, false
+		return nil, resp.Header, resp.StatusCode, false, 0, false
 	}
 	l.mu.Lock()
 	h := l.histograms[label]
@@ -363,7 +387,7 @@ func (l *loader) postOnce(ctx context.Context, label, url string, body []byte) (
 	if resp.StatusCode == http.StatusTooManyRequests {
 		wait, hinted = retryAfter(resp)
 	}
-	return out, resp.StatusCode, resp.StatusCode >= 200 && resp.StatusCode < 300, wait, hinted
+	return out, resp.Header, resp.StatusCode, resp.StatusCode >= 200 && resp.StatusCode < 300, wait, hinted
 }
 
 // count applies one locked mutation to the report.
@@ -402,6 +426,43 @@ func (l *loader) doRoundtrip(ctx context.Context, codec string, body []byte) {
 	}
 	l.count(func(r *Report) {
 		ob := opBytes(r.Decompress, codec)
+		ob.Ops++
+		ob.BytesIn += int64(len(comp))
+		ob.BytesOut += int64(len(back))
+		r.BytesMoved += int64(len(comp)) + int64(len(back))
+		if !bytes.Equal(back, body) {
+			r.Mismatches++
+		}
+	})
+}
+
+// doAuto runs one auto-mode compress + decompress + verify operation,
+// booking the compress half under the codec the server's advisor chose.
+func (l *loader) doAuto(ctx context.Context, body []byte) {
+	comp, hdr, _, ok := l.postHdr(ctx, "auto", l.cfg.BaseURL+"/v1/compress/auto", body)
+	if !ok {
+		return
+	}
+	chosen := hdr.Get("X-Positd-Codec")
+	if chosen == "" {
+		// A 2xx without the codec header is a server contract violation;
+		// surface it the same way a bad roundtrip is surfaced.
+		l.count(func(r *Report) { r.Mismatches++ })
+		return
+	}
+	l.count(func(r *Report) {
+		ob := opBytes(r.Auto, chosen)
+		ob.Ops++
+		ob.BytesIn += int64(len(body))
+		ob.BytesOut += int64(len(comp))
+		r.BytesMoved += int64(len(body)) + int64(len(comp))
+	})
+	back, _, ok := l.post(ctx, "decompress", l.cfg.BaseURL+"/v1/decompress", comp)
+	if !ok {
+		return
+	}
+	l.count(func(r *Report) {
+		ob := opBytes(r.Decompress, chosen)
 		ob.Ops++
 		ob.BytesIn += int64(len(comp))
 		ob.BytesOut += int64(len(back))

@@ -160,6 +160,109 @@ func TestBurstAgainstPositd(t *testing.T) {
 	}
 }
 
+// TestAutoArmReconciles drives a mix that includes the -auto arm and
+// reconciles the generator's per-chosen-codec auto bookkeeping exactly
+// against the server's codecs.<name>.auto metrics and advisor counters.
+func TestAutoArmReconciles(t *testing.T) {
+	srv, err := server.New(server.Config{AccessLog: io.Discard, ChunkSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		QPS:      150,
+		Duration: 1500 * time.Millisecond,
+		// Exact reconciliation needs the grace tail, as in the burst test.
+		Grace:        2 * time.Second,
+		MaxInflight:  8,
+		Codecs:       []string{"gzip"},
+		ConvertEvery: -1,
+		AutoEvery:    3,
+		Values:       4096,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("auto burst failed: 5xx=%d transport=%d mismatches=%d",
+			rep.Status5xx, rep.Transport, rep.Mismatches)
+	}
+	var autoOps int64
+	for _, ob := range rep.Auto {
+		autoOps += ob.Ops
+	}
+	if autoOps == 0 {
+		t.Fatal("AutoEvery=3 produced no auto operations")
+	}
+	if rep.Latency["auto"].Count == 0 {
+		t.Error("no auto latency observations")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Advisor struct {
+			Decisions  int64            `json:"decisions"`
+			CacheHits  int64            `json:"cache_hits"`
+			Fallbacks  int64            `json:"fallbacks"`
+			HitRatePct float64          `json:"hit_rate_pct"`
+			Chosen     map[string]int64 `json:"chosen"`
+		} `json:"advisor"`
+		Codecs map[string]map[string]struct {
+			Ops      int64 `json:"ops"`
+			BytesIn  int64 `json:"bytes_in"`
+			BytesOut int64 `json:"bytes_out"`
+		} `json:"codecs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every auto op the generator booked must appear, byte for byte, under
+	// the chosen codec's "auto" op on the server.
+	for codec, want := range rep.Auto {
+		got := snap.Codecs[codec]["auto"]
+		if got.Ops != want.Ops || got.BytesIn != want.BytesIn || got.BytesOut != want.BytesOut {
+			t.Errorf("codec %s auto: server {ops %d in %d out %d} != generator {ops %d in %d out %d}",
+				codec, got.Ops, got.BytesIn, got.BytesOut, want.Ops, want.BytesIn, want.BytesOut)
+		}
+	}
+	// And nothing else: server-side auto ops across all codecs must equal
+	// the generator's total, so no op was double-booked under "compress".
+	var gotAutoOps int64
+	for _, ops := range snap.Codecs {
+		gotAutoOps += ops["auto"].Ops
+	}
+	if gotAutoOps != autoOps {
+		t.Errorf("auto ops: server %d != generator %d", gotAutoOps, autoOps)
+	}
+	if snap.Advisor.Decisions != autoOps {
+		t.Errorf("advisor decisions %d != auto ops %d", snap.Advisor.Decisions, autoOps)
+	}
+	var chosenTotal int64
+	for _, n := range snap.Advisor.Chosen {
+		chosenTotal += n
+	}
+	if chosenTotal != autoOps {
+		t.Errorf("advisor chosen total %d != auto ops %d", chosenTotal, autoOps)
+	}
+	// The workload cycles a fixed body set, so repeats must hit the
+	// decision cache once the set has been seen.
+	if autoOps > 20 && snap.Advisor.CacheHits == 0 {
+		t.Error("repeated bodies never hit the advisor cache")
+	}
+	if snap.Advisor.Fallbacks != 0 {
+		t.Errorf("healthy traffic triggered %d advisor fallbacks", snap.Advisor.Fallbacks)
+	}
+}
+
 // TestOpenLoopDropsUnderSaturation pins the open-loop property: with a
 // stalled server and a tiny concurrency cap, excess ticks are dropped
 // rather than queued.

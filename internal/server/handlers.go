@@ -412,23 +412,38 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// codecsResponse is one GET /v1/codecs entry.
+// codecsResponse is one GET /v1/codecs entry: identity plus the capability
+// hints clients and the gateway introspect instead of hard-coding names —
+// whether the decoder is light enough for the serial fallback path, whether
+// the codec emits per-stage trace spans, and whether the auto-mode advisor
+// considers it a candidate.
 type codecsResponse struct {
-	Name    string `json:"name"`
-	Version string `json:"version,omitempty"`
-	Source  string `json:"source,omitempty"`
+	Name            string `json:"name"`
+	Version         string `json:"version,omitempty"`
+	Source          string `json:"source,omitempty"`
+	LightDecoder    bool   `json:"light_decoder"`
+	TracedStages    bool   `json:"traced_stages"`
+	AdvisorEligible bool   `json:"advisor_eligible"`
 }
 
 // handleCodecs lists the registry in table order.
 func (s *Server) handleCodecs(w http.ResponseWriter, r *http.Request) {
 	out := make([]codecsResponse, 0, len(s.names))
 	for _, name := range s.names {
-		entry := codecsResponse{Name: name}
-		if d, ok := s.codecs[name].(compress.Describer); ok {
+		c := s.codecs[name]
+		entry := codecsResponse{
+			Name:            name,
+			LightDecoder:    compress.DecodeIsLight(c),
+			AdvisorEligible: s.advisor.Eligible(name),
+		}
+		if d, ok := c.(compress.Describer); ok {
 			info := d.Info()
 			entry.Version = info.Version
 			entry.Source = info.Source
 		}
+		_, tc := c.(compress.TracedCompressor)
+		_, td := c.(compress.TracedDecompressor)
+		entry.TracedStages = tc || td
 		out = append(out, entry)
 	}
 	w.Header().Set("Content-Type", "application/json")

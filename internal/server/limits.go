@@ -103,50 +103,26 @@ func intParam(r *http.Request, name string, def int64) (int64, error) {
 // requestLimits resolves the decode limits for one request: the server's
 // configured cap, lowered — never raised — by an explicit ?max_out=N.
 func (s *Server) requestLimits(r *http.Request) (compress.DecodeLimits, error) {
-	lim := compress.DecodeLimits{MaxOutputBytes: s.cfg.MaxOutputBytes}
-	maxOut, err := intParam(r, "max_out", 0)
-	if err != nil {
-		return lim, err
+	ceiling := s.cfg.MaxOutputBytes
+	if ceiling <= 0 {
+		ceiling = compress.DefaultMaxOutputBytes
 	}
-	if maxOut > 0 {
-		ceiling := lim.MaxOutputBytes
-		if ceiling <= 0 {
-			ceiling = compress.DefaultMaxOutputBytes
-		}
-		if maxOut < ceiling {
-			lim.MaxOutputBytes = maxOut
-		}
-	}
-	return lim, nil
+	maxOut, err := clampedInt64Param(r, "max_out", s.cfg.MaxOutputBytes, 1, ceiling)
+	return compress.DecodeLimits{MaxOutputBytes: maxOut}, err
 }
 
 // requestWorkers resolves the worker-pool size for one request: the
 // server's default, lowered — never raised — by ?workers=N.
 func (s *Server) requestWorkers(r *http.Request) (int, error) {
-	w, err := intParam(r, "workers", 0)
-	if err != nil {
-		return 0, err
-	}
-	if w <= 0 || int(w) > s.cfg.Workers {
-		return s.cfg.Workers, nil
-	}
-	return int(w), nil
+	w, err := clampedInt64Param(r, "workers", int64(s.cfg.Workers), 1, int64(s.cfg.Workers))
+	return int(w), err
 }
 
 // requestChunk resolves the streaming chunk size for one request,
 // clamped to [minChunkSize, the server's configured size].
 func (s *Server) requestChunk(r *http.Request) (int, error) {
-	c, err := intParam(r, "chunk", 0)
-	if err != nil {
-		return 0, err
-	}
-	if c <= 0 || int(c) > s.cfg.ChunkSize {
-		return s.cfg.ChunkSize, nil
-	}
-	if c < minChunkSize {
-		return minChunkSize, nil
-	}
-	return int(c), nil
+	c, err := clampedInt64Param(r, "chunk", int64(s.cfg.ChunkSize), minChunkSize, int64(s.cfg.ChunkSize))
+	return int(c), err
 }
 
 // minChunkSize stops a hostile ?chunk=1 from exploding a large body into

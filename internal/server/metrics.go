@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"positbench/internal/advisor"
 	"positbench/internal/compress"
 	"positbench/internal/stats"
 )
@@ -143,6 +144,7 @@ type metricsSnapshot struct {
 	Inflight      int64                             `json:"inflight"`
 	Rejected429   int64                             `json:"rejected_429"`
 	Engine        engineExport                      `json:"engine"`
+	Advisor       *advisor.Stats                    `json:"advisor,omitempty"`
 	Requests      map[string]routeExport            `json:"requests"`
 	Codecs        map[string]map[string]codecExport `json:"codecs"`
 }
@@ -168,10 +170,10 @@ func (m *metrics) snapshot() metricsSnapshot {
 	for key, cs := range m.codecOps {
 		codec, op := splitKey(key)
 		exp := codecExport{codecStats: *cs, Latency: exportLatency(&cs.lat)}
-		// original/compressed regardless of direction: compress shrinks
-		// in->out, decompress expands in->out.
+		// original/compressed regardless of direction: compress and auto
+		// shrink in->out, decompress expands in->out.
 		switch {
-		case op == "compress" && cs.BytesOut > 0:
+		case (op == "compress" || op == "auto") && cs.BytesOut > 0:
 			exp.Ratio = float64(cs.BytesIn) / float64(cs.BytesOut)
 		case op == "decompress" && cs.BytesIn > 0:
 			exp.Ratio = float64(cs.BytesOut) / float64(cs.BytesIn)
@@ -198,6 +200,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	snap := s.metrics.snapshot()
 	snap.Engine.TracesCaptured = s.tracer.Len()
+	advStats := s.advisor.Stats()
+	snap.Advisor = &advStats
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(snap)

@@ -1,0 +1,24 @@
+package server
+
+import "net/http"
+
+// clampedInt64Param is the one shared resolver behind every per-request
+// resource knob (?workers=, ?chunk=, ?max_out=). The policy, identical on
+// every route: absent, non-positive, or at/above the server's ceiling
+// resolves to the configured default (a client can lower a limit, never
+// raise it); a value below the floor clamps up to the floor (a hostile
+// ?chunk=1 must not explode a body into millions of frames). Only a
+// non-integer value is an error.
+func clampedInt64Param(r *http.Request, name string, def, floor, ceil int64) (int64, error) {
+	v, err := intParam(r, name, 0)
+	if err != nil {
+		return def, err
+	}
+	if v <= 0 || v >= ceil {
+		return def, nil
+	}
+	if v < floor {
+		return floor, nil
+	}
+	return v, nil
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"positbench/internal/compress"
+)
+
+// TestClampedInt64Param pins the one shared policy behind ?workers=,
+// ?chunk=, and ?max_out=: defaults for absent/non-positive/too-large,
+// floor clamping, and errors only for non-integers.
+func TestClampedInt64Param(t *testing.T) {
+	const (
+		def   = 100
+		floor = 10
+		ceil  = 100
+	)
+	cases := []struct {
+		name    string
+		query   string
+		want    int64
+		wantErr bool
+	}{
+		{name: "absent", query: "", want: def},
+		{name: "zero", query: "p=0", want: def},
+		{name: "negative", query: "p=-3", want: def},
+		{name: "at ceiling", query: "p=100", want: def},
+		{name: "above ceiling", query: "p=1000", want: def},
+		{name: "in range", query: "p=42", want: 42},
+		{name: "at floor", query: "p=10", want: 10},
+		{name: "below floor clamps", query: "p=3", want: floor},
+		{name: "not an integer", query: "p=abc", wantErr: true},
+		{name: "float", query: "p=1.5", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := httptest.NewRequest("GET", "/?"+tc.query, nil)
+			got, err := clampedInt64Param(r, "p", def, floor, ceil)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got %d", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRequestResolvers pins the three per-request resolvers to their
+// documented behavior through the shared validator.
+func TestRequestResolvers(t *testing.T) {
+	s, err := New(Config{ChunkSize: 64 << 10, Workers: 8, MaxOutputBytes: 1 << 20, AccessLog: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("workers", func(t *testing.T) {
+		cases := []struct {
+			query string
+			want  int
+		}{
+			{"", 8}, {"workers=0", 8}, {"workers=-1", 8}, {"workers=99", 8},
+			{"workers=8", 8}, {"workers=3", 3}, {"workers=1", 1},
+		}
+		for _, tc := range cases {
+			r := httptest.NewRequest("POST", "/?"+tc.query, nil)
+			got, err := s.requestWorkers(r)
+			if err != nil || got != tc.want {
+				t.Fatalf("%q -> (%d, %v), want %d", tc.query, got, err, tc.want)
+			}
+		}
+		if _, err := s.requestWorkers(httptest.NewRequest("POST", "/?workers=x", nil)); err == nil {
+			t.Fatal("workers=x should error")
+		}
+	})
+
+	t.Run("chunk", func(t *testing.T) {
+		cases := []struct {
+			query string
+			want  int
+		}{
+			{"", 64 << 10}, {"chunk=0", 64 << 10}, {"chunk=1000000", 64 << 10},
+			{"chunk=8192", 8192},
+			{"chunk=1", minChunkSize}, // hostile tiny chunk clamps to the floor
+			{"chunk=" + strconv.Itoa(minChunkSize-1), minChunkSize},
+		}
+		for _, tc := range cases {
+			r := httptest.NewRequest("POST", "/?"+tc.query, nil)
+			got, err := s.requestChunk(r)
+			if err != nil || got != tc.want {
+				t.Fatalf("%q -> (%d, %v), want %d", tc.query, got, err, tc.want)
+			}
+		}
+	})
+
+	t.Run("max_out", func(t *testing.T) {
+		cases := []struct {
+			query string
+			want  int64
+		}{
+			{"", 1 << 20},
+			{"max_out=0", 1 << 20},
+			{"max_out=2097152", 1 << 20}, // raising is refused
+			{"max_out=4096", 4096},       // lowering is honored
+		}
+		for _, tc := range cases {
+			r := httptest.NewRequest("POST", "/?"+tc.query, nil)
+			lim, err := s.requestLimits(r)
+			if err != nil || lim.MaxOutputBytes != tc.want {
+				t.Fatalf("%q -> (%d, %v), want %d", tc.query, lim.MaxOutputBytes, err, tc.want)
+			}
+		}
+	})
+
+	t.Run("max_out unset config uses package ceiling", func(t *testing.T) {
+		s2, err := New(Config{AccessLog: io.Discard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := httptest.NewRequest("POST", "/?max_out=4096", nil)
+		lim, err := s2.requestLimits(r)
+		if err != nil || lim.MaxOutputBytes != 4096 {
+			t.Fatalf("lowering under default ceiling failed: (%d, %v)", lim.MaxOutputBytes, err)
+		}
+		r = httptest.NewRequest("POST", "/", nil)
+		lim, err = s2.requestLimits(r)
+		if err != nil || lim.MaxOutputBytes != 0 {
+			t.Fatalf("absent max_out with unset config must stay 0 (package default %d applies downstream), got %d",
+				compress.DefaultMaxOutputBytes, lim.MaxOutputBytes)
+		}
+	})
+}

@@ -1,8 +1,10 @@
 // Package server implements positd's HTTP surface: a long-lived
-// compression/conversion service over the codec registry. Five endpoints
+// compression/conversion service over the codec registry. Six endpoints
 // expose what the paper reproduction built —
 //
 //	POST /v1/compress/{codec}  stream a body into a framed chunked stream
+//	POST /v1/compress/auto     same, with the codec chosen per stream by
+//	                           the advisor (?hint= constrains candidates)
 //	POST /v1/decompress        invert it, auto-detecting the codec from the
 //	                           container frame header
 //	POST /v1/convert           float32 <-> posit<n,es> batch conversion
@@ -24,11 +26,15 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"positbench/internal/advisor"
 	"positbench/internal/compress"
 	"positbench/internal/compress/all"
+	"positbench/internal/container"
+	"positbench/internal/lc"
 	"positbench/internal/trace"
 )
 
@@ -66,6 +72,10 @@ type Config struct {
 	// disables tracing entirely (request spans are never created, leaving
 	// only a nil-check per pipeline stage).
 	TraceCapacity int
+	// Advisor tunes POST /v1/compress/auto's codec advisor. The zero value
+	// selects the advisor defaults with the server's own registry as the
+	// candidate set.
+	Advisor advisor.Config
 }
 
 // Defaults for the zero Config.
@@ -85,7 +95,8 @@ type Server struct {
 	metrics *metrics
 	access  *accessLogger
 	tracer  *trace.Tracer // nil when tracing is disabled
-	ready   atomic.Bool   // GET /readyz verdict; see SetReady
+	advisor *advisor.Advisor
+	ready   atomic.Bool // GET /readyz verdict; see SetReady
 }
 
 // New validates cfg, fills defaults, and returns a ready Server.
@@ -131,6 +142,27 @@ func New(cfg Config) (*Server, error) {
 		s.codecs[c.Name()] = c
 		s.names = append(s.names, c.Name())
 	}
+	if cfg.Advisor.Codecs == nil {
+		cfg.Advisor.Codecs = cfg.Codecs
+	}
+	adv, err := advisor.New(cfg.Advisor)
+	if err != nil {
+		return nil, fmt.Errorf("server: advisor: %w", err)
+	}
+	s.advisor = adv
+	if _, have := s.codecs["lc"]; !have && adv.Eligible("lc") {
+		// Auto mode can elect an LC pipeline, so the registry needs an "lc"
+		// entry for /v1/decompress (and direct /v1/compress/lc). LC streams
+		// are self-describing — any instance decodes any pipeline — so one
+		// default-pipeline codec serves the whole family.
+		pipe, err := lc.NewPipeline(strings.Split(advisor.DefaultLCPipelines()[0], "|")...)
+		if err != nil {
+			return nil, fmt.Errorf("server: lc registry entry: %w", err)
+		}
+		lcCodec := container.Wrap(lc.NewCodec(pipe))
+		s.codecs["lc"] = lcCodec
+		s.names = append(s.names, "lc")
+	}
 	s.ready.Store(true)
 	return s, nil
 }
@@ -153,6 +185,7 @@ func (s *Server) Handler() http.Handler {
 		// (tiny) trace, and inside the shell so the request ID exists.
 		return s.shell(route, s.traced(route, s.admit(s.deadline(h))))
 	}
+	mux.Handle("POST /v1/compress/auto", api("auto", s.handleAuto))
 	mux.Handle("POST /v1/compress/{codec}", api("compress", s.handleCompress))
 	mux.Handle("POST /v1/decompress", api("decompress", s.handleDecompress))
 	mux.Handle("POST /v1/convert", api("convert", s.handleConvert))

@@ -414,7 +414,9 @@ func TestCodecsEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	want := all.Names()
+	// The registry is all.Names() plus the "lc" entry the advisor adds so
+	// auto-mode LC streams stay decompressible.
+	want := append(all.Names(), "lc")
 	if len(got) != len(want) {
 		t.Fatalf("got %d codecs, want %d", len(got), len(want))
 	}
@@ -422,6 +424,22 @@ func TestCodecsEndpoint(t *testing.T) {
 		if entry.Name != want[i] {
 			t.Fatalf("codec %d = %q, want %q", i, entry.Name, want[i])
 		}
+		if !entry.AdvisorEligible {
+			t.Fatalf("codec %q not advisor-eligible; default advisor should cover the registry", entry.Name)
+		}
+	}
+	// Capability hints: the frame forwards the inner codec's weight class
+	// and stage tracing, so fpc32 must read light+traced while bzip2 is
+	// neither.
+	byName := map[string]codecsResponse{}
+	for _, entry := range got {
+		byName[entry.Name] = entry
+	}
+	if e := byName["fpc32"]; !e.LightDecoder {
+		t.Fatalf("fpc32 hints = %+v, want light decoder", e)
+	}
+	if e := byName["bzip2"]; e.LightDecoder {
+		t.Fatalf("bzip2 hints = %+v, want heavy decoder", e)
 	}
 }
 
@@ -444,7 +462,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	var health healthzResponse
 	json.NewDecoder(hresp.Body).Decode(&health)
 	hresp.Body.Close()
-	if health.Status != "ok" || health.Codecs != len(all.Names()) {
+	if health.Status != "ok" || health.Codecs != len(all.Names())+1 { // +1: the advisor's "lc" entry
 		t.Fatalf("healthz = %+v", health)
 	}
 
