@@ -6,6 +6,10 @@
 #                    known-bad frames; catches decode-path panics fast)
 #   make test-parallel  the parallel-engine test layer, race-enabled and
 #                    run twice (catches order-dependent scheduling bugs)
+#   make test-engine the work-stealing scheduler and chunk engine package,
+#                    race-enabled and run twice, plus the bzip2c stage-
+#                    pipeline byte-identity pin: steal races, park/unpark,
+#                    and close-drain ordering only vary across schedules
 #   make test-predict  the predictive codec family (internal/predict and
 #                    positpack v2), race-enabled and run twice
 #   make test-server the positd HTTP layer, race-enabled and run twice
@@ -36,6 +40,10 @@
 #                    real measurements
 #   make bench-diff  compare BENCH_NEW against BENCH_OLD with cmd/benchdiff;
 #                    exits non-zero past BENCH_THRESHOLD percent regression
+#   make bench-scaling  per-core scaling gate: sweep workers 1,2,4,8 per
+#                    codec and direction, fail if parallel falls below
+#                    serial anywhere, and diff scaling efficiency against
+#                    the checked-in baseline when on same-core hardware
 #   make ci          everything above, in order
 
 GO ?= go
@@ -48,8 +56,15 @@ BENCH_WORKERS ?= 4
 BENCH_OLD ?= results/BENCH_pre_pr7.json
 BENCH_NEW ?= BENCH_compress.json
 BENCH_THRESHOLD ?= 10
+# Scaling gate knobs: the checked-in baseline only gates efficiency when the
+# measuring machine has the same core count it was recorded on; the
+# parallel->=serial invariant gates everywhere. 1 MiB keeps the sweep fast —
+# the gate compares ratios, not absolute MB/s.
+SCALING_BASE ?= results/BENCH_scaling_base.json
+SCALING_THRESHOLD ?= 10
+SCALING_BYTES ?= 1048576
 
-.PHONY: all check vet build test race test-parallel test-predict test-server test-advisor test-gateway smoke-server soak-smoke soak-auto soak-gateway bench bench-smoke bench-diff fuzz-smoke ci
+.PHONY: all check vet build test race test-parallel test-engine test-predict test-server test-advisor test-gateway smoke-server soak-smoke soak-auto soak-gateway bench bench-smoke bench-diff bench-scaling fuzz-smoke ci
 
 SOAK_DURATION ?= 5s
 SOAK_QPS ?= 80
@@ -79,6 +94,14 @@ race:
 # different goroutine schedules, which is what shakes out ordering bugs.
 test-parallel:
 	$(GO) test -race -count=2 -run 'Parallel|Stream|Equivalence' ./internal/compress/...
+
+# The chunk engine package end to end — scheduler, deques, steal order,
+# serial-fallback policy, alloc gates — plus the bzip2c stage-pipeline
+# byte-identity pin. Race-enabled and run twice: everything here is
+# goroutine choreography, so varied schedules are the test.
+test-engine:
+	$(GO) test -race -count=2 ./internal/compress
+	$(GO) test -race -count=2 -run 'PipelineByteIdentity' ./internal/compress/bzip2c
 
 # The predictive codec family, twice under the race detector: the codecs
 # share pooled predictor state across the engine's worker goroutines, so a
@@ -240,7 +263,7 @@ soak-gateway:
 # trips the bench-diff gate with a phantom regression.
 bench:
 	$(GO) test ./internal/compress -run '^$$' -bench '^BenchmarkStream' -benchtime 2x -count=3 \
-		-args -bench-json=$(CURDIR)/BENCH_compress.json -bench-workers=$(BENCH_WORKERS)
+		-args -bench-json=$(CURDIR)/BENCH_compress.json -bench-workers-sweep
 
 # The benchmark harness itself, raced on a tiny input: one pass of every
 # serial and parallel stream benchmark with 256 KiB instead of 4 MiB, so the
@@ -255,6 +278,15 @@ bench-smoke:
 bench-diff:
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
 
+# Per-core scaling gate: measure the workers 1,2,4,8 curve for every codec
+# and direction, then fail if parallel falls below serial anywhere or if
+# scaling efficiency regressed against the checked-in baseline (skipped
+# automatically when the core counts differ — a laptop is not gated
+# against the CI box).
+bench-scaling:
+	$(GO) run ./cmd/compressbench -workers-sweep -sweep-bytes $(SCALING_BYTES) -sweep-json $(CURDIR)/BENCH_scaling.json
+	$(GO) run ./cmd/benchdiff -scaling -threshold $(SCALING_THRESHOLD) $(SCALING_BASE) $(CURDIR)/BENCH_scaling.json
+
 # Run every Fuzz* target in the module for FUZZTIME each. `go test -fuzz`
 # only accepts one target per invocation, so targets are discovered with
 # -list and run one by one.
@@ -267,4 +299,4 @@ fuzz-smoke:
 		done; \
 	done
 
-ci: check race test-parallel test-predict test-server test-advisor test-gateway smoke-server soak-smoke soak-auto soak-gateway bench-smoke fuzz-smoke
+ci: check race test-parallel test-engine test-predict test-server test-advisor test-gateway smoke-server soak-smoke soak-auto soak-gateway bench-smoke bench-scaling fuzz-smoke

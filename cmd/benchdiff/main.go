@@ -4,13 +4,23 @@
 // Usage:
 //
 //	benchdiff [-threshold 10] OLD.json NEW.json
+//	benchdiff -scaling [-threshold 10] [BASELINE.json] NEW.json
 //
-// Each (codec, workers) pair present in both reports is compared on every
-// recorded throughput (serial/parallel x compress/decode). Deltas are
-// printed as a table; any metric more than -threshold percent below the old
-// report makes the exit code 1. Pairs present in only one report are listed
-// but do not fail the gate, so adding or retiring a codec does not require
-// regenerating history in the same commit.
+// In the default mode each (codec, workers) pair present in both reports is
+// compared on every recorded throughput (serial/parallel x
+// compress/decode). Deltas are printed as a table; any metric more than
+// -threshold percent below the old report makes the exit code 1. Pairs
+// present in only one report are listed but do not fail the gate, so adding
+// or retiring a codec does not require regenerating history in the same
+// commit.
+//
+// With -scaling the inputs are per-core scaling reports (one row per
+// (codec, workers), as written by `compressbench -workers-sweep` or `make
+// bench`'s worker sweep). The new report is first checked against the
+// intra-run invariant — parallel must not fall below serial at any worker
+// count — and then, when a baseline is given and was measured on the same
+// core count, scaling efficiency (speedup / workers) is gated against it.
+// A baseline from different hardware is reported and skipped, not failed.
 package main
 
 import (
@@ -29,8 +39,12 @@ func main() {
 func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 10, "max tolerated regression, percent")
+	scaling := fs.Bool("scaling", false, "treat inputs as per-core scaling reports: gate parallel-vs-serial and scaling efficiency instead of raw throughput")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *scaling {
+		return runScaling(fs.Args(), *threshold, out)
 	}
 	if fs.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")
@@ -50,6 +64,60 @@ func run(args []string, out io.Writer) int {
 	fmt.Fprint(out, diff.Table())
 	if len(diff.Regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.0f%%\n", len(diff.Regressions), *threshold)
+		return 1
+	}
+	return 0
+}
+
+func runScaling(args []string, threshold float64, out io.Writer) int {
+	var basePath, newPath string
+	switch len(args) {
+	case 1:
+		newPath = args[0]
+	case 2:
+		basePath, newPath = args[0], args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -scaling [-threshold PCT] [BASELINE.json] NEW.json")
+		return 2
+	}
+	newRep, err := stats.ReadBenchJSON(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	failures := 0
+	intra := stats.CheckScaling(newRep, threshold)
+	for _, p := range intra {
+		fmt.Fprintln(out, "FAIL", p)
+	}
+	failures += len(intra)
+	if len(intra) == 0 {
+		fmt.Fprintf(out, "ok: parallel >= serial for all %d scaling rows (num_cpu=%d)\n", len(newRep.Results), newRep.NumCPU)
+	}
+	if basePath != "" {
+		baseRep, err := stats.ReadBenchJSON(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			return 2
+		}
+		probs, compared := stats.CheckScalingRegress(baseRep, newRep, threshold)
+		switch {
+		case !compared && newRep.NumCPU == 1:
+			fmt.Fprintln(out, "skip: 1-CPU machine falls back to the serial path; no efficiency to compare")
+		case !compared:
+			fmt.Fprintf(out, "skip: baseline measured on %d CPUs, this run on %d; efficiency not comparable\n",
+				baseRep.NumCPU, newRep.NumCPU)
+		case len(probs) == 0:
+			fmt.Fprintln(out, "ok: scaling efficiency within tolerance of baseline")
+		default:
+			for _, p := range probs {
+				fmt.Fprintln(out, "FAIL", p)
+			}
+			failures += len(probs)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d scaling check(s) failed\n", failures)
 		return 1
 	}
 	return 0

@@ -50,3 +50,54 @@ func TestRunExitCodes(t *testing.T) {
 		t.Fatal("unreadable old report did not exit 2")
 	}
 }
+
+func TestRunScalingMode(t *testing.T) {
+	dir := t.TempDir()
+	healthy := writeReport(t, dir, "healthy.json",
+		stats.BenchResult{Codec: "xz", Workers: 1, SerialMBps: 10, ParallelMBps: 9.8, SerialDecodeMBps: 40, ParallelDecodeMBps: 41},
+		stats.BenchResult{Codec: "xz", Workers: 4, SerialMBps: 10, ParallelMBps: 9.6, SerialDecodeMBps: 40, ParallelDecodeMBps: 42})
+	slowDecode := writeReport(t, dir, "slowdec.json",
+		stats.BenchResult{Codec: "xz", Workers: 4, SerialMBps: 10, ParallelMBps: 9.8, SerialDecodeMBps: 40, ParallelDecodeMBps: 20})
+
+	var out strings.Builder
+	if code := run([]string{"-scaling", healthy}, &out); code != 0 {
+		t.Fatalf("healthy scaling report exited %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: parallel >= serial") {
+		t.Fatalf("missing intra-run ok line:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-scaling", slowDecode}, &out); code != 1 {
+		t.Fatalf("parallel-decode-below-serial report exited %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "parallel decode") {
+		t.Fatalf("decode failure not named:\n%s", out.String())
+	}
+	out.Reset()
+	// The fixtures are 1-CPU reports: the efficiency diff must announce the
+	// serial-fallback skip rather than compare noise against noise.
+	if code := run([]string{"-scaling", healthy, healthy}, &out); code != 0 {
+		t.Fatalf("self-baseline exited %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skip: 1-CPU machine") {
+		t.Fatalf("missing 1-CPU skip line:\n%s", out.String())
+	}
+	out.Reset()
+	// Same multi-core hardware: the comparison runs and passes on itself.
+	multi := filepath.Join(dir, "multi.json")
+	if err := stats.WriteBenchJSON(multi, &stats.BenchReport{GOMAXPROCS: 4, NumCPU: 4, Results: []stats.BenchResult{
+		{Codec: "xz", Workers: 4, SerialMBps: 10, ParallelMBps: 32, SerialDecodeMBps: 40, ParallelDecodeMBps: 120},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-scaling", multi, multi}, &out); code != 0 {
+		t.Fatalf("multi-core self-baseline exited %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "scaling efficiency within tolerance") {
+		t.Fatalf("missing efficiency ok line:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-scaling"}, &out); code != 2 {
+		t.Fatal("missing args did not exit 2")
+	}
+}

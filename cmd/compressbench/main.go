@@ -29,6 +29,7 @@ import (
 	"positbench/internal/container"
 	"positbench/internal/lc"
 	"positbench/internal/stats"
+	"positbench/internal/sweep"
 )
 
 func main() {
@@ -51,12 +52,19 @@ func run(args []string, stdout io.Writer) error {
 	zName := fs.String("z", "", "compress one file into a framed blob with the named codec")
 	dFlag := fs.Bool("d", false, "decompress a framed blob, routing by its frame header")
 	maxOut := fs.Int64("max-out", 0, "decode size limit in bytes for -d (0 = default)")
+	workersSweep := fs.Bool("workers-sweep", false,
+		"measure per-core scaling curves (codec x direction x workers 1,2,4,8) over the input files (or a synthetic field) and emit a BENCH JSON report instead of the ratio table")
+	sweepOut := fs.String("sweep-json", "", "write the -workers-sweep report to this path instead of stdout")
+	sweepBytes := fs.Int("sweep-bytes", 0, "synthetic input size for -workers-sweep when no files are given (0 = 4 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	files := fs.Args()
 	if *zName != "" || *dFlag {
 		return runFramed(*zName, *dFlag, *maxOut, files, stdout)
+	}
+	if *workersSweep {
+		return runSweep(*names, *sweepOut, *sweepBytes, files, stdout)
 	}
 	if len(files) == 0 {
 		return fmt.Errorf("need at least one input file")
@@ -235,6 +243,48 @@ func run(args []string, stdout io.Writer) error {
 	table.AddRow(geoRow...)
 	fmt.Fprint(stdout, table.String())
 	return nil
+}
+
+// runSweep implements -workers-sweep: per-core scaling curves in the
+// BENCH_compress.json schema, shared with `make bench-scaling` through
+// internal/sweep so the CLI and the CI gate measure identically. Input
+// files are concatenated into the benchmark payload; with no files a
+// synthetic smooth float field stands in.
+func runSweep(names, outPath string, sweepBytes int, files []string, stdout io.Writer) error {
+	var codecs []compress.Codec
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "lc" {
+			continue // the LC search is a ratio tool, not a streaming codec
+		}
+		c, err := all.Get(n)
+		if err != nil {
+			return err
+		}
+		codecs = append(codecs, c)
+	}
+	var input []byte
+	for _, path := range files {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		input = append(input, blob...)
+	}
+	rep, err := sweep.Run(sweep.Options{Codecs: codecs, Input: input, Bytes: sweepBytes})
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		return stats.WriteBenchJSON(outPath, rep)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = stdout.Write(blob)
+	return err
 }
 
 // runFramed implements the -z / -d single-file modes over the container

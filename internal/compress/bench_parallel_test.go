@@ -29,31 +29,52 @@ var (
 	benchJSONPath = flag.String("bench-json", "", "write a BENCH_compress.json report to this path after the run")
 	benchWorkers  = flag.Int("bench-workers", 4, "parallel worker count measured against the serial baseline")
 	benchBytes    = flag.Int("bench-bytes", 4<<20, "benchmark input size; `make bench-smoke` shrinks it to run under -race")
+	benchSweep    = flag.Bool("bench-workers-sweep", false, "measure the parallel benchmarks at workers 1,2,4,8 instead of only -bench-workers, producing per-core scaling curves in the JSON report")
 )
 
 const benchChunk = 1 << 20
 
+// benchWorkerCounts resolves the parallel worker counts under measurement:
+// the single -bench-workers point by default, the full per-core curve with
+// -bench-workers-sweep.
+func benchWorkerCounts() []int {
+	if *benchSweep {
+		return []int{1, 2, 4, 8}
+	}
+	return []int{*benchWorkers}
+}
+
+// The recorder keys parallel metrics by (codec, workers) so a sweep run
+// yields one BenchResult row per curve point; serial metrics are
+// per-codec and are copied onto every row of that codec's curve when the
+// report is assembled, keeping each row a self-contained speedup sample.
 var benchRecorder = struct {
 	sync.Mutex
-	results map[string]*stats.BenchResult
-}{results: map[string]*stats.BenchResult{}}
+	serial   map[string]*stats.BenchResult
+	parallel map[string]*stats.BenchResult
+}{serial: map[string]*stats.BenchResult{}, parallel: map[string]*stats.BenchResult{}}
 
 // recordBench keeps the best observed throughput per metric across -count
 // repetitions: on a shared runner a CPU-steal spike poisons any single run
 // (and would poison a mean), while the best of several runs is reproducibly
 // close to what the hardware sustains. `make bench` passes -count=3.
-func recordBench(codec string, parallel, decode bool, mbps float64) {
+// Serial measurements pass workers == 0.
+func recordBench(codec string, workers int, parallel, decode bool, mbps float64) {
 	benchRecorder.Lock()
 	defer benchRecorder.Unlock()
-	r := benchRecorder.results[codec]
+	bucket, key := benchRecorder.serial, codec
+	if parallel {
+		bucket, key = benchRecorder.parallel, fmt.Sprintf("%s/w%d", codec, workers)
+	}
+	r := bucket[key]
 	if r == nil {
 		r = &stats.BenchResult{
 			Codec:      codec,
-			Workers:    *benchWorkers,
+			Workers:    workers,
 			InputBytes: int64(*benchBytes),
 			ChunkBytes: benchChunk,
 		}
-		benchRecorder.results[codec] = r
+		bucket[key] = r
 	}
 	best := func(old float64) float64 {
 		if mbps > old {
@@ -109,23 +130,26 @@ func BenchmarkStreamCompress(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			recordBench(c.Name(), false, false, throughputMBps(b, len(data)))
+			recordBench(c.Name(), 0, false, false, throughputMBps(b, len(data)))
 		})
-		b.Run(fmt.Sprintf("%s/parallel-w%d", c.Name(), *benchWorkers), func(b *testing.B) {
-			b.SetBytes(int64(len(data)))
-			var dst bytes.Buffer
-			for i := 0; i < b.N; i++ {
-				dst.Reset()
-				w := compress.NewParallelWriter(c, &dst, benchChunk, *benchWorkers)
-				if _, err := w.Write(data); err != nil {
-					b.Fatal(err)
+		for _, nw := range benchWorkerCounts() {
+			nw := nw
+			b.Run(fmt.Sprintf("%s/parallel-w%d", c.Name(), nw), func(b *testing.B) {
+				b.SetBytes(int64(len(data)))
+				var dst bytes.Buffer
+				for i := 0; i < b.N; i++ {
+					dst.Reset()
+					w := compress.NewParallelWriter(c, &dst, benchChunk, nw)
+					if _, err := w.Write(data); err != nil {
+						b.Fatal(err)
+					}
+					if err := w.Close(); err != nil {
+						b.Fatal(err)
+					}
 				}
-				if err := w.Close(); err != nil {
-					b.Fatal(err)
-				}
-			}
-			recordBench(c.Name(), true, false, throughputMBps(b, len(data)))
-		})
+				recordBench(c.Name(), nw, true, false, throughputMBps(b, len(data)))
+			})
+		}
 	}
 }
 
@@ -154,32 +178,43 @@ func BenchmarkStreamDecompress(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			recordBench(c.Name(), false, true, throughputMBps(b, len(data)))
+			recordBench(c.Name(), 0, false, true, throughputMBps(b, len(data)))
 		})
-		b.Run(fmt.Sprintf("%s/parallel-w%d", c.Name(), *benchWorkers), func(b *testing.B) {
-			b.SetBytes(int64(len(data)))
-			for i := 0; i < b.N; i++ {
-				r := compress.NewParallelReader(c, bytes.NewReader(stream), *benchWorkers)
-				if _, err := io.ReadFull(r, out); err != nil {
+		for _, nw := range benchWorkerCounts() {
+			nw := nw
+			b.Run(fmt.Sprintf("%s/parallel-w%d", c.Name(), nw), func(b *testing.B) {
+				b.SetBytes(int64(len(data)))
+				for i := 0; i < b.N; i++ {
+					r := compress.NewParallelReader(c, bytes.NewReader(stream), nw)
+					if _, err := io.ReadFull(r, out); err != nil {
+						r.Close()
+						b.Fatal(err)
+					}
 					r.Close()
-					b.Fatal(err)
 				}
-				r.Close()
-			}
-			recordBench(c.Name(), true, true, throughputMBps(b, len(data)))
-		})
+				recordBench(c.Name(), nw, true, true, throughputMBps(b, len(data)))
+			})
+		}
 	}
 }
 
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if *benchJSONPath != "" && len(benchRecorder.results) > 0 {
+	if *benchJSONPath != "" && len(benchRecorder.parallel) > 0 {
 		report := &stats.BenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 		if report.NumCPU == 1 {
-			report.Note = "1-CPU machine: parallel speedups are ~1.0 by construction; compare absolute MB/s only against runs on the same hardware"
+			report.Note = "1-CPU machine: the parallel engine falls back to the serial path, so per-core curves are flat at ~1.0 by construction; compare absolute MB/s only against runs on the same hardware"
 		}
-		for _, r := range benchRecorder.results {
-			report.Results = append(report.Results, *r)
+		// One row per (codec, workers) curve point; the codec's serial
+		// throughputs repeat on every row so each is a self-contained
+		// speedup sample (the format benchdiff -scaling consumes).
+		for _, r := range benchRecorder.parallel {
+			row := *r
+			if s := benchRecorder.serial[row.Codec]; s != nil {
+				row.SerialMBps = s.SerialMBps
+				row.SerialDecodeMBps = s.SerialDecodeMBps
+			}
+			report.Results = append(report.Results, row)
 		}
 		if err := stats.WriteBenchJSON(*benchJSONPath, report); err != nil {
 			fmt.Fprintln(os.Stderr, err)

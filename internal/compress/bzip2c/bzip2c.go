@@ -4,13 +4,19 @@
 // counterintuitive result: block sorting groups the two's-complement regime
 // bytes of posit data, so bzip2 compresses posits *better* than floats.
 //
-// Blocks are compressed independently and in parallel; output is
-// deterministic regardless of scheduling.
+// Blocks are compressed independently with stage-level pipeline
+// parallelism: three goroutines each own one stage (bwt | mtf+rle2 |
+// huffman on encode, huffman | mtf | bwt-inverse on decode) and blocks
+// flow through them in order, so block i's Huffman coding overlaps block
+// i+1's MTF and block i+2's BWT. The goroutine count is fixed at three per
+// call — not one per block as before — and output is deterministic
+// regardless of scheduling; single-block and one-CPU calls run the stages
+// inline with no goroutines at all.
 package bzip2c
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -94,35 +100,29 @@ func (c *Codec) compress(src []byte, sp *trace.Span, sc *stageClock) ([]byte, er
 	if sc != nil {
 		rle1 = time.Since(t0)
 	}
-	var blocks [][]byte
+	var blocks []encBlock
 	for off := 0; off < len(pre); off += c.blockSize {
 		end := off + c.blockSize
 		if end > len(pre) {
 			end = len(pre)
 		}
-		blocks = append(blocks, pre[off:end])
+		blocks = append(blocks, encBlock{block: pre[off:end]})
 	}
-	encoded := make([][]byte, len(blocks))
-	errs := make([]error, len(blocks))
-	var wg sync.WaitGroup
-	for i, b := range blocks {
-		wg.Add(1)
-		go func(i int, b []byte) {
-			defer wg.Done()
-			encoded[i], errs[i] = compressBlock(b, sc)
-		}(i, b)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	pipeline(len(blocks),
+		func(i int) { blocks[i].bwtStage(sc) },
+		func(i int) { blocks[i].mtfStage(sc) },
+		func(i int) { blocks[i].huffStage(sc) },
+	)
+	for i := range blocks {
+		if err := blocks[i].err; err != nil {
 			return nil, err
 		}
 	}
 	out := bitio.PutUvarint(nil, uint64(len(src)))
 	out = bitio.PutUvarint(out, uint64(len(blocks)))
-	for _, e := range encoded {
-		out = bitio.PutUvarint(out, uint64(len(e)))
-		out = append(out, e...)
+	for i := range blocks {
+		out = bitio.PutUvarint(out, uint64(len(blocks[i].out)))
+		out = append(out, blocks[i].out...)
 	}
 	if sp != nil && sc != nil {
 		sp.AddStage("rle1", rle1, int64(len(src)), int64(len(pre)))
@@ -131,6 +131,96 @@ func (c *Codec) compress(src []byte, sp *trace.Span, sc *stageClock) ([]byte, er
 		sp.AddStage("huffman", time.Duration(sc.huffNS.Load()), 0, int64(len(out)))
 	}
 	return out, nil
+}
+
+// pipeline runs three stage functions over n blocks with stage-level
+// overlap: stage 2 works on block i while stage 1 transforms block i+1 and
+// stage 3 codes block i-1. The channels carry only block indexes, and each
+// stage owns a block's state exclusively between its receive and its send,
+// so the per-block states need no locking. Cost is fixed at three
+// goroutines and two capacity-1 channels however many blocks flow through;
+// with one block — or one CPU, where overlap cannot buy anything — the
+// stages run inline on the caller's goroutine, byte-identical because the
+// stages themselves are deterministic and assembly is in block order.
+func pipeline(n int, s1, s2, s3 func(int)) {
+	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i := 0; i < n; i++ {
+			s1(i)
+			s2(i)
+			s3(i)
+		}
+		return
+	}
+	c12 := make(chan int, 1)
+	c23 := make(chan int, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(c12)
+		for i := 0; i < n; i++ {
+			s1(i)
+			c12 <- i
+		}
+	}()
+	go func() {
+		defer close(c23)
+		for i := range c12 {
+			s2(i)
+			c23 <- i
+		}
+	}()
+	go func() {
+		defer close(done)
+		for i := range c23 {
+			s3(i)
+		}
+	}()
+	<-done
+}
+
+// encBlock is one block moving through the encode pipeline; exactly one
+// stage touches it at a time.
+type encBlock struct {
+	block   []byte // input (a window of the RLE1 stream)
+	last    []byte // BWT output
+	primary int
+	syms    []uint16 // MTF + zero-run symbols, EOB-terminated
+	out     []byte   // encoded block
+	err     error
+}
+
+func (b *encBlock) bwtStage(sc *stageClock) {
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
+	b.last, b.primary = bwt.Transform(b.block)
+	if sc != nil {
+		sc.add(&sc.bwtNS, t0)
+	}
+}
+
+func (b *encBlock) mtfStage(sc *stageClock) {
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
+	b.syms = append(mtf.EncodeZeroRuns(mtf.Encode(b.last)), eobSymbol)
+	b.last = nil
+	if sc != nil {
+		sc.add(&sc.mtfNS, t0)
+	}
+}
+
+func (b *encBlock) huffStage(sc *stageClock) {
+	var t0 time.Time
+	if sc != nil {
+		t0 = time.Now()
+	}
+	b.out, b.err = huffEncodeBlock(b.block, b.primary, b.syms)
+	b.syms = nil
+	if sc != nil {
+		sc.add(&sc.huffNS, t0) // table build + selectors + symbol coding
+	}
 }
 
 // groupSize is bzip2's symbol-group granularity for Huffman table
@@ -153,21 +243,9 @@ func numTables(nSyms int) int {
 	}
 }
 
-func compressBlock(block []byte, sc *stageClock) ([]byte, error) {
-	var t0 time.Time
-	if sc != nil {
-		t0 = time.Now()
-	}
-	last, primary := bwt.Transform(block)
-	if sc != nil {
-		t0 = sc.add(&sc.bwtNS, t0)
-	}
-	syms := mtf.EncodeZeroRuns(mtf.Encode(last))
-	syms = append(syms, eobSymbol)
-	if sc != nil {
-		t0 = sc.add(&sc.mtfNS, t0)
-	}
-
+// huffEncodeBlock is the encode pipeline's final stage: train the Huffman
+// tables on the block's symbol stream and write the block payload.
+func huffEncodeBlock(block []byte, primary int, syms []uint16) ([]byte, error) {
 	nGroups := numTables(len(syms))
 	nSel := (len(syms) + groupSize - 1) / groupSize
 	// Initialize one table per contiguous chunk of the symbol stream, then
@@ -275,9 +353,6 @@ func compressBlock(block []byte, sc *stageClock) ([]byte, error) {
 		enc := encs[selectors[i/groupSize]]
 		enc.Encode(w, int(s))
 	}
-	if sc != nil {
-		sc.add(&sc.huffNS, t0) // table build + selectors + symbol coding
-	}
 	return w.Bytes(), nil
 }
 
@@ -342,34 +417,27 @@ func (c *Codec) decompress(comp []byte, lim compress.DecodeLimits, sp *trace.Spa
 		blocks[i] = comp[:bl]
 		comp = comp[bl:]
 	}
-	decoded := make([][]byte, nBlocks)
-	errs := make([]error, nBlocks)
-	var wg sync.WaitGroup
-	for i, b := range blocks {
-		wg.Add(1)
-		go func(i int, b []byte) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					decoded[i], errs[i] = nil, compress.Errorf(compress.ErrCorrupt, "decoder panic: %v", p)
-				}
-			}()
-			decoded[i], errs[i] = decompressBlock(b, maxOut, sc)
-		}(i, b)
+	dec := make([]decBlock, nBlocks)
+	for i := range dec {
+		dec[i].b = blocks[i]
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
+	pipeline(len(dec),
+		func(i int) { dec[i].huffStage(maxOut, sc) },
+		func(i int) { dec[i].mtfStage(sc) },
+		func(i int) { dec[i].bwtStage(sc) },
+	)
+	for i := range dec {
+		if err := dec[i].err; err != nil {
 			return nil, fmt.Errorf("bzip2: block %d: %w", i, err)
 		}
 	}
 	total := 0
-	for _, d := range decoded {
-		total += len(d)
+	for i := range dec {
+		total += len(dec[i].out)
 	}
 	pre := make([]byte, 0, total)
-	for _, d := range decoded {
-		pre = append(pre, d...)
+	for i := range dec {
+		pre = append(pre, dec[i].out...)
 	}
 	var t0 time.Time
 	if sc != nil {
@@ -391,41 +459,113 @@ func (c *Codec) decompress(comp []byte, lim compress.DecodeLimits, sp *trace.Spa
 	return out, nil
 }
 
-func decompressBlock(b []byte, maxOut int64, sc *stageClock) ([]byte, error) {
+// decBlock is one block moving through the decode pipeline; exactly one
+// stage touches it at a time. Every stage runs behind guard: the input is
+// untrusted, and a panic on a pipeline goroutine would kill the process,
+// bypassing any recover in the caller.
+type decBlock struct {
+	b        []byte // encoded block payload
+	primary  uint64
+	blockLen uint64
+	syms     []uint16 // decoded Huffman symbols
+	last     []byte   // MTF + zero-run decode output
+	out      []byte   // recovered block bytes
+	err      error
+}
+
+// guard runs f, converting a panic on hostile data into an ErrCorrupt
+// error in *err. Skips f entirely once an earlier stage has failed.
+func guard(err *error, f func()) {
+	if *err != nil {
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			*err = compress.Errorf(compress.ErrCorrupt, "decoder panic: %v", p)
+		}
+	}()
+	f()
+}
+
+func (d *decBlock) huffStage(maxOut int64, sc *stageClock) {
+	guard(&d.err, func() {
+		d.syms, d.primary, d.blockLen, d.err = huffDecodeBlock(d.b, maxOut, sc)
+		d.b = nil
+	})
+}
+
+func (d *decBlock) mtfStage(sc *stageClock) {
+	guard(&d.err, func() {
+		var t0 time.Time
+		if sc != nil {
+			t0 = time.Now()
+		}
+		// The fused zero-run + MTF decode must land exactly on blockLen
+		// bytes, so blockLen doubles as the allocation bound for hostile
+		// RUNA/RUNB streams.
+		d.last, d.err = mtf.DecodeRunsMTFLimit(d.syms, int(d.blockLen))
+		d.syms = nil
+		if d.err == nil && len(d.last) != int(d.blockLen) {
+			d.err = compress.Errorf(compress.ErrCorrupt, "block length mismatch: got %d want %d", len(d.last), d.blockLen)
+		}
+		if sc != nil {
+			sc.add(&sc.mtfNS, t0)
+		}
+	})
+}
+
+func (d *decBlock) bwtStage(sc *stageClock) {
+	guard(&d.err, func() {
+		var t0 time.Time
+		if sc != nil {
+			t0 = time.Now()
+		}
+		d.out, d.err = bwt.Inverse(d.last, int(d.primary))
+		d.last = nil
+		if sc != nil {
+			sc.add(&sc.bwtNS, t0)
+		}
+	})
+}
+
+// huffDecodeBlock is the decode pipeline's first stage: parse the block
+// header, read the Huffman tables and selectors, and decode the symbol
+// stream.
+func huffDecodeBlock(b []byte, maxOut int64, sc *stageClock) (_ []uint16, primary, blockLen uint64, _ error) {
 	primary, n, err := bitio.Uvarint(b)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	b = b[n:]
-	blockLen, n, err := bitio.Uvarint(b)
+	blockLen, n, err = bitio.Uvarint(b)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	b = b[n:]
 	nSyms64, n, err := bitio.Uvarint(b)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	b = b[n:]
 	if blockLen > 1<<26 {
-		return nil, compress.Errorf(compress.ErrCorrupt, "implausible block length %d", blockLen)
+		return nil, 0, 0, compress.Errorf(compress.ErrCorrupt, "implausible block length %d", blockLen)
 	}
 	// RLE1 expands runs of exactly 4 by one count byte (at most +25%), so a
 	// pre-RLE1 block beyond cap*5/4 cannot belong to an in-limit stream.
 	if blockLen > uint64(maxOut)+uint64(maxOut)/4+64 {
-		return nil, compress.Errorf(compress.ErrLimitExceeded, "block length %d exceeds decode cap %d", blockLen, maxOut)
+		return nil, 0, 0, compress.Errorf(compress.ErrLimitExceeded, "block length %d exceeds decode cap %d", blockLen, maxOut)
 	}
 	nSyms := int(nSyms64)
 	if nSyms < 1 || uint64(nSyms) > 2*blockLen+16 {
-		return nil, compress.Errorf(compress.ErrCorrupt, "implausible symbol count %d", nSyms)
+		return nil, 0, 0, compress.Errorf(compress.ErrCorrupt, "implausible symbol count %d", nSyms)
 	}
 	if len(b) < 1 {
-		return nil, compress.Errorf(compress.ErrTruncated, "missing table count")
+		return nil, 0, 0, compress.Errorf(compress.ErrTruncated, "missing table count")
 	}
 	nGroups := int(b[0])
 	b = b[1:]
 	if nGroups < 1 || nGroups > 8 {
-		return nil, compress.Errorf(compress.ErrCorrupt, "bad table count %d", nGroups)
+		return nil, 0, 0, compress.Errorf(compress.ErrCorrupt, "bad table count %d", nGroups)
 	}
 	var t0 time.Time
 	if sc != nil {
@@ -436,11 +576,11 @@ func decompressBlock(b []byte, maxOut int64, sc *stageClock) ([]byte, error) {
 	for t := 0; t < nGroups; t++ {
 		lengths, err := huffman.ReadLengths(r, alphabetSize)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 		decs[t], err = huffman.NewDecoder(lengths)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 	}
 	nSel := (nSyms + groupSize - 1) / groupSize
@@ -454,14 +594,14 @@ func decompressBlock(b []byte, maxOut int64, sc *stageClock) ([]byte, error) {
 		for {
 			bit, err := r.ReadBit()
 			if err != nil {
-				return nil, err
+				return nil, 0, 0, err
 			}
 			if bit == 0 {
 				break
 			}
 			j++
 			if j >= nGroups {
-				return nil, compress.Errorf(compress.ErrCorrupt, "selector out of range")
+				return nil, 0, 0, compress.Errorf(compress.ErrCorrupt, "selector out of range")
 			}
 		}
 		sel := mtfOrder[j]
@@ -482,44 +622,27 @@ func decompressBlock(b []byte, maxOut int64, sc *stageClock) ([]byte, error) {
 		}
 		k, saw, err := decs[selectors[g]].DecodeBatch(r, syms[pos:pos+want], eobSymbol)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 		pos += k
 		consumed += k
 		if saw {
 			consumed++ // the EOB itself
 			if consumed != nSyms {
-				return nil, compress.Errorf(compress.ErrCorrupt, "early EOB at symbol %d of %d", consumed-1, nSyms)
+				return nil, 0, 0, compress.Errorf(compress.ErrCorrupt, "early EOB at symbol %d of %d", consumed-1, nSyms)
 			}
 			sawEOB = true
 			break
 		}
 	}
 	if !sawEOB || pos != nSyms-1 {
-		return nil, compress.Errorf(compress.ErrCorrupt, "missing EOB")
+		return nil, 0, 0, compress.Errorf(compress.ErrCorrupt, "missing EOB")
 	}
 	syms = syms[:pos]
 	if sc != nil {
-		t0 = sc.add(&sc.huffNS, t0) // table reads + selector + symbol decode
+		sc.add(&sc.huffNS, t0) // table reads + selector + symbol decode
 	}
-	// The fused zero-run + MTF decode must land exactly on blockLen bytes,
-	// so blockLen doubles as the allocation bound for hostile RUNA/RUNB
-	// streams.
-	last, err := mtf.DecodeRunsMTFLimit(syms, int(blockLen))
-	if err != nil {
-		return nil, err
-	}
-	if len(last) != int(blockLen) {
-		return nil, compress.Errorf(compress.ErrCorrupt, "block length mismatch: got %d want %d", len(last), blockLen)
-	}
-	if sc != nil {
-		t0 = sc.add(&sc.mtfNS, t0)
-	}
-	out, err := bwt.Inverse(last, int(primary))
-	if sc != nil {
-		sc.add(&sc.bwtNS, t0)
-	}
-	return out, err
+	return syms, primary, blockLen, nil
 }
 
 var _ compress.Codec = (*Codec)(nil)

@@ -1,6 +1,9 @@
 package bzip2c
 
 import (
+	"bytes"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"positbench/internal/compress/codectest"
@@ -8,4 +11,47 @@ import (
 
 func TestConformance(t *testing.T) {
 	codectest.Run(t, New())
+}
+
+// TestPipelineByteIdentity pins the stage pipeline's determinism: the
+// three-goroutine encode and decode paths (taken when GOMAXPROCS > 1 and a
+// call spans multiple blocks) must produce bytes identical to the inline
+// serial path. A small block size turns modest inputs into many blocks so
+// the pipeline actually overlaps stages.
+func TestPipelineByteIdentity(t *testing.T) {
+	c := NewBlockSize(2048)
+	inputs := map[string][]byte{
+		"zeros":  make([]byte, 20<<10),
+		"random": randomBytes(24<<10, 7),
+		"runs":   bytes.Repeat([]byte{0, 0, 0, 1, 2, 2, 9}, 4000),
+	}
+	for name, data := range inputs {
+		t.Run(name, func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(1)
+			serial, sErr := c.Compress(data)
+			serialBack, sdErr := c.Decompress(serial)
+			runtime.GOMAXPROCS(4)
+			piped, pErr := c.Compress(data)
+			pipedBack, pdErr := c.Decompress(serial)
+			runtime.GOMAXPROCS(prev)
+			if sErr != nil || pErr != nil {
+				t.Fatalf("compress: serial err %v, pipelined err %v", sErr, pErr)
+			}
+			if !bytes.Equal(serial, piped) {
+				t.Fatalf("pipelined output differs from serial (%d vs %d bytes)", len(piped), len(serial))
+			}
+			if sdErr != nil || pdErr != nil {
+				t.Fatalf("decompress: serial err %v, pipelined err %v", sdErr, pdErr)
+			}
+			if !bytes.Equal(serialBack, data) || !bytes.Equal(pipedBack, data) {
+				t.Fatal("round-trip mismatch")
+			}
+		})
+	}
+}
+
+func randomBytes(n int, seed int64) []byte {
+	buf := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(buf)
+	return buf
 }

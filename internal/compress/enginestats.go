@@ -16,6 +16,21 @@ type engineCounters struct {
 
 	queueWaitNS atomic.Int64 // cumulative submit -> worker-pickup time
 
+	// Work-stealing scheduler counters. Every chunk submitted to a
+	// scheduler is executed exactly once, either by the worker that owns
+	// the deque it landed in (a local hit) or by a thief — so after any
+	// engine drains, schedSubmitted == schedLocalHits + schedSteals, an
+	// invariant the positload soak reconciles end to end.
+	schedSubmitted atomic.Int64 // chunks handed to a work-stealing scheduler
+	schedLocalHits atomic.Int64 // chunks executed from the worker's own deque
+	schedSteals    atomic.Int64 // chunks stolen from another worker's deque
+
+	// workerDepth holds per-worker-slot queue depth gauges, aggregated
+	// across every live scheduler (worker index mod engineDepthSlots). The
+	// spread across slots is the live view of how well stealing levels a
+	// skewed chunk-size distribution.
+	workerDepth [engineDepthSlots]atomic.Int64
+
 	compressChunks   atomic.Int64
 	compressBusyNS   atomic.Int64
 	compressBytesIn  atomic.Int64
@@ -27,6 +42,10 @@ type engineCounters struct {
 	decompressBytesOut atomic.Int64
 }
 
+// engineDepthSlots bounds the per-worker depth gauge array; schedulers
+// wider than this fold onto the slots mod engineDepthSlots.
+const engineDepthSlots = 8
+
 var engine engineCounters
 
 // EngineStats is one consistent-enough snapshot of the engine counters
@@ -37,6 +56,11 @@ type EngineStats struct {
 	WorkersBusy  int64 `json:"workers_busy"`
 
 	QueueWaitNS int64 `json:"queue_wait_ns_total"`
+
+	SchedSubmitted    int64   `json:"sched_submitted"`
+	SchedLocalHits    int64   `json:"sched_local_hits"`
+	SchedSteals       int64   `json:"sched_steals"`
+	WorkerQueueDepths []int64 `json:"worker_queue_depths"`
 
 	CompressChunks   int64 `json:"compress_chunks"`
 	CompressBusyNS   int64 `json:"compress_busy_ns_total"`
@@ -51,11 +75,19 @@ type EngineStats struct {
 
 // EngineSnapshot reads the current counter values.
 func EngineSnapshot() EngineStats {
+	depths := make([]int64, engineDepthSlots)
+	for i := range depths {
+		depths[i] = engine.workerDepth[i].Load()
+	}
 	return EngineStats{
 		QueueDepth:         engine.queueDepth.Load(),
 		WorkersAlive:       engine.workersAlive.Load(),
 		WorkersBusy:        engine.workersBusy.Load(),
 		QueueWaitNS:        engine.queueWaitNS.Load(),
+		SchedSubmitted:     engine.schedSubmitted.Load(),
+		SchedLocalHits:     engine.schedLocalHits.Load(),
+		SchedSteals:        engine.schedSteals.Load(),
+		WorkerQueueDepths:  depths,
 		CompressChunks:     engine.compressChunks.Load(),
 		CompressBusyNS:     engine.compressBusyNS.Load(),
 		CompressBytesIn:    engine.compressBytesIn.Load(),

@@ -50,8 +50,8 @@ type pwJob struct {
 	span      *trace.Span // per-chunk span; nil when the stream is untraced
 }
 
-// ParallelWriter compresses a stream chunk by chunk on a bounded worker
-// pool, emitting frames in order. It is not safe for concurrent Write
+// ParallelWriter compresses a stream chunk by chunk on a work-stealing
+// scheduler, emitting frames in order. It is not safe for concurrent Write
 // calls (like any io.Writer); the parallelism is internal.
 type ParallelWriter struct {
 	codec   Codec
@@ -63,17 +63,23 @@ type ParallelWriter struct {
 	span *trace.Span // request span from the context; parents the chunk spans
 	seq  int         // chunk index, for span labels
 
-	cur     *pwJob      // chunk currently being filled by Write
-	order   chan *pwJob // submission order; capacity bounds in-flight chunks
-	jobs    chan *pwJob // work queue for the compressors
+	cur     *pwJob               // chunk currently being filled by Write
+	order   chan *pwJob          // submission order; capacity bounds in-flight chunks
+	sched   *wsScheduler[*pwJob] // work-stealing compressors
 	done    chan struct{}
-	wg      sync.WaitGroup
 	jobPool sync.Pool                   // pwJob shells with their ready channel and buffers
 	hdr     [binary.MaxVarintLen64]byte // frame-header scratch for the emitter
 
 	mu     sync.Mutex
 	err    error
 	closed bool
+
+	// serial, when non-nil, replaces the whole scheduler: on a host where
+	// the engine cannot overlap chunk compression with anything (one
+	// worker, or one CPU), the scheduler shape only adds handoffs over the
+	// buffer-reusing serial Writer, so construction falls back to it and
+	// every method delegates. See NewParallelWriterContext.
+	serial *Writer
 }
 
 // NewParallelWriter returns a parallel streaming compressor writing to dst.
@@ -97,6 +103,17 @@ func NewParallelWriterContext(ctx context.Context, codec Codec, dst io.Writer, c
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// One worker — or one CPU, however many workers were asked for —
+		// cannot overlap chunk compression with anything: the scheduler
+		// shape only adds handoffs, goroutine switches, and per-chunk
+		// buffer copies over the serial path, a measured regression on the
+		// 1-CPU reference box. Delegate to the serial Writer, which reuses
+		// its buffers across chunks; output is byte-identical.
+		sw := NewWriter(codec, dst, chunkSize)
+		sw.SetSpan(trace.FromContext(ctx))
+		return &ParallelWriter{ctx: ctx, serial: sw}
+	}
 	w := &ParallelWriter{
 		codec:   codec,
 		dst:     dst,
@@ -105,46 +122,52 @@ func NewParallelWriterContext(ctx context.Context, codec Codec, dst io.Writer, c
 		ctx:     ctx,
 		span:    trace.FromContext(ctx),
 		order:   make(chan *pwJob, workers),
-		jobs:    make(chan *pwJob, workers),
 		done:    make(chan struct{}),
 	}
 	w.jobPool.New = func() interface{} { return &pwJob{ready: make(chan struct{}, 1)} }
-	for i := 0; i < workers; i++ {
-		w.wg.Add(1)
-		go w.compressor()
-	}
+	// Deque depth covers the whole in-flight bound (order's capacity plus
+	// the job the emitter holds), so a push never fails even if stealing
+	// concentrates the backlog on one deque.
+	w.sched = newWorkStealing(workers, workers+2, 0, w.runJob)
 	go w.emitter()
 	return w
 }
 
-func (w *ParallelWriter) compressor() {
-	engine.workersAlive.Add(1)
-	defer engine.workersAlive.Add(-1)
-	defer w.wg.Done()
-	for job := range w.jobs {
-		engine.queueDepth.Add(-1)
-		wait := time.Since(job.submitted)
-		engine.queueWaitNS.Add(int64(wait))
-		job.span.AddStage("queue-wait", wait, 0, 0)
-		if err := w.ctx.Err(); err != nil {
-			job.err = err
-		} else {
-			engine.workersBusy.Add(1)
-			t0 := time.Now()
-			cs := job.span.Child("compress")
-			job.comp, job.err = CompressAppendTrace(w.codec, job.comp[:0], job.src, cs)
-			cs.SetBytes(int64(len(job.src)), int64(len(job.comp)))
-			cs.End()
-			engine.workersBusy.Add(-1)
-			engine.compressBusyNS.Add(int64(time.Since(t0)))
-			if job.err == nil {
-				engine.compressChunks.Add(1)
-				engine.compressBytesIn.Add(int64(len(job.src)))
-				engine.compressBytesOut.Add(int64(len(job.comp)))
-			}
+// SerialFallback reports whether the writer delegates to the serial path
+// instead of running a scheduler — true with one worker or on a 1-CPU
+// host, where parallelism cannot pay for its own handoffs.
+func (w *ParallelWriter) SerialFallback() bool { return w.serial != nil }
+
+// runJob compresses one chunk on a scheduler worker.
+func (w *ParallelWriter) runJob(worker int, stolen bool, job *pwJob) {
+	engine.queueDepth.Add(-1)
+	wait := time.Since(job.submitted)
+	engine.queueWaitNS.Add(int64(wait))
+	job.span.AddStage("queue-wait", wait, 0, 0)
+	if job.span != nil {
+		job.span.Annotate("worker", strconv.Itoa(worker))
+		if stolen {
+			job.span.Annotate("stolen", "1")
 		}
-		job.ready <- struct{}{}
 	}
+	if err := w.ctx.Err(); err != nil {
+		job.err = err
+	} else {
+		engine.workersBusy.Add(1)
+		t0 := time.Now()
+		cs := job.span.Child("compress")
+		job.comp, job.err = CompressAppendTrace(w.codec, job.comp[:0], job.src, cs)
+		cs.SetBytes(int64(len(job.src)), int64(len(job.comp)))
+		cs.End()
+		engine.workersBusy.Add(-1)
+		engine.compressBusyNS.Add(int64(time.Since(t0)))
+		if job.err == nil {
+			engine.compressChunks.Add(1)
+			engine.compressBytesIn.Add(int64(len(job.src)))
+			engine.compressBytesOut.Add(int64(len(job.comp)))
+		}
+	}
+	job.ready <- struct{}{}
 }
 
 // emitter writes frames in submission order. After the first error it keeps
@@ -221,6 +244,11 @@ func (w *ParallelWriter) Write(p []byte) (int, error) {
 	if err := w.firstErr(); err != nil {
 		return 0, err
 	}
+	if w.serial != nil {
+		n, err := w.serial.Write(p)
+		w.setErr(err)
+		return n, err
+	}
 	if w.cur == nil {
 		w.cur = w.jobPool.Get().(*pwJob)
 	}
@@ -242,7 +270,7 @@ func (w *ParallelWriter) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// submit hands the current chunk to the pool. Sending on order first
+// submit hands the current chunk to the scheduler. Sending on order first
 // preserves emission order; its capacity is the back-pressure bound.
 func (w *ParallelWriter) submit() {
 	job := w.cur
@@ -253,24 +281,37 @@ func (w *ParallelWriter) submit() {
 	}
 	w.seq++
 	job.submitted = time.Now()
-	engine.queueDepth.Add(1)
 	w.order <- job
-	w.jobs <- job
+	engine.queueDepth.Add(1)
+	w.sched.submit(job)
 }
 
-// Close flushes the final chunk, waits for the pool to drain, writes the
-// stream terminator, and releases all goroutines. It is idempotent.
+// Close flushes the final chunk, waits for the scheduler to drain, writes
+// the stream terminator, and releases all goroutines. It is idempotent.
 func (w *ParallelWriter) Close() error {
 	if w.closed {
 		return w.firstErr()
 	}
 	w.closed = true
+	if w.serial != nil {
+		if err := w.ctx.Err(); err != nil {
+			w.setErr(err)
+		}
+		if err := w.firstErr(); err != nil {
+			// Poisoned (CloseWithError or an earlier failure): the pending
+			// partial chunk and the terminator are NOT emitted, exactly as
+			// on the scheduler path.
+			return err
+		}
+		err := w.serial.Close()
+		w.setErr(err)
+		return err
+	}
 	if w.cur != nil && len(w.cur.src) > 0 {
 		w.submit()
 	}
-	close(w.jobs)
 	close(w.order)
-	w.wg.Wait()
+	w.sched.close()
 	<-w.done
 	if err := w.ctx.Err(); err != nil {
 		w.setErr(err)
@@ -319,12 +360,12 @@ type ParallelReader struct {
 	span     *trace.Span // request span from the context; parents the chunk spans
 	seq      int         // chunk index, for span labels
 	slots    chan *prSlot
-	jobs     chan *prSlot
+	sched    *wsScheduler[*prSlot] // work-stealing decompressors
 	stop     chan struct{}
 	once     sync.Once
 	finished chan struct{} // closed once the pool has fully drained
 	finOnce  sync.Once
-	wg       sync.WaitGroup
+	wg       sync.WaitGroup // the fetcher; scheduler workers have their own
 
 	buf      []byte
 	cur      *prSlot // slot whose out buffer buf aliases; recycled when drained
@@ -361,19 +402,18 @@ func NewParallelReaderContext(ctx context.Context, codec Codec, src io.Reader, l
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || (runtime.GOMAXPROCS(0) == 1 && DecodeIsLight(codec)) {
-		// One worker cannot overlap fetch with decode: the pool shape only
-		// adds channel hops, goroutine switches, and per-chunk buffer
-		// copies over the serial path. On a 1-CPU host (GOMAXPROCS=1) that
-		// overhead is a measured regression, so delegate to the serial
-		// Reader, which reuses its buffers across chunks. The same applies
-		// on a 1-CPU host even when more workers were requested, for codecs
-		// that advertise a light decode path (lz4-, zstd-, fpc-class):
-		// extra workers cannot add CPU, and for those codecs the pool
-		// overhead exceeds the decode work itself. Heavy decoders keep the
-		// requested pool — its cost vanishes in their decode time, and
-		// explicit worker counts keep meaning something. Error taxonomy
-		// and limits are identical — both paths share readFrameInto.
+	if workers == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// One worker cannot overlap fetch with decode: the scheduler shape
+		// only adds handoffs, goroutine switches, and per-chunk buffer
+		// copies over the serial path. The same holds on a 1-CPU host
+		// (GOMAXPROCS=1) no matter how many workers were requested, for
+		// EVERY codec: extra workers cannot add CPU, so the ready-channel
+		// round-trip and prSlot churn are pure overhead — a measured
+		// regression for bzip2/fpc32/fpc-posit at workers=4, not just the
+		// light lz4/zstd class the old policy special-cased. Delegate to
+		// the serial Reader, which reuses its buffers across chunks. Error
+		// taxonomy and limits are identical — both paths share
+		// readFrameInto.
 		sr := NewReaderLimits(codec, src, lim)
 		sr.SetSpan(trace.FromContext(ctx))
 		return &ParallelReader{ctx: ctx, serial: sr}
@@ -382,17 +422,18 @@ func NewParallelReaderContext(ctx context.Context, codec Codec, src io.Reader, l
 		ctx:      ctx,
 		span:     trace.FromContext(ctx),
 		slots:    make(chan *prSlot, workers),
-		jobs:     make(chan *prSlot, workers),
 		stop:     make(chan struct{}),
 		finished: make(chan struct{}),
 	}
 	r.slotPool.New = func() interface{} { return &prSlot{ready: make(chan struct{}, 1)} }
+	// Deque depth covers the whole in-flight bound (slots' capacity plus
+	// the slot Read holds), so a push never fails even if stealing
+	// concentrates the backlog on one deque.
+	r.sched = newWorkStealing(workers, workers+2, 0, func(worker int, stolen bool, slot *prSlot) {
+		r.runSlot(codec, lim, worker, stolen, slot)
+	})
 	r.wg.Add(1)
 	go r.fetch(bufio.NewReader(src), lim)
-	for i := 0; i < workers; i++ {
-		r.wg.Add(1)
-		go r.decompressor(codec, lim)
-	}
 	if ctx.Done() != nil {
 		go func() {
 			select {
@@ -412,7 +453,6 @@ func NewParallelReaderContext(ctx context.Context, codec Codec, src io.Reader, l
 func (r *ParallelReader) fetch(src *bufio.Reader, lim DecodeLimits) {
 	defer r.wg.Done()
 	defer close(r.slots)
-	defer close(r.jobs)
 	for {
 		slot := r.slotPool.Get().(*prSlot)
 		slot.err, slot.span = nil, nil
@@ -442,63 +482,63 @@ func (r *ParallelReader) fetch(src *bufio.Reader, lim DecodeLimits) {
 		}
 		r.seq++
 		slot.fetched = time.Now()
-		engine.queueDepth.Add(1)
 		select {
 		case r.slots <- slot:
 		case <-r.stop:
-			engine.queueDepth.Add(-1)
 			return
 		}
-		select {
-		case r.jobs <- slot:
-		case <-r.stop:
-			// The slot is already visible on r.slots but no worker will
-			// ever see it: resolve it here or a Read that raced the
-			// shutdown blocks on slot.ready forever.
-			engine.queueDepth.Add(-1)
-			slot.err = r.closedErr()
-			slot.ready <- struct{}{}
-			return
-		}
+		// The scheduler executes every submitted slot — resolving it with
+		// the shutdown error if r.stop closed first — so the old hazard of
+		// a slot visible on r.slots that no worker will ever touch cannot
+		// occur: submit here never blocks and never drops.
+		engine.queueDepth.Add(1)
+		r.sched.submit(slot)
 	}
 }
 
-func (r *ParallelReader) decompressor(codec Codec, lim DecodeLimits) {
-	engine.workersAlive.Add(1)
-	defer engine.workersAlive.Add(-1)
-	defer r.wg.Done()
-	for slot := range r.jobs {
-		engine.queueDepth.Add(-1)
-		wait := time.Since(slot.fetched)
-		engine.queueWaitNS.Add(int64(wait))
-		slot.span.AddStage("queue-wait", wait, 0, 0)
-		select {
-		case <-r.stop:
-			slot.err = r.closedErr()
-		default:
-			engine.workersBusy.Add(1)
-			t0 := time.Now()
-			ds := slot.span.Child("decompress")
-			slot.out, slot.err = DecompressAppendLimitsTrace(codec, slot.out[:0], slot.comp, lim, ds)
-			ds.SetBytes(int64(len(slot.comp)), int64(len(slot.out)))
-			ds.End()
-			engine.workersBusy.Add(-1)
-			engine.decompressBusyNS.Add(int64(time.Since(t0)))
-			if slot.err == nil {
-				engine.decompressChunks.Add(1)
-				engine.decompressBytesIn.Add(int64(len(slot.comp)))
-				engine.decompressBytesOut.Add(int64(len(slot.out)))
-			}
+// SerialFallback reports whether the reader delegates to the serial path
+// instead of running a scheduler — true with one worker or on a 1-CPU
+// host, where parallelism cannot pay for its own handoffs.
+func (r *ParallelReader) SerialFallback() bool { return r.serial != nil }
+
+// runSlot decompresses one chunk on a scheduler worker.
+func (r *ParallelReader) runSlot(codec Codec, lim DecodeLimits, worker int, stolen bool, slot *prSlot) {
+	engine.queueDepth.Add(-1)
+	wait := time.Since(slot.fetched)
+	engine.queueWaitNS.Add(int64(wait))
+	slot.span.AddStage("queue-wait", wait, 0, 0)
+	if slot.span != nil {
+		slot.span.Annotate("worker", strconv.Itoa(worker))
+		if stolen {
+			slot.span.Annotate("stolen", "1")
 		}
-		if slot.span != nil {
-			if slot.err != nil {
-				slot.span.Annotate("error", slot.err.Error())
-			}
-			slot.span.SetBytes(int64(len(slot.comp)), int64(len(slot.out)))
-			slot.span.End()
-		}
-		slot.ready <- struct{}{}
 	}
+	select {
+	case <-r.stop:
+		slot.err = r.closedErr()
+	default:
+		engine.workersBusy.Add(1)
+		t0 := time.Now()
+		ds := slot.span.Child("decompress")
+		slot.out, slot.err = DecompressAppendLimitsTrace(codec, slot.out[:0], slot.comp, lim, ds)
+		ds.SetBytes(int64(len(slot.comp)), int64(len(slot.out)))
+		ds.End()
+		engine.workersBusy.Add(-1)
+		engine.decompressBusyNS.Add(int64(time.Since(t0)))
+		if slot.err == nil {
+			engine.decompressChunks.Add(1)
+			engine.decompressBytesIn.Add(int64(len(slot.comp)))
+			engine.decompressBytesOut.Add(int64(len(slot.out)))
+		}
+	}
+	if slot.span != nil {
+		if slot.err != nil {
+			slot.span.Annotate("error", slot.err.Error())
+		}
+		slot.span.SetBytes(int64(len(slot.comp)), int64(len(slot.out)))
+		slot.span.End()
+	}
+	slot.ready <- struct{}{}
 }
 
 // readFrameInto reads one chunk frame into buf (reusing its capacity),
@@ -625,13 +665,16 @@ func (r *ParallelReader) Read(p []byte) (int, error) {
 
 func (r *ParallelReader) shutdown() {
 	r.once.Do(func() { close(r.stop) })
-	// Unblock any pending slots so the fetcher and workers can exit, then
-	// wait for them: after shutdown returns, no goroutines remain.
+	// Unblock any pending slots so the fetcher can exit, then wait for it;
+	// only then is the scheduler quiescent (no more submits) and safe to
+	// close, which drains every submitted slot. After shutdown returns, no
+	// goroutines remain.
 	go func() {
 		for range r.slots {
 		}
 	}()
 	r.wg.Wait()
+	r.sched.close()
 	r.finOnce.Do(func() { close(r.finished) })
 }
 

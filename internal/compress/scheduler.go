@@ -1,0 +1,251 @@
+package compress
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Work-stealing scheduler for the chunk engines. ParallelWriter and
+// ParallelReader used to feed a single shared channel that every worker
+// received from; that shape serializes small chunks behind large ones (a
+// worker holding a 4 MiB chunk blocks nothing, but a full channel does) and
+// charges every chunk a channel handoff even when its own worker is idle.
+// Here each worker owns a bounded ring deque: the submitter spreads chunks
+// round-robin, owners pop newest-first (cache-warm), and an idle worker
+// steals oldest-first from a victim picked by a seeded generator — so a
+// skewed chunk-size distribution keeps every worker busy and the common
+// case (own deque non-empty) is one uncontended mutex, no channel.
+//
+// The deques are rings of pointers sized at construction: submitting a
+// chunk never allocates, preserving the 0-allocs/chunk gates in
+// alloc_test.go. The engines bound in-flight chunks at workers+1 (their
+// order/slots channel capacity), and submit sizes every deque to hold the
+// whole bound, so a push cannot fail even if stealing piles the remaining
+// work onto one deque.
+
+// wsDeque is one worker's bounded chunk queue: a mutex-guarded ring. The
+// owner pushes and pops at the tail (LIFO keeps the freshest chunk, whose
+// source bytes are still cache-warm); thieves take from the head (FIFO
+// takes the stalest, largest-backlog end). The mutex is uncontended unless
+// a steal races the owner, which is exactly when contention is worth it.
+type wsDeque[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	head  int // index of the oldest element (steal end)
+	count int
+}
+
+func (d *wsDeque[T]) push(t T) bool {
+	d.mu.Lock()
+	if d.count == len(d.buf) {
+		d.mu.Unlock()
+		return false
+	}
+	d.buf[(d.head+d.count)%len(d.buf)] = t
+	d.count++
+	d.mu.Unlock()
+	return true
+}
+
+func (d *wsDeque[T]) popTail() (t T, ok bool) {
+	d.mu.Lock()
+	if d.count > 0 {
+		d.count--
+		i := (d.head + d.count) % len(d.buf)
+		t, ok = d.buf[i], true
+		var zero T
+		d.buf[i] = zero
+	}
+	d.mu.Unlock()
+	return t, ok
+}
+
+func (d *wsDeque[T]) popHead() (t T, ok bool) {
+	d.mu.Lock()
+	if d.count > 0 {
+		t, ok = d.buf[d.head], true
+		var zero T
+		d.buf[d.head] = zero
+		d.head = (d.head + 1) % len(d.buf)
+		d.count--
+	}
+	d.mu.Unlock()
+	return t, ok
+}
+
+// wsRand is a splitmix64 stream: deterministic for a given seed, good
+// enough to decorrelate victim choices across workers. Each worker owns
+// one, so steal order is reproducible when the scheduler seed is pinned —
+// the property the deterministic steal-order test locks down.
+type wsRand struct{ state uint64 }
+
+func (r *wsRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// stealStart returns the first victim (excluding self) worker i probes on
+// its next steal sweep; the sweep then walks the remaining workers in ring
+// order. Factored out so tests can pin the deterministic-seed property
+// without racing real workers.
+func stealStart(r *wsRand, self, workers int) int {
+	v := int(r.next() % uint64(workers-1))
+	if v >= self {
+		v++
+	}
+	return v
+}
+
+// wsSeed provides distinct default seeds per scheduler, deterministic
+// within a process run. Tests pass explicit seeds instead.
+var wsSeed atomic.Uint64
+
+// wsScheduler runs exec over submitted items on a fixed set of workers with
+// per-worker deques and random-victim stealing. One producer submits; close
+// waits until every submitted item has been executed and all workers have
+// exited. Items are never dropped: a worker only parks when every deque is
+// empty, and only exits when the scheduler is closed and nothing is
+// pending.
+type wsScheduler[T any] struct {
+	exec    func(worker int, stolen bool, t T)
+	deques  []wsDeque[T]
+	rngs    []wsRand
+	pending atomic.Int64 // submitted, not yet popped by any worker
+
+	mu     sync.Mutex // parking lot: guards closed and the condvar sleep
+	cond   *sync.Cond
+	closed bool
+
+	wg       sync.WaitGroup
+	next     int // round-robin submission cursor (single producer)
+	closeOne sync.Once
+}
+
+// newWorkStealing starts workers goroutines executing exec. depth bounds
+// each deque; the engines pass their whole in-flight bound so pushes cannot
+// fail. seed pins the steal order; pass 0 for a process-unique default.
+func newWorkStealing[T any](workers, depth int, seed uint64, exec func(worker int, stolen bool, t T)) *wsScheduler[T] {
+	if seed == 0 {
+		seed = wsSeed.Add(0x720b3f4d) * 0x9e3779b97f4a7c15
+	}
+	s := &wsScheduler[T]{
+		exec:   exec,
+		deques: make([]wsDeque[T], workers),
+		rngs:   make([]wsRand, workers),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.deques {
+		s.deques[i].buf = make([]T, depth)
+		s.rngs[i].state = seed + uint64(i)*0xa0761d6478bd642f
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// submit queues t, preferring the round-robin target deque so work spreads
+// before any stealing is needed. The engines bound in-flight items at the
+// total deque capacity, so the scan always finds room; the inline-exec tail
+// is a belt-and-braces fallback that keeps the counters reconciled even if
+// that invariant were ever broken.
+func (s *wsScheduler[T]) submit(t T) {
+	engine.schedSubmitted.Add(1)
+	w := s.next
+	s.next++
+	if s.next == len(s.deques) {
+		s.next = 0
+	}
+	for i := 0; i < len(s.deques); i++ {
+		v := w + i
+		if v >= len(s.deques) {
+			v -= len(s.deques)
+		}
+		if s.deques[v].push(t) {
+			engine.workerDepth[v%engineDepthSlots].Add(1)
+			s.pending.Add(1)
+			s.mu.Lock()
+			s.cond.Signal()
+			s.mu.Unlock()
+			return
+		}
+	}
+	engine.schedLocalHits.Add(1)
+	s.exec(w, false, t)
+}
+
+// close marks the scheduler done and joins the workers after they drain
+// every pending item. Safe to call more than once.
+func (s *wsScheduler[T]) close() {
+	s.closeOne.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+func (s *wsScheduler[T]) worker(i int) {
+	defer s.wg.Done()
+	engine.workersAlive.Add(1)
+	defer engine.workersAlive.Add(-1)
+	for {
+		if t, ok := s.deques[i].popTail(); ok {
+			engine.schedLocalHits.Add(1)
+			engine.workerDepth[i%engineDepthSlots].Add(-1)
+			s.pending.Add(-1)
+			s.exec(i, false, t)
+			continue
+		}
+		if t, victim, ok := s.steal(i); ok {
+			engine.schedSteals.Add(1)
+			engine.workerDepth[victim%engineDepthSlots].Add(-1)
+			s.pending.Add(-1)
+			s.exec(i, true, t)
+			continue
+		}
+		// Park. pending is re-checked under the lock: submit increments it
+		// after the push and signals under the same lock, so a wakeup is
+		// never lost between our empty sweep and the Wait.
+		s.mu.Lock()
+		for s.pending.Load() == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		done := s.closed && s.pending.Load() == 0
+		s.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+// steal sweeps the other workers' deques from a seeded random start,
+// taking the oldest item of the first non-empty victim.
+func (s *wsScheduler[T]) steal(i int) (t T, victim int, ok bool) {
+	n := len(s.deques)
+	if n == 1 {
+		return t, 0, false
+	}
+	v := stealStart(&s.rngs[i], i, n)
+	for j := 0; j < n-1; j++ {
+		if v >= n {
+			v -= n
+		}
+		if v == i {
+			v++
+			if v >= n {
+				v -= n
+			}
+		}
+		if t, ok = s.deques[v].popHead(); ok {
+			return t, v, true
+		}
+		v++
+	}
+	return t, 0, false
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"runtime"
 	"testing"
 
 	"positbench/internal/compress"
@@ -23,6 +24,11 @@ func findChildren(sp *trace.SpanData, name string) []*trace.SpanData {
 }
 
 func TestParallelEngineSpans(t *testing.T) {
+	// The span shape under test (queue-wait under each chunk) only exists
+	// on the scheduler path; on a 1-CPU runner construction would fall
+	// back to the serial engine, so force the scheduler.
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
 	tr := trace.New(4)
 	root := tr.Start("roundtrip", "t1")
 	ctx := trace.NewContext(context.Background(), root)

@@ -6,9 +6,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 	"time"
 
+	"positbench/internal/compress"
 	"positbench/internal/server"
 	"positbench/internal/trace"
 )
@@ -18,6 +20,12 @@ import (
 // server's /metrics against the generator's own bookkeeping and walk a
 // complete span tree out of /debug/traces.
 func TestBurstAgainstPositd(t *testing.T) {
+	// The span shapes and scheduler counters under test only exist on the
+	// scheduler path; on a 1-CPU runner every engine would take the serial
+	// fallback, so force the scheduler (positd resolves workers in-process).
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	pre := compress.EngineSnapshot()
 	srv, err := server.New(server.Config{AccessLog: io.Discard, ChunkSize: 16 << 10})
 	if err != nil {
 		t.Fatal(err)
@@ -67,9 +75,15 @@ func TestBurstAgainstPositd(t *testing.T) {
 	var snap struct {
 		Inflight int64 `json:"inflight"`
 		Engine   struct {
-			QueueDepth     int64  `json:"queue_depth"`
-			WorkersBusy    int64  `json:"workers_busy"`
-			TracesCaptured uint64 `json:"traces_captured"`
+			QueueDepth        int64   `json:"queue_depth"`
+			WorkersBusy       int64   `json:"workers_busy"`
+			TracesCaptured    uint64  `json:"traces_captured"`
+			SchedSubmitted    int64   `json:"sched_submitted"`
+			SchedLocalHits    int64   `json:"sched_local_hits"`
+			SchedSteals       int64   `json:"sched_steals"`
+			WorkerQueueDepths []int64 `json:"worker_queue_depths"`
+			CompressChunks    int64   `json:"compress_chunks"`
+			DecompressChunks  int64   `json:"decompress_chunks"`
 		} `json:"engine"`
 		Codecs map[string]map[string]struct {
 			Ops      int64 `json:"ops"`
@@ -91,6 +105,30 @@ func TestBurstAgainstPositd(t *testing.T) {
 	}
 	if snap.Engine.TracesCaptured == 0 {
 		t.Error("no traces captured during the burst")
+	}
+	// Work-stealing scheduler reconciliation: every chunk submitted during
+	// the burst was executed exactly once, from its own deque or stolen —
+	// and with the burst fully drained (healthy run, grace tail) the chunk
+	// counters account for every submission. Counters are process-global,
+	// so everything is measured as a delta from the pre-burst snapshot.
+	subs := snap.Engine.SchedSubmitted - pre.SchedSubmitted
+	local := snap.Engine.SchedLocalHits - pre.SchedLocalHits
+	steals := snap.Engine.SchedSteals - pre.SchedSteals
+	if subs == 0 {
+		t.Error("burst submitted no chunks to the work-stealing scheduler")
+	}
+	if local+steals != subs {
+		t.Errorf("scheduler leaked work: local %d + stolen %d != submitted %d", local, steals, subs)
+	}
+	chunks := (snap.Engine.CompressChunks - pre.CompressChunks) +
+		(snap.Engine.DecompressChunks - pre.DecompressChunks)
+	if chunks != subs {
+		t.Errorf("chunk counters disagree with the scheduler: %d chunks executed, %d submitted", chunks, subs)
+	}
+	for slot, depth := range snap.Engine.WorkerQueueDepths {
+		if depth != 0 {
+			t.Errorf("worker_queue_depths[%d] = %d after burst drained, want 0", slot, depth)
+		}
 	}
 	for codec, want := range rep.Compress {
 		got := snap.Codecs[codec]["compress"]

@@ -65,6 +65,12 @@ func (c Config) ToFloat32SliceWorkers(dst []float32, src []uint32, n int) []floa
 	if dst == nil {
 		dst = make([]float32, len(src))
 	}
+	if c.kernelOK() {
+		parallelRangeN(len(src), n, func(lo, hi int) {
+			c.decode32Batch(dst[lo:hi], src[lo:hi])
+		})
+		return dst[:len(src)]
+	}
 	parallelRangeN(len(src), n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = c.ToFloat32(uint64(src[i]))

@@ -1,0 +1,91 @@
+package posit
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Branch-free batch decoding of posit32 bit patterns.
+//
+// The generic Decode path classifies specials and sizes the regime,
+// exponent, and fraction fields with data-dependent branches; the hot batch
+// converters pay those mispredictions once per value. decode32 computes the
+// identical float64 bit pattern with arithmetic masks instead: the regime
+// run length comes from one LeadingZeros64 after XOR-splatting the first
+// body bit, field widths use branch-free min, and the zero/NaR specials are
+// folded in with masked selects. Eight independent decodes are unrolled per
+// loop iteration so the out-of-order core can overlap them.
+
+// kernelOK reports whether the batch kernel covers configuration c: 32-bit
+// posits whose scale range stays inside binary64's normal-number exponents
+// (|scale| <= 30<<es, which for es <= 5 is at most 960 < 1022). Every such
+// posit is exactly one normal binary64 value, so the kernel can assemble
+// the float bits directly.
+func (c Config) kernelOK() bool { return c.N == 32 && c.ES <= 5 }
+
+// kernelNaN must match the bits math.NaN() returns so the kernel path is
+// indistinguishable from ToFloat64's NaR handling.
+var kernelNaN = math.Float64bits(math.NaN())
+
+// decode32 converts one posit32 bit pattern to the bits of its exact
+// float64 value, with no branches. Requires c.kernelOK().
+func (c Config) decode32(p uint32) uint64 {
+	es := uint64(c.ES)
+	sgn := uint64(p) >> 31
+	// Two's-complement magnitude: negate exactly when the sign bit is set.
+	mag := ((uint64(p) ^ (0 - sgn)) + sgn) & 0xFFFFFFFF
+	// Left-align the 31 body bits at bit 63.
+	x := (mag & 0x7FFFFFFF) << 33
+	first := x >> 63
+	// XOR with a splat of the first bit turns "count leading copies of the
+	// first bit" into a plain count of leading zeros.
+	m := uint64(bits.LeadingZeros64(x ^ (0 - first)))
+	// Clamp the run to the 31 body bits (an all-zero body counts 64).
+	d := int64(m) - 31
+	m -= uint64(d) &^ uint64(d>>63) // m = min(m, 31)
+	// Regime value: k = m-1 for a run of ones, -m for a run of zeros.
+	k := int64(first)*(2*int64(m)-1) - int64(m)
+	// The terminating opposite bit is consumed only when the run stops
+	// before the end of the body.
+	consumed := m + (uint64((int64(m)-31)>>63) & 1)
+	rem := 31 - consumed
+	// Exponent width: min(es, rem); truncated low bits read as zero.
+	de := int64(es) - int64(rem)
+	eb := es - (uint64(de) &^ uint64(de>>63))
+	e := ((x << consumed) >> (64 - eb)) << (es - eb) // >>64 == 0 when eb == 0
+	scale := k<<es + int64(e)
+	fb := rem - eb
+	frac := (x << (consumed + eb)) >> (64 - fb) // >>64 == 0 when fb == 0
+	// Assemble binary64: the hidden bit contributes the leading 1 of a
+	// normal mantissa, so the exponent is exactly scale (always in normal
+	// range under kernelOK) and the fraction left-justifies into 52 bits.
+	fbits := sgn<<63 | uint64(scale+1023)<<52 | frac<<(52-fb)
+	// Masked selects for the two specials. (v | -v) >> 63 is 1 iff v != 0.
+	nz := uint64(p)
+	fbits &= 0 - ((nz | (0 - nz)) >> 63) // zero pattern -> +0
+	dn := uint64(p) ^ 0x80000000
+	nar := ((dn|(0-dn))>>63 - 1) // all ones iff p == NaR
+	return fbits&^nar | kernelNaN&nar
+}
+
+// decode32Batch fills dst with the float32 values of the posit32 patterns
+// in src. The eight-wide unroll carries no cross-iteration state, so the
+// decodes pipeline freely. Requires c.kernelOK() and len(dst) >= len(src).
+func (c Config) decode32Batch(dst []float32, src []uint32) {
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = float32(math.Float64frombits(c.decode32(s[0])))
+		d[1] = float32(math.Float64frombits(c.decode32(s[1])))
+		d[2] = float32(math.Float64frombits(c.decode32(s[2])))
+		d[3] = float32(math.Float64frombits(c.decode32(s[3])))
+		d[4] = float32(math.Float64frombits(c.decode32(s[4])))
+		d[5] = float32(math.Float64frombits(c.decode32(s[5])))
+		d[6] = float32(math.Float64frombits(c.decode32(s[6])))
+		d[7] = float32(math.Float64frombits(c.decode32(s[7])))
+	}
+	for ; i < len(src); i++ {
+		dst[i] = float32(math.Float64frombits(c.decode32(src[i])))
+	}
+}

@@ -314,14 +314,28 @@ func (c *Codec) DecompressLimits(comp []byte, lim compress.DecodeLimits) ([]byte
 			fs[i].expBits, fs[i].fracBits = c.widths(run)
 		}
 	}
-	for i := range fs {
-		if fs[i].kind == 0 {
-			b, err := r.ReadBit()
-			if err != nil {
-				return nil, fmt.Errorf("positpack: signs: %w", err)
-			}
-			fs[i].sign = uint8(b)
+	// Sign bits are one per finite value; decode them from the lookahead
+	// word in register-width batches instead of paying ReadBit's refill
+	// check on every bit.
+	for i := 0; i < n; {
+		if fs[i].kind != 0 {
+			i++
+			continue
 		}
+		w, avail := r.Lookahead()
+		if avail == 0 {
+			return nil, fmt.Errorf("positpack: signs: %w", bitio.ErrUnexpectedEOF)
+		}
+		var used uint
+		for i < n && used < avail {
+			if fs[i].kind == 0 {
+				fs[i].sign = uint8(w >> 63)
+				w <<= 1
+				used++
+			}
+			i++
+		}
+		r.Drop(used)
 	}
 	for i := range fs {
 		if fs[i].kind == 0 && fs[i].expBits > 0 {

@@ -98,9 +98,6 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	// Read-ahead decompression writes output while frames are still being
-	// fetched from the body; see the full-duplex note in handleCompress.
-	_ = http.NewResponseController(w).EnableFullDuplex()
 	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	name, bare, err := sniffCodec(body)
 	if err != nil {
@@ -135,12 +132,21 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 			return // client gone; access log records the short write
 		}
 	} else {
+		// Read-ahead decompression writes output while frames are still
+		// being fetched from the body, which needs full duplex on HTTP/1.
+		// The bare-frame path above reads the whole body before its first
+		// write, so it stays half duplex and keeps the server's own
+		// pre-response body discard protecting connection reuse.
+		_ = http.NewResponseController(w).EnableFullDuplex()
 		pr := compress.NewParallelReaderContext(r.Context(), codec, countReads(body, &bytesIn), lim, workers)
 		defer pr.Close()
 		if _, err := io.Copy(w, pr); err != nil {
 			s.abortStream(cw, r, err)
 			return
 		}
+		// The stream terminator ends the copy without observing the body's
+		// EOF; surface it here so the connection stays safely reusable.
+		drainBody(cw, r)
 	}
 	s.metrics.recordCodec(name, "decompress", time.Since(start), bytesIn, cw.bytes)
 }
@@ -151,12 +157,44 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 // client cannot mistake a truncated body for a complete one.
 func (s *Server) abortStream(cw *countingWriter, r *http.Request, err error) {
 	if !cw.wrote {
+		drainBody(cw, r)
 		writeError(cw, err)
 		return
 	}
 	status, kind := statusFor(err)
 	log.Printf("positd: %s %s: aborting mid-stream: %v (kind %s, would-be status %d)",
 		r.Method, r.URL.Path, err, kind, status)
+	panic(http.ErrAbortHandler)
+}
+
+// maxDrainBytes bounds how much of an unread request body drainBody will
+// consume to keep a connection reusable, matching net/http's own
+// post-handler discard bound; past it the connection is retired instead.
+const maxDrainBytes = 256 << 10
+
+// drainBody consumes what remains of a full-duplex request body so its EOF
+// is observed inside the handler. net/http coordinates its keep-alive
+// background read with the handler only when the body hits EOF before the
+// handler returns: with full duplex enabled the server skips its
+// pre-response discard, and a body first drained inside finishRequest
+// re-arms the background read after the abort handshake has already run —
+// the connection's next keep-alive read then panics with "invalid
+// concurrent Body.Read call". Every full-duplex handler must therefore
+// route early returns through here (abortStream does) or read the body to
+// EOF itself. A remainder past maxDrainBytes is not worth reading just for
+// reuse: the response is marked Connection: close while the status line is
+// unsent, else the connection is aborted outright.
+func drainBody(cw *countingWriter, r *http.Request) {
+	n, err := io.Copy(io.Discard, io.LimitReader(r.Body, maxDrainBytes+1))
+	if err != nil || n <= maxDrainBytes {
+		// EOF reached (LimitReader masks it as a clean stop), or the body
+		// read failed — a dead connection has no reuse to protect.
+		return
+	}
+	if !cw.wrote {
+		cw.Header().Set("Connection", "close")
+		return
+	}
 	panic(http.ErrAbortHandler)
 }
 

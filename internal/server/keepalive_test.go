@@ -1,0 +1,66 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestKeepAliveAfterAbandonedBody pins the fix for a connection-reuse
+// panic: a full-duplex handler returning with the request body not read to
+// EOF leaves net/http's keep-alive machinery arming its background read
+// after the abort handshake already ran, and the connection's next read
+// panics with "invalid concurrent Body.Read call". The panic is recovered
+// and logged by net/http asynchronously — after the response is on the
+// wire — so the requests all "succeed" and only the server log betrays the
+// broken connection. Each scenario here abandons a body mid-read on a
+// keep-alive connection; the test then waits for the async log line that
+// must not appear.
+func TestKeepAliveAfterAbandonedBody(t *testing.T) {
+	var logBuf bytes.Buffer
+	prevOut := log.Writer()
+	log.SetOutput(io.MultiWriter(prevOut, &logBuf))
+	defer log.SetOutput(prevOut)
+
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1 << 10})
+	big := bytes.Repeat([]byte("x"), 8<<10)
+
+	// Declared length over the cap: rejected before any body read.
+	resp, err := http.Post(ts.URL+"/v1/compress/gzip", "application/octet-stream", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Chunked upload tripping the bounding reader mid-stream: the handler
+	// aborts with most of the body unread.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/compress/gzip", struct{ io.Reader }{bytes.NewReader(big)})
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Decompress rejecting a stream after a partial sniff, remainder unread
+	// (body larger than the sniffing bufio's buffer).
+	frame := append([]byte("pBNCH"), bytes.Repeat([]byte("y"), 6<<10)...)
+	resp, err = http.Post(ts.URL+"/v1/decompress", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// The panic fires on the server's conn goroutine after the response was
+	// delivered; give it time to reach the log.
+	time.Sleep(200 * time.Millisecond)
+	if s := logBuf.String(); strings.Contains(s, "invalid concurrent Body.Read") {
+		t.Fatalf("keep-alive connection panicked after an abandoned body:\n%s", s)
+	}
+}

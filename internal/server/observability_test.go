@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -134,8 +135,13 @@ func TestMetricsEngineSection(t *testing.T) {
 }
 
 func TestDebugTracesSpanTree(t *testing.T) {
+	// The queue-wait stage under each chunk only exists on the scheduler
+	// path; on a 1-CPU runner the engine falls back to the serial writer,
+	// so force the scheduler (the server resolves workers in-process).
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
 	s, ts := newTestServer(t, Config{ChunkSize: 8 << 10})
-	req, _ := http.NewRequest("POST", ts.URL+"/v1/compress/bzip2", bytes.NewReader(sampleF32(8192)))
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/compress/bzip2?workers=2", bytes.NewReader(sampleF32(8192)))
 	req.Header.Set("X-Request-ID", "trace-roundtrip-1")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Per-core scaling gates over BenchReport documents: the analysis half of
+// `make bench-scaling` (cmd/benchdiff -scaling is a thin CLI over these).
+
+// CheckScaling validates a single report's intra-run invariant: the
+// parallel engine must never fall below the serial path by more than
+// tolPct percent at any worker count.
+//
+// On multi-core hardware both directions are held to tolPct strictly — the
+// read-ahead reader's whole reason to exist is "never slower than serial".
+// A 1-CPU machine gets a wider margin (2.5x tolPct, at least 25%) in both
+// directions: the engine falls back to the serial path there, so each
+// comparison measures the same code twice and the delta is pure
+// scheduler/cache noise, which on a shared 1-core CI runner routinely
+// exceeds a strict threshold even with the sweep's drift-cancelling
+// paired measurement.
+func CheckScaling(r *BenchReport, tolPct float64) []string {
+	if tolPct <= 0 {
+		tolPct = 10
+	}
+	encTol, decTol := tolPct, tolPct
+	if r.NumCPU == 1 {
+		encTol = tolPct * 2.5
+		if encTol < 25 {
+			encTol = 25
+		}
+		decTol = encTol
+	}
+	var problems []string
+	for _, res := range r.Results {
+		if res.SerialMBps > 0 && res.ParallelMBps > 0 &&
+			res.ParallelMBps < res.SerialMBps*(1-encTol/100) {
+			problems = append(problems, fmt.Sprintf(
+				"%s w=%d: parallel compress %.2f MB/s is %.1f%% below serial %.2f MB/s (tol %.0f%%)",
+				res.Codec, res.Workers, res.ParallelMBps,
+				(1-res.ParallelMBps/res.SerialMBps)*100, res.SerialMBps, encTol))
+		}
+		if res.SerialDecodeMBps > 0 && res.ParallelDecodeMBps > 0 &&
+			res.ParallelDecodeMBps < res.SerialDecodeMBps*(1-decTol/100) {
+			problems = append(problems, fmt.Sprintf(
+				"%s w=%d: parallel decode %.2f MB/s is %.1f%% below serial %.2f MB/s (tol %.0f%%)",
+				res.Codec, res.Workers, res.ParallelDecodeMBps,
+				(1-res.ParallelDecodeMBps/res.SerialDecodeMBps)*100, res.SerialDecodeMBps, decTol))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// CheckScalingRegress compares scaling efficiency — speedup divided by
+// worker count — between a checked-in baseline and a new report. It
+// returns the regressions and whether a comparison happened at all:
+// efficiency curves are only meaningful between runs on the same core
+// count, so when the two reports disagree on NumCPU the check is skipped
+// (compared == false) rather than failed — a laptop run must not be gated
+// against a CI-box baseline. On a 1-CPU machine the comparison is skipped
+// for the same reason CheckScaling loosens its encode bound there: the
+// engine falls back to the serial path, so "efficiency" divides one noisy
+// measurement of the serial code by another and regressions in it are
+// fiction. Pairs present in only one report are skipped, matching
+// benchdiff's add-a-codec-without-rewriting-history policy.
+func CheckScalingRegress(oldRep, newRep *BenchReport, tolPct float64) (problems []string, compared bool) {
+	if oldRep.NumCPU != newRep.NumCPU || newRep.NumCPU == 1 {
+		return nil, false
+	}
+	if tolPct <= 0 {
+		tolPct = 10
+	}
+	oldBy := map[benchKey]BenchResult{}
+	for _, r := range oldRep.Results {
+		oldBy[benchKey{r.Codec, r.Workers}] = r
+	}
+	for _, nr := range newRep.Results {
+		or, ok := oldBy[benchKey{nr.Codec, nr.Workers}]
+		if !ok {
+			continue
+		}
+		for _, m := range []struct {
+			name           string
+			oldSer, oldPar float64
+			newSer, newPar float64
+		}{
+			{"compress", or.SerialMBps, or.ParallelMBps, nr.SerialMBps, nr.ParallelMBps},
+			{"decode", or.SerialDecodeMBps, or.ParallelDecodeMBps, nr.SerialDecodeMBps, nr.ParallelDecodeMBps},
+		} {
+			if m.oldSer <= 0 || m.oldPar <= 0 || m.newSer <= 0 || m.newPar <= 0 {
+				continue
+			}
+			oldEff := m.oldPar / m.oldSer / float64(nr.Workers)
+			newEff := m.newPar / m.newSer / float64(nr.Workers)
+			if newEff < oldEff*(1-tolPct/100) {
+				problems = append(problems, fmt.Sprintf(
+					"%s w=%d: %s scaling efficiency %.3f is %.1f%% below baseline %.3f (tol %.0f%%)",
+					nr.Codec, nr.Workers, m.name, newEff, (1-newEff/oldEff)*100, oldEff, tolPct))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, true
+}

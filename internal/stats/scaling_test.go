@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func scalingRow(codec string, workers int, serEnc, parEnc, serDec, parDec float64) BenchResult {
+	return BenchResult{
+		Codec: codec, Workers: workers,
+		SerialMBps: serEnc, ParallelMBps: parEnc,
+		SerialDecodeMBps: serDec, ParallelDecodeMBps: parDec,
+	}
+}
+
+func TestCheckScalingPassesHealthyCurve(t *testing.T) {
+	rep := &BenchReport{NumCPU: 4, Results: []BenchResult{
+		scalingRow("xz", 1, 10, 9.8, 40, 39),
+		scalingRow("xz", 2, 10, 18, 40, 41),
+		scalingRow("xz", 4, 10, 33, 40, 42),
+	}}
+	if probs := CheckScaling(rep, 10); len(probs) != 0 {
+		t.Errorf("healthy curve flagged: %v", probs)
+	}
+}
+
+func TestCheckScalingFlagsParallelBelowSerial(t *testing.T) {
+	rep := &BenchReport{NumCPU: 4, Results: []BenchResult{
+		scalingRow("bzip2", 4, 10, 5, 40, 42),  // encode collapsed
+		scalingRow("fpc32", 4, 10, 11, 40, 30), // decode collapsed
+	}}
+	probs := CheckScaling(rep, 10)
+	if len(probs) != 2 {
+		t.Fatalf("want 2 problems, got %d: %v", len(probs), probs)
+	}
+	joined := strings.Join(probs, "\n")
+	for _, want := range []string{"bzip2 w=4", "parallel compress", "fpc32 w=4", "parallel decode"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("problems missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCheckScalingLenientOnOneCPU(t *testing.T) {
+	// 20% dips both directions: noise on a 1-core box (serial fallback
+	// measures the same code twice), regressions on real parallel hardware.
+	rep := &BenchReport{NumCPU: 1, Results: []BenchResult{
+		scalingRow("gzip", 4, 10, 8, 40, 32),
+	}}
+	if probs := CheckScaling(rep, 10); len(probs) != 0 {
+		t.Errorf("1-CPU noise flagged: %v", probs)
+	}
+	rep.NumCPU = 4
+	if probs := CheckScaling(rep, 10); len(probs) != 2 {
+		t.Errorf("multi-CPU dips not both flagged: %v", probs)
+	}
+	// Past the widened bound, even a 1-CPU box fails: that is a broken
+	// fallback, not noise.
+	rep.NumCPU = 1
+	rep.Results[0].ParallelDecodeMBps = 25
+	if probs := CheckScaling(rep, 10); len(probs) != 1 {
+		t.Errorf("1-CPU catastrophic decode dip not flagged: %v", probs)
+	}
+}
+
+func TestCheckScalingRegressSkipsDifferentHardware(t *testing.T) {
+	oldRep := &BenchReport{NumCPU: 8, Results: []BenchResult{scalingRow("xz", 4, 10, 35, 40, 44)}}
+	newRep := &BenchReport{NumCPU: 4, Results: []BenchResult{scalingRow("xz", 4, 10, 20, 40, 41)}}
+	probs, compared := CheckScalingRegress(oldRep, newRep, 10)
+	if compared || probs != nil {
+		t.Errorf("cross-hardware comparison not skipped: compared=%v probs=%v", compared, probs)
+	}
+}
+
+func TestCheckScalingRegressSkipsOneCPU(t *testing.T) {
+	// On one core the engine falls back to serial, so efficiency divides
+	// noise by noise; a 20% "drop" there must not gate anything.
+	oldRep := &BenchReport{NumCPU: 1, Results: []BenchResult{scalingRow("xz", 4, 10, 12, 40, 44)}}
+	newRep := &BenchReport{NumCPU: 1, Results: []BenchResult{scalingRow("xz", 4, 10, 9.5, 40, 41)}}
+	probs, compared := CheckScalingRegress(oldRep, newRep, 10)
+	if compared || probs != nil {
+		t.Errorf("1-CPU comparison not skipped: compared=%v probs=%v", compared, probs)
+	}
+}
+
+func TestCheckScalingRegressFlagsEfficiencyDrop(t *testing.T) {
+	oldRep := &BenchReport{NumCPU: 4, Results: []BenchResult{scalingRow("xz", 4, 10, 36, 40, 44)}}
+	newRep := &BenchReport{NumCPU: 4, Results: []BenchResult{
+		scalingRow("xz", 4, 10, 24, 40, 44),  // efficiency 0.9 -> 0.6
+		scalingRow("new", 4, 10, 11, 40, 41), // only in new: skipped
+	}}
+	probs, compared := CheckScalingRegress(oldRep, newRep, 10)
+	if !compared {
+		t.Fatal("same-hardware comparison skipped")
+	}
+	if len(probs) != 1 || !strings.Contains(probs[0], "xz w=4") || !strings.Contains(probs[0], "compress") {
+		t.Errorf("efficiency drop not flagged correctly: %v", probs)
+	}
+	// Within tolerance: no flag.
+	newRep.Results[0].ParallelMBps = 34
+	if probs, _ := CheckScalingRegress(oldRep, newRep, 10); len(probs) != 0 {
+		t.Errorf("within-tolerance drift flagged: %v", probs)
+	}
+}
