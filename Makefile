@@ -19,6 +19,11 @@
 #                    choreography, so schedules are the thing to vary
 #   make test-gateway  the resilience + gateway layers, race-enabled and
 #                    run twice (includes the in-process chaos soak)
+#   make test-range  the random-access wall: container trailer + ReaderAt,
+#                    the content-addressed chunk cache, and the positd
+#                    object/range handlers, race-enabled and run twice
+#                    (single-flight fills and cache eviction are goroutine
+#                    choreography, so schedules are the thing to vary)
 #   make smoke-server  boot a real positd, curl a compress/decompress
 #                    roundtrip through it, diff byte-identity
 #   make soak-smoke  ~5 s positload run against a race-built positd:
@@ -34,6 +39,12 @@
 #                    kill -9'd and restarted mid-run; requires zero client
 #                    failures and exact status-class reconciliation between
 #                    the positload report and the gateway's /metrics
+#   make soak-range  range-read chaos soak: an indexed object replicated to
+#                    3 positd backends behind a race-built positgw, a burst
+#                    of byte-compared Range reads through the front, the
+#                    owning backend kill -9'd mid-burst and later restored;
+#                    requires zero failed or byte-wrong reads and chunk-cache
+#                    hits on the backends afterwards
 #   make bench       serial-vs-parallel throughput; writes BENCH_compress.json
 #   make bench-smoke tiny-input benchmark pass under -race: catches data
 #                    races and crashes on the hot paths without waiting for
@@ -64,7 +75,7 @@ SCALING_BASE ?= results/BENCH_scaling_base.json
 SCALING_THRESHOLD ?= 10
 SCALING_BYTES ?= 1048576
 
-.PHONY: all check vet build test race test-parallel test-engine test-predict test-server test-advisor test-gateway smoke-server soak-smoke soak-auto soak-gateway bench bench-smoke bench-diff bench-scaling fuzz-smoke ci
+.PHONY: all check vet build test race test-parallel test-engine test-predict test-server test-advisor test-gateway test-range smoke-server soak-smoke soak-auto soak-gateway soak-range bench bench-smoke bench-diff bench-scaling fuzz-smoke ci
 
 SOAK_DURATION ?= 5s
 SOAK_QPS ?= 80
@@ -120,6 +131,14 @@ test-server:
 # a second run with different schedules is the cheapest ordering fuzz.
 test-advisor:
 	$(GO) test -race -count=2 ./internal/advisor/... ./cmd/positadvise/...
+
+# The random-access layer, twice under the race detector: the trailer
+# parser and ReaderAt are pure code, but the chunk cache's single-flight
+# fills and LRU eviction race 32 readers per test, and the positd range
+# handlers stream through the shared cache — varied schedules are the test.
+test-range:
+	$(GO) test -race -count=2 ./internal/container/... ./internal/chunkcache/...
+	$(GO) test -race -count=2 -run 'Range|Object|Read|Trailer|Compress' ./internal/server/...
 
 # The resilience primitives and the gateway, twice under the race detector:
 # retries, hedging, breakers, and probing are all goroutine choreography,
@@ -256,6 +275,81 @@ soak-gateway:
 	kill -TERM $$b1 $$b2 $$b3; wait $$b1 $$b2 $$b3; \
 	echo "soak-gateway: crash masked, counters reconciled exactly (retries=$$retries)"
 
+# Range-read chaos soak over real processes: an indexed object is written
+# with compressbench -zs, PUT to all three positd backends (the replication
+# that makes failover meaningful), and a burst of Range reads runs through
+# a race-built positgw with every response byte-compared against a slice of
+# the original input. Mid-burst the owning backend — the one the gateway's
+# object-key sharding sent every read to — is kill -9'd; the burst must
+# keep returning byte-exact 206es off the surviving replicas. The victim is
+# then restarted, the object restored to it (the store is in-memory), and
+# the burst finishes. Gate: zero failed or byte-wrong reads end to end, and
+# the backends' chunk caches must show hits (the burst repeats windows, so
+# a cold cache on every read means the cache is broken, not unlucky).
+soak-range:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$gw $$b1 $$b2 $$b3 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -race -o $$tmp/positgw ./cmd/positgw; \
+	$(GO) build -o $$tmp/positd ./cmd/positd; \
+	$(GO) build -o $$tmp/compressbench ./cmd/compressbench; \
+	seq 1 200000 | head -c 1048576 >$$tmp/in.bin; \
+	$$tmp/compressbench -zs gzip -chunk 65536 $$tmp/in.bin $$tmp/obj.pbs; \
+	for i in 1 2 3; do \
+		$$tmp/positd -addr 127.0.0.1:0 -addr-file $$tmp/b$$i.addr >$$tmp/b$$i.log 2>&1 & eval b$$i=$$!; \
+	done; \
+	for i in 1 2 3; do \
+		for j in $$(seq 1 100); do [ -s $$tmp/b$$i.addr ] && break; sleep 0.1; done; \
+		[ -s $$tmp/b$$i.addr ] || { echo "backend $$i never wrote its address"; cat $$tmp/b$$i.log; exit 1; }; \
+		curl -sSf -X PUT --data-binary @$$tmp/obj.pbs "http://$$(cat $$tmp/b$$i.addr)/v1/objects/soak" >/dev/null; \
+	done; \
+	backends=$$(cat $$tmp/b1.addr),$$(cat $$tmp/b2.addr),$$(cat $$tmp/b3.addr); \
+	$$tmp/positgw -addr 127.0.0.1:0 -addr-file $$tmp/gw.addr -backends $$backends \
+		-breaker-threshold 2 -breaker-cooldown 100ms -probe-interval 50ms \
+		-fail-threshold 2 -rise-threshold 1 -hedge-after 1s -quiet >$$tmp/gw.log 2>&1 & gw=$$!; \
+	for j in $$(seq 1 100); do [ -s $$tmp/gw.addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/gw.addr ] || { echo "gateway never wrote its address"; cat $$tmp/gw.log; exit 1; }; \
+	gwaddr=$$(cat $$tmp/gw.addr); \
+	rr() { \
+		a=$$1; n=$$2; \
+		code=$$(curl -s -o $$tmp/got -w '%{http_code}' -H "Range: bytes=$$a-$$((a + n - 1))" "http://$$gwaddr/v1/read/soak") || { echo "range $$a:$$n: transport error"; return 1; }; \
+		[ "$$code" = 206 ] || { echo "range $$a:$$n: status $$code, want 206"; return 1; }; \
+		tail -c +$$((a + 1)) $$tmp/in.bin | head -c $$n >$$tmp/want; \
+		cmp -s $$tmp/want $$tmp/got || { echo "range $$a:$$n: bytes differ"; return 1; }; \
+	}; \
+	windows="0:3000 131072:65536 524288:4096 700001:12345 1000000:48576"; \
+	burst() { \
+		for pass in $$(seq 1 $$1); do \
+			for wdw in $$windows; do rr $${wdw%:*} $${wdw#*:} || return 1; done; \
+		done; \
+	}; \
+	burst 3 || { echo "soak-range: warm burst failed"; tail -20 $$tmp/gw.log; exit 1; }; \
+	victim=; \
+	for i in 1 2 3; do \
+		n=$$(curl -sSf "http://$$(cat $$tmp/b$$i.addr)/metrics" | grep -o '"range_reads_206": *[0-9]*' | grep -o '[0-9]*$$'); \
+		[ "$${n:-0}" -gt 0 ] && { victim=$$i; break; }; \
+	done; \
+	[ -n "$$victim" ] || { echo "no backend served the range burst?"; exit 1; }; \
+	case $$victim in 1) vpid=$$b1;; 2) vpid=$$b2;; 3) vpid=$$b3;; esac; \
+	vaddr=$$(cat $$tmp/b$$victim.addr); \
+	kill -9 $$vpid; echo "soak-range: kill -9 owning backend $$victim ($$vaddr) mid-burst"; \
+	burst 2 || { echo "soak-range: burst failed after backend kill"; tail -20 $$tmp/gw.log; exit 1; }; \
+	$$tmp/positd -addr $$vaddr -addr-file $$tmp/b$$victim.addr >>$$tmp/b$$victim.log 2>&1 & \
+	case $$victim in 1) b1=$$!;; 2) b2=$$!;; 3) b3=$$!;; esac; \
+	for j in $$(seq 1 100); do curl -sf "http://$$vaddr/healthz" >/dev/null && break; sleep 0.1; done; \
+	curl -sSf -X PUT --data-binary @$$tmp/obj.pbs "http://$$vaddr/v1/objects/soak" >/dev/null; \
+	echo "soak-range: backend $$victim restarted on $$vaddr, object restored"; \
+	burst 1 || { echo "soak-range: burst failed after backend restart"; tail -20 $$tmp/gw.log; exit 1; }; \
+	hits=0; \
+	for i in 1 2 3; do \
+		h=$$(curl -sSf "http://$$(cat $$tmp/b$$i.addr)/metrics" | grep -A3 '"chunk_cache"' | grep -o '"hits": *[0-9]*' | grep -o '[0-9]*$$'); \
+		hits=$$((hits + $${h:-0})); \
+	done; \
+	[ "$$hits" -gt 0 ] || { echo "repeated windows never hit any backend chunk cache"; exit 1; }; \
+	rreqs=$$(curl -sSf "http://$$gwaddr/metrics" | grep -o '"range_requests": *[0-9]*' | grep -o '[0-9]*$$'); \
+	kill -TERM $$gw; wait $$gw; \
+	kill -TERM $$b1 $$b2 $$b3; wait $$b1 $$b2 $$b3; \
+	echo "soak-range: 30 range reads byte-exact across a backend crash ($$rreqs through the gateway, $$hits chunk-cache hits)"
+
 # Throughput benchmarks, recorded to BENCH_compress.json so serial-vs-
 # parallel speedups are diffable across commits. Three repetitions, best
 # observed per metric recorded (see recordBench): on a shared runner a
@@ -299,4 +393,4 @@ fuzz-smoke:
 		done; \
 	done
 
-ci: check race test-parallel test-engine test-predict test-server test-advisor test-gateway smoke-server soak-smoke soak-auto soak-gateway bench-smoke bench-scaling fuzz-smoke
+ci: check race test-parallel test-engine test-predict test-server test-advisor test-gateway test-range smoke-server soak-smoke soak-auto soak-gateway soak-range bench-smoke bench-scaling fuzz-smoke

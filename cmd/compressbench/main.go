@@ -10,9 +10,15 @@
 //	compressbench [-codecs xz,bzip2] [-p N] [-verify] [-json] file1 [file2 ...]
 //	compressbench -z xz input output.pbcf
 //	compressbench -d [-max-out N] input.pbcf output
+//	compressbench -zs xz [-chunk N] input output.pbs     (indexed v2 stream)
+//	compressbench -ds [-max-out N] input.pbs output      (decode a stream)
+//	compressbench -index input.pbs                       (trailer report)
+//	compressbench -range off:len [-max-out N] input.pbs output
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -52,6 +58,11 @@ func run(args []string, stdout io.Writer) error {
 	zName := fs.String("z", "", "compress one file into a framed blob with the named codec")
 	dFlag := fs.Bool("d", false, "decompress a framed blob, routing by its frame header")
 	maxOut := fs.Int64("max-out", 0, "decode size limit in bytes for -d (0 = default)")
+	zsName := fs.String("zs", "", "compress one file into an indexed (seekable) chunked stream with the named codec")
+	dsFlag := fs.Bool("ds", false, "decompress a chunked stream (v1 or indexed v2), routing by its first frame header")
+	chunkSize := fs.Int("chunk", 0, "chunk size in bytes for -zs (0 = default)")
+	indexFlag := fs.Bool("index", false, "report the seek-index trailer of a stream: chunks, layout, overhead")
+	rangeSpec := fs.String("range", "", "decode only the window off:len of an indexed stream (e.g. -range 65536:4096)")
 	workersSweep := fs.Bool("workers-sweep", false,
 		"measure per-core scaling curves (codec x direction x workers 1,2,4,8) over the input files (or a synthetic field) and emit a BENCH JSON report instead of the ratio table")
 	sweepOut := fs.String("sweep-json", "", "write the -workers-sweep report to this path instead of stdout")
@@ -60,6 +71,12 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	files := fs.Args()
+	if *zsName != "" || *dsFlag {
+		return runStream(*zsName, *dsFlag, *chunkSize, *maxOut, files, stdout)
+	}
+	if *indexFlag || *rangeSpec != "" {
+		return runIndexed(*indexFlag, *rangeSpec, *maxOut, files, stdout)
+	}
 	if *zName != "" || *dFlag {
 		return runFramed(*zName, *dFlag, *maxOut, files, stdout)
 	}
@@ -333,6 +350,158 @@ func runFramed(zName string, dFlag bool, maxOut int64, files []string, stdout io
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %s: %d bytes (%s frame verified)\n", files[1], len(out), name)
+	return nil
+}
+
+// runStream implements -zs / -ds over the chunked stream wire format.
+// -zs always writes the indexed v2 layout: every chunk is recorded in the
+// trailer the ReaderAt seeks by, and a v1 reader never notices it.
+func runStream(zsName string, dsFlag bool, chunkSize int, maxOut int64, files []string, stdout io.Writer) error {
+	if zsName != "" && dsFlag {
+		return fmt.Errorf("pick one of -zs or -ds")
+	}
+	if len(files) != 2 {
+		return fmt.Errorf("need input and output paths")
+	}
+	if zsName != "" {
+		c, err := all.Get(zsName)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(files[0])
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(files[1])
+		if err != nil {
+			return err
+		}
+		b := container.NewIndexBuilder()
+		w := compress.NewWriter(c, f, chunkSize)
+		w.SetIndexSink(b)
+		if _, err := w.Write(data); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		ix := b.Index()
+		fmt.Fprintf(stdout, "wrote %s: %d -> %d bytes, %d chunks, %d-byte trailer (%s indexed stream)\n",
+			files[1], len(data), ix.DataLen+ix.TrailerLen, len(ix.Chunks), ix.TrailerLen, c.Name())
+		return nil
+	}
+
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		return err
+	}
+	name, err := streamCodecName(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", files[0], err)
+	}
+	c, err := all.Get(name)
+	if err != nil {
+		return fmt.Errorf("%s: stream names codec %q: %w", files[0], name, err)
+	}
+	r := compress.NewReaderLimits(c, bytes.NewReader(data), compress.DecodeLimits{MaxOutputBytes: maxOut})
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("%s: %w", files[0], err)
+	}
+	if err := os.WriteFile(files[1], out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d bytes (%s stream verified)\n", files[1], len(out), name)
+	return nil
+}
+
+// streamCodecName identifies the codec of a chunked stream from its first
+// frame: uvarint prefix, then a container frame header.
+func streamCodecName(data []byte) (string, error) {
+	length, used := binary.Uvarint(data)
+	if used <= 0 {
+		return "", fmt.Errorf("unreadable stream frame prefix")
+	}
+	if length == 0 {
+		return "", fmt.Errorf("stream opens with its terminator")
+	}
+	h, _, err := container.ParseHeader(data[used:])
+	if err != nil {
+		return "", err
+	}
+	return h.Codec, nil
+}
+
+// runIndexed implements -index and -range over an indexed stream: the
+// trailer report, and windowed decodes that fetch only the overlapping
+// chunks.
+func runIndexed(indexFlag bool, rangeSpec string, maxOut int64, files []string, stdout io.Writer) error {
+	if len(files) == 0 {
+		return fmt.Errorf("need an indexed stream path")
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		return err
+	}
+	ix, err := container.ParseTrailer(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return fmt.Errorf("%s: %w", files[0], err)
+	}
+
+	if indexFlag {
+		total := ix.DataLen + ix.TrailerLen
+		fmt.Fprintf(stdout, "%s: %d chunks, %d raw bytes -> %d stream bytes\n",
+			files[0], len(ix.Chunks), ix.RawLen, total)
+		fmt.Fprintf(stdout, "  data %d bytes, trailer %d bytes (%.4f%% overhead, %.1f bytes/chunk)\n",
+			ix.DataLen, ix.TrailerLen,
+			100*float64(ix.TrailerLen)/float64(total),
+			float64(ix.TrailerLen)/float64(max(len(ix.Chunks), 1)))
+		if len(ix.Chunks) > 0 {
+			fmt.Fprintf(stdout, "  chunk raw size %d bytes (first), %d bytes (last)\n",
+				ix.Chunks[0].RawLen, ix.Chunks[len(ix.Chunks)-1].RawLen)
+		}
+		if rangeSpec == "" {
+			return nil
+		}
+	}
+
+	var off, length int64
+	if _, err := fmt.Sscanf(rangeSpec, "%d:%d", &off, &length); err != nil {
+		return fmt.Errorf("-range %q: want off:len", rangeSpec)
+	}
+	if len(files) != 2 {
+		return fmt.Errorf("need input and output paths for -range")
+	}
+	name, err := streamCodecName(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", files[0], err)
+	}
+	c, err := all.Get(name)
+	if err != nil {
+		return fmt.Errorf("%s: stream names codec %q: %w", files[0], name, err)
+	}
+	ra := container.NewReaderAtIndex(bytes.NewReader(data), ix, c, container.ReaderAtOptions{
+		Limits: compress.DecodeLimits{MaxOutputBytes: maxOut},
+	})
+	rr, err := ra.Range(off, length)
+	if err != nil {
+		return err
+	}
+	out, err := io.ReadAll(rr)
+	if err != nil {
+		return fmt.Errorf("%s: range %d:%d: %w", files[0], off, length, err)
+	}
+	if err := os.WriteFile(files[1], out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d of %d raw bytes via %d of %d chunks (%d of %d compressed bytes fetched)\n",
+		files[1], len(out), ix.RawLen, rr.Chunks(), len(ix.Chunks),
+		rr.CompBytes(), ix.CompBytes(0, len(ix.Chunks)))
 	return nil
 }
 

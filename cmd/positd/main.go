@@ -9,6 +9,7 @@
 //	positd [-addr :8080] [-max-body N] [-max-out N] [-inflight N]
 //	       [-timeout D] [-chunk N] [-workers N] [-drain D] [-drain-grace D]
 //	       [-addr-file PATH] [-pprof ADDR] [-traces N]
+//	       [-store-bytes N] [-cache-bytes N]
 //
 // -pprof exposes net/http/pprof and GET /debug/traces (the recent-request
 // trace ring) on its own listener, never on the serving mux: profiling and
@@ -66,19 +67,23 @@ func run(args []string) int {
 		drainGrace = fs.Duration("drain-grace", 0, "pause between flipping /readyz unready and closing the listener, so balancers stop routing here first")
 		pprofAt    = fs.String("pprof", "", "expose net/http/pprof and /debug/traces on this separate address (empty disables; keep it on loopback)")
 		traces     = fs.Int("traces", 0, "request-trace ring size; 0 selects the default, <0 disables tracing")
+		storeBytes = fs.Int64("store-bytes", server.DefaultMaxStoreBytes, "object store budget, bytes; PUTs past it are refused with 507")
+		cacheBytes = fs.Int64("cache-bytes", server.DefaultChunkCacheBytes, "decoded chunk cache budget, bytes; <0 disables the cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	srv, err := server.New(server.Config{
-		MaxBodyBytes:   *maxBody,
-		MaxOutputBytes: *maxOut,
-		MaxInflight:    *inflight,
-		RequestTimeout: *timeout,
-		ChunkSize:      *chunk,
-		Workers:        *workers,
-		TraceCapacity:  *traces,
+		MaxBodyBytes:    *maxBody,
+		MaxOutputBytes:  *maxOut,
+		MaxInflight:     *inflight,
+		RequestTimeout:  *timeout,
+		ChunkSize:       *chunk,
+		Workers:         *workers,
+		TraceCapacity:   *traces,
+		MaxStoreBytes:   *storeBytes,
+		ChunkCacheBytes: *cacheBytes,
 	})
 	if err != nil {
 		log.Printf("positd: %v", err)

@@ -1,0 +1,207 @@
+// Package chunkcache is a bounded, content-addressed cache for decoded
+// chunks. Keys are derived from the compressed chunk's content (hash plus
+// the frame CRC and raw length pinned alongside it by the container layer),
+// so identical compressed chunks — across objects, across requests — share
+// one decode and one resident copy. Fills are single-flight: under N
+// concurrent readers of the same key exactly one runs the decode and the
+// rest wait for it; a failed fill is handed to every waiter and never
+// cached. Eviction is LRU over resident bytes.
+package chunkcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// KeyLen is the cache key width: a 16-byte truncated content hash plus the
+// 4-byte CRC-32C and 4-byte raw length of the chunk it names. Folding the
+// CRC and length into the key (rather than trusting the hash alone) means
+// an index trailer that forges someone else's chunk hash cannot pull bytes
+// out of the cache unless it also declares the exact CRC and size — at
+// which point the trailer fully specifies the content it is asking for.
+const KeyLen = 24
+
+// Key identifies one decoded chunk by its compressed content.
+type Key [KeyLen]byte
+
+// entry is one cache slot. Between insertion and fill completion it sits in
+// the map but not the LRU list (resident == false); waiters block on ready.
+// Cached data is shared by reference — callers must treat it as read-only.
+type entry struct {
+	key      Key
+	data     []byte
+	err      error
+	ready    chan struct{} // closed when data/err is resolved
+	resident bool
+	prev     *entry
+	next     *entry
+}
+
+// Cache is a bounded content-addressed chunk cache. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	maxByte int64
+	entries map[Key]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used; eviction end
+	bytes   int64
+	count   int64
+
+	lookups    atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	coalesced  atomic.Int64
+	evictions  atomic.Int64
+	fillErrors atomic.Int64
+}
+
+// New returns a cache bounding resident decoded bytes at maxBytes.
+// maxBytes <= 0 yields a cache that admits nothing but still coalesces
+// concurrent fills of the same key.
+func New(maxBytes int64) *Cache {
+	return &Cache{maxByte: maxBytes, entries: make(map[Key]*entry)}
+}
+
+// GetOrFill returns the decoded chunk for key, running fill at most once
+// per key across concurrent callers. The second return reports whether the
+// bytes came out of the cache (true) or from a fill this call led or waited
+// on (false for the leader, true for coalesced waiters — they did not
+// decode). A fill error is returned to the leader and every waiter, and the
+// key is forgotten: a poisoned chunk is never cached and the next lookup
+// retries. The returned slice is shared — callers must not mutate it.
+func (c *Cache) GetOrFill(key Key, fill func() ([]byte, error)) ([]byte, bool, error) {
+	c.lookups.Add(1)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.resident {
+			c.moveToFront(e)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e.data, true, nil
+		}
+		// A fill for this key is in flight; wait for it outside the lock.
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-e.ready
+		if e.err != nil {
+			c.misses.Add(1)
+			return nil, false, e.err
+		}
+		c.hits.Add(1)
+		return e.data, true, nil
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	data, err := fill()
+	c.mu.Lock()
+	if err != nil {
+		delete(c.entries, key)
+		e.err = err
+		c.mu.Unlock()
+		close(e.ready)
+		c.fillErrors.Add(1)
+		return nil, false, err
+	}
+	e.data = data
+	if int64(len(data)) <= c.maxByte {
+		e.resident = true
+		c.pushFront(e)
+		c.bytes += int64(len(data))
+		c.count++
+		c.evictLocked()
+	} else {
+		// Larger than the whole budget: hand it to the caller (and any
+		// waiters) but do not admit it — one oversized chunk must not wipe
+		// the working set.
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return data, false, nil
+}
+
+// evictLocked drops least-recently-used resident entries until the byte
+// bound holds. Waiters that already hold a reference keep their slice; only
+// the cache's accounting lets go.
+func (c *Cache) evictLocked() {
+	for c.bytes > c.maxByte && c.tail != nil {
+		e := c.tail
+		c.unlink(e)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.data))
+		c.count--
+		c.evictions.Add(1)
+	}
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// Stats is one consistent-enough snapshot of the cache counters. The
+// invariants the property tests pin: Hits+Misses == Lookups (every lookup
+// resolves as exactly one of the two), and Bytes == the byte sum of the
+// resident entries.
+type Stats struct {
+	Lookups    int64 `json:"lookups"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Coalesced  int64 `json:"coalesced"` // lookups that waited on an in-flight fill
+	Evictions  int64 `json:"evictions"`
+	FillErrors int64 `json:"fill_errors"`
+	Entries    int64 `json:"entries"`
+	Bytes      int64 `json:"bytes_resident"`
+	MaxBytes   int64 `json:"max_bytes"`
+}
+
+// Snapshot reads the current counter values.
+func (c *Cache) Snapshot() Stats {
+	c.mu.Lock()
+	entries, bytes := c.count, c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Lookups:    c.lookups.Load(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Coalesced:  c.coalesced.Load(),
+		Evictions:  c.evictions.Load(),
+		FillErrors: c.fillErrors.Load(),
+		Entries:    entries,
+		Bytes:      bytes,
+		MaxBytes:   c.maxByte,
+	}
+}

@@ -144,6 +144,7 @@ func Run(t *testing.T, c compress.Codec) {
 	})
 	t.Run("FaultInjection", func(t *testing.T) { FaultInjection(t, c) })
 	t.Run("StreamEquivalence", func(t *testing.T) { StreamEquivalence(t, c) })
+	t.Run("RangeEquivalence", func(t *testing.T) { RangeEquivalence(t, c) })
 }
 
 func roundtrip(t *testing.T, c compress.Codec, src []byte) int {

@@ -40,6 +40,16 @@ type engineCounters struct {
 	decompressBusyNS   atomic.Int64
 	decompressBytesIn  atomic.Int64
 	decompressBytesOut atomic.Int64
+
+	// Range-read counters live apart from the stream decompress counters so
+	// the existing soak reconciliations (which equate decompress_chunks with
+	// frames fetched) stay exact: a random-access window decodes chunks the
+	// stream path never saw. rangeChunks counts chunks actually decoded —
+	// cache hits are visible only in the chunk-cache stats.
+	rangeReads    atomic.Int64
+	rangeChunks   atomic.Int64
+	rangeBytesIn  atomic.Int64 // compressed bytes fetched for range decodes
+	rangeBytesOut atomic.Int64 // raw bytes produced by range decodes
 }
 
 // engineDepthSlots bounds the per-worker depth gauge array; schedulers
@@ -71,6 +81,11 @@ type EngineStats struct {
 	DecompressBusyNS   int64 `json:"decompress_busy_ns_total"`
 	DecompressBytesIn  int64 `json:"decompress_bytes_in"`
 	DecompressBytesOut int64 `json:"decompress_bytes_out"`
+
+	RangeReads    int64 `json:"range_reads"`
+	RangeChunks   int64 `json:"range_chunks"`
+	RangeBytesIn  int64 `json:"range_bytes_in"`
+	RangeBytesOut int64 `json:"range_bytes_out"`
 }
 
 // EngineSnapshot reads the current counter values.
@@ -96,5 +111,9 @@ func EngineSnapshot() EngineStats {
 		DecompressBusyNS:   engine.decompressBusyNS.Load(),
 		DecompressBytesIn:  engine.decompressBytesIn.Load(),
 		DecompressBytesOut: engine.decompressBytesOut.Load(),
+		RangeReads:         engine.rangeReads.Load(),
+		RangeChunks:        engine.rangeChunks.Load(),
+		RangeBytesIn:       engine.rangeBytesIn.Load(),
+		RangeBytesOut:      engine.rangeBytesOut.Load(),
 	}
 }

@@ -1,0 +1,74 @@
+package compress
+
+import (
+	"io"
+	"runtime"
+)
+
+// Random-access support for the chunked stream format. The writers know the
+// exact frame layout as they emit it — offset of every payload, its
+// compressed and raw lengths — so they can feed an IndexSink that later
+// serializes a seek index (the container trailer). The sink is opt-in: the
+// default stream is byte-identical to what PR-1 shipped, the hot path pays
+// one nil check per chunk, and the alloc gates keep holding.
+
+// IndexSink receives the frame layout of a chunked stream as it is written
+// and serializes it after the stream terminator. Implemented by
+// container.IndexBuilder; defined here so the stream writers need no
+// dependency on the container's trailer format.
+//
+// AddChunk is called once per emitted frame, in stream order, with the
+// absolute offset of the frame payload (after its uvarint length prefix),
+// the compressed payload (valid only for the duration of the call), and the
+// raw chunk length. WriteTrailer is called by Close exactly once, after the
+// terminator byte, and returns the number of trailer bytes written.
+type IndexSink interface {
+	AddChunk(frameOff int64, comp []byte, rawLen int)
+	WriteTrailer(dst io.Writer) (int64, error)
+}
+
+// RunParallel executes fn(0..n-1) on the work-stealing engine — the same
+// scheduler shape the chunk pipelines run on, visible in the same
+// sched_submitted/sched_steals counters. Range reads use it to decode the
+// chunks of a multi-chunk window concurrently. It falls back to an inline
+// loop when the parallelism cannot pay for its own handoffs (one worker,
+// one item, or a 1-CPU host), mirroring the serial-fallback policy of the
+// stream engines. fn must be safe for concurrent calls; RunParallel returns
+// only after every call has finished.
+func RunParallel(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	s := newWorkStealing(workers, n, 0, func(_ int, _ bool, i int) { fn(i) })
+	for i := 0; i < n; i++ {
+		s.submit(i)
+	}
+	s.close()
+}
+
+// AccountRangeRead records one random-access window resolution against the
+// engine counters (a ReadAt call or a RangeReader stream).
+func AccountRangeRead() { engine.rangeReads.Add(1) }
+
+// AccountRangeChunk records one chunk decoded on behalf of a range read:
+// bytesIn is the compressed frame size actually fetched, bytesOut the raw
+// chunk size produced. Cache hits do not call this — the counter is the
+// ground truth for "how many chunks did random access really decode", which
+// the conformance wall bounds at ceil(len/chunk)+1 per window.
+func AccountRangeChunk(bytesIn, bytesOut int64) {
+	engine.rangeChunks.Add(1)
+	engine.rangeBytesIn.Add(bytesIn)
+	engine.rangeBytesOut.Add(bytesOut)
+}

@@ -74,6 +74,13 @@ type ParallelWriter struct {
 	err    error
 	closed bool
 
+	// Index sink (opt-in). pos is the absolute stream offset of the next
+	// frame; it is touched only by the emitter goroutine while the stream
+	// flows and read by Close after <-w.done, which is the happens-before
+	// edge that makes the handoff safe.
+	sink IndexSink
+	pos  int64
+
 	// serial, when non-nil, replaces the whole scheduler: on a host where
 	// the engine cannot overlap chunk compression with anything (one
 	// worker, or one CPU), the scheduler shape only adds handoffs over the
@@ -138,6 +145,20 @@ func NewParallelWriterContext(ctx context.Context, codec Codec, dst io.Writer, c
 // host, where parallelism cannot pay for its own handoffs.
 func (w *ParallelWriter) SerialFallback() bool { return w.serial != nil }
 
+// SetIndexSink attaches sink to receive the frame layout as it is emitted;
+// Close then appends the sink's trailer after the stream terminator. Call
+// it before the first Write. A nil sink (the default) leaves the output
+// byte-identical to an unindexed stream. On CloseWithError or context
+// cancellation no trailer is written — a poisoned stream must not grow a
+// tail that makes it look seekable.
+func (w *ParallelWriter) SetIndexSink(sink IndexSink) {
+	if w.serial != nil {
+		w.serial.SetIndexSink(sink)
+		return
+	}
+	w.sink = sink
+}
+
 // runJob compresses one chunk on a scheduler worker.
 func (w *ParallelWriter) runJob(worker int, stolen bool, job *pwJob) {
 	engine.queueDepth.Add(-1)
@@ -180,12 +201,21 @@ func (w *ParallelWriter) emitter() {
 		if err := w.firstErr(); err == nil {
 			if job.err != nil {
 				w.setErr(job.err)
-			} else if job.span == nil {
-				w.setErr(writeFrame(w.dst, w.hdr[:], job.comp))
 			} else {
-				t0 := time.Now()
-				err := writeFrame(w.dst, w.hdr[:], job.comp)
-				job.span.AddStage("frame-write", time.Since(t0), 0, int64(len(job.comp)))
+				var t0 time.Time
+				if job.span != nil {
+					t0 = time.Now()
+				}
+				n, err := writeFrame(w.dst, w.hdr[:], job.comp)
+				if job.span != nil {
+					job.span.AddStage("frame-write", time.Since(t0), 0, int64(len(job.comp)))
+				}
+				if err == nil {
+					w.pos += n
+					if w.sink != nil {
+						w.sink.AddChunk(w.pos-int64(len(job.comp)), job.comp, len(job.src))
+					}
+				}
 				w.setErr(err)
 			}
 		}
@@ -201,17 +231,20 @@ func (w *ParallelWriter) emitter() {
 	}
 }
 
-// writeFrame emits one chunk frame: uvarint(len+1) then the payload. hdr is
-// the caller's persistent scratch (len >= binary.MaxVarintLen64): a local
-// array would escape through the io.Writer interface and cost an allocation
-// per frame.
-func writeFrame(dst io.Writer, hdr, comp []byte) error {
+// writeFrame emits one chunk frame: uvarint(len+1) then the payload,
+// returning the total bytes written so the writers can track absolute frame
+// offsets for an IndexSink. hdr is the caller's persistent scratch (len >=
+// binary.MaxVarintLen64): a local array would escape through the io.Writer
+// interface and cost an allocation per frame.
+func writeFrame(dst io.Writer, hdr, comp []byte) (int64, error) {
 	n := binary.PutUvarint(hdr, uint64(len(comp))+1) // +1: 0 is the terminator
 	if _, err := dst.Write(hdr[:n]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err := dst.Write(comp)
-	return err
+	if _, err := dst.Write(comp); err != nil {
+		return int64(n), err
+	}
+	return int64(n) + int64(len(comp)), nil
 }
 
 func (w *ParallelWriter) setErr(err error) {
@@ -320,6 +353,9 @@ func (w *ParallelWriter) Close() error {
 		return err
 	}
 	_, err := w.dst.Write([]byte{0})
+	if err == nil && w.sink != nil {
+		_, err = w.sink.WriteTrailer(w.dst)
+	}
 	w.setErr(err)
 	return err
 }

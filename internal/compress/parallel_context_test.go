@@ -70,7 +70,7 @@ func TestParallelReaderContextCancel(t *testing.T) {
 	}
 	var one bytes.Buffer
 	var hdr [binary.MaxVarintLen64]byte
-	if err := writeFrame(&one, hdr[:], comp); err != nil {
+	if _, err := writeFrame(&one, hdr[:], comp); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())

@@ -29,12 +29,20 @@ type Writer struct {
 	chunk  int
 	closed bool
 	span   *trace.Span // parents per-chunk spans; nil = untraced
+	sink   IndexSink   // opt-in seek-index sink; nil = plain stream
+	pos    int64       // absolute stream offset of the next frame
 }
 
 // SetSpan attaches sp as the parent of this writer's per-chunk spans. Call
 // it before the first Write; a nil span (the default) disables tracing at
 // the cost of one branch per chunk.
 func (w *Writer) SetSpan(sp *trace.Span) { w.span = sp }
+
+// SetIndexSink attaches sink to receive the frame layout as it is written;
+// Close then appends the sink's trailer after the stream terminator. Call
+// it before the first Write. A nil sink (the default) leaves the output
+// byte-identical to an unindexed stream.
+func (w *Writer) SetIndexSink(sink IndexSink) { w.sink = sink }
 
 // NewWriter returns a streaming compressor writing to dst. chunkSize <= 0
 // selects DefaultChunkSize.
@@ -84,9 +92,14 @@ func (w *Writer) flush() error {
 	engine.compressBytesOut.Add(int64(len(comp)))
 	w.comp = comp
 	t1 := time.Now()
-	if err := writeFrame(w.dst, w.hdr[:], comp); err != nil {
+	n, err := writeFrame(w.dst, w.hdr[:], comp)
+	if err != nil {
 		chunk.End()
 		return err
+	}
+	w.pos += n
+	if w.sink != nil {
+		w.sink.AddChunk(w.pos-int64(len(comp)), comp, len(w.buf))
 	}
 	if chunk != nil {
 		chunk.AddStage("frame-write", time.Since(t1), 0, int64(len(comp)))
@@ -108,8 +121,15 @@ func (w *Writer) Close() error {
 			return err
 		}
 	}
-	_, err := w.dst.Write([]byte{0})
-	return err
+	if _, err := w.dst.Write([]byte{0}); err != nil {
+		return err
+	}
+	if w.sink != nil {
+		if _, err := w.sink.WriteTrailer(w.dst); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Reader decompresses a stream produced by Writer.

@@ -33,6 +33,11 @@ type gwMetrics struct {
 	abortedMidStream atomic.Int64 // connections aborted after the status line
 	bodiesStreamed   atomic.Int64 // requests too large to buffer (single-try)
 
+	// Object-tier passthrough: requests routed by object key rather than
+	// body hash, and the subset that asked for a byte range.
+	objectRequests atomic.Int64 // /v1/objects + /v1/read requests proxied
+	rangeRequests  atomic.Int64 // of those, partial reads (Range or ?off/?len)
+
 	// Adaptive-codec passthrough: the gateway never decides codecs itself,
 	// but it watches POST /v1/compress/auto go by and surfaces what the
 	// backends' advisors chose (the relayed X-Positd-Codec header).
@@ -113,6 +118,8 @@ type metricsSnapshot struct {
 	NoBackend        int64                    `json:"no_backend"`
 	AbortedMidStream int64                    `json:"aborted_mid_stream"`
 	BodiesStreamed   int64                    `json:"bodies_streamed"`
+	ObjectRequests   int64                    `json:"object_requests"`
+	RangeRequests    int64                    `json:"range_requests"`
 	AutoRequests     int64                    `json:"auto_requests"`
 	AutoStreamed     int64                    `json:"auto_streamed"`
 	AutoChosen       map[string]int64         `json:"auto_chosen,omitempty"`
@@ -139,6 +146,8 @@ func (g *Gateway) snapshot() metricsSnapshot {
 		NoBackend:        m.noBackend.Load(),
 		AbortedMidStream: m.abortedMidStream.Load(),
 		BodiesStreamed:   m.bodiesStreamed.Load(),
+		ObjectRequests:   m.objectRequests.Load(),
+		RangeRequests:    m.rangeRequests.Load(),
 		AutoRequests:     m.autoRequests.Load(),
 		AutoStreamed:     m.autoStreamed.Load(),
 		AutoChosen:       m.autoChosenSnapshot(),

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,12 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	if isAutoCompress(r) {
 		g.metrics.autoRequests.Add(1)
 	}
+	if _, ok := objectKey(r.URL.Path); ok {
+		g.metrics.objectRequests.Add(1)
+		if isRangeRead(r) {
+			g.metrics.rangeRequests.Add(1)
+		}
+	}
 	key := shardKey(r, body)
 	st := newTryState(g.ring.sequence(key), len(g.backends))
 	sp.Annotate("shard_key", strconv.FormatUint(key, 16))
@@ -83,6 +90,19 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 // codec; the gateway surfaces those decisions in its own metrics.
 func isAutoCompress(r *http.Request) bool {
 	return r.Method == http.MethodPost && r.URL.Path == "/v1/compress/auto"
+}
+
+// isRangeRead reports whether r is a partial object read: GET /v1/read
+// with a Range header or explicit ?off=/?len= window.
+func isRangeRead(r *http.Request) bool {
+	if r.Method != http.MethodGet || !strings.HasPrefix(r.URL.Path, "/v1/read/") {
+		return false
+	}
+	if r.Header.Get("Range") != "" {
+		return true
+	}
+	q := r.URL.Query()
+	return q.Get("off") != "" || q.Get("len") != ""
 }
 
 // observeAutoChoice records which codec the backend's advisor chose for a
@@ -295,15 +315,33 @@ func (g *Gateway) relay(w http.ResponseWriter, u *upstream) {
 }
 
 // shardKey picks the routing hash: an explicit X-Shard-Key wins, then the
-// body fingerprint, then the path (for bodyless requests).
+// object key for object-tier routes, then the body fingerprint, then the
+// path (for bodyless requests). Object routes must hash by key — not body
+// — so a PUT and every later ranged GET of the same object land on the
+// same backend preference order, and range requests find the chunks the
+// upload left behind (and each other's warm chunk cache).
 func shardKey(r *http.Request, body []byte) uint64 {
 	if k := r.Header.Get("X-Shard-Key"); k != "" {
 		return hashString(k)
+	}
+	if key, ok := objectKey(r.URL.Path); ok {
+		return hashString("object:" + key)
 	}
 	if len(body) > 0 {
 		return hashBytes(body)
 	}
 	return hashString(r.URL.Path)
+}
+
+// objectKey extracts the {key} segment of /v1/objects/{key} and
+// /v1/read/{key}; reads and writes of one object must shard identically.
+func objectKey(path string) (string, bool) {
+	for _, prefix := range []string{"/v1/objects/", "/v1/read/"} {
+		if rest, ok := strings.CutPrefix(path, prefix); ok && rest != "" && !strings.Contains(rest, "/") {
+			return rest, true
+		}
+	}
+	return "", false
 }
 
 // readUpTo reads rd until EOF or just past the cap. overflowed reports

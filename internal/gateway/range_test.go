@@ -1,0 +1,149 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestObjectKeyExtraction pins which paths shard by object key.
+func TestObjectKeyExtraction(t *testing.T) {
+	cases := []struct {
+		path string
+		key  string
+		ok   bool
+	}{
+		{"/v1/objects/field.f32.gz", "field.f32.gz", true},
+		{"/v1/read/field.f32.gz", "field.f32.gz", true},
+		{"/v1/objects/", "", false},
+		{"/v1/read/", "", false},
+		{"/v1/read/a/b", "", false},
+		{"/v1/compress/gzip", "", false},
+		{"/v1/objects", "", false},
+	}
+	for _, tc := range cases {
+		key, ok := objectKey(tc.path)
+		if key != tc.key || ok != tc.ok {
+			t.Errorf("objectKey(%q) = %q, %v; want %q, %v", tc.path, key, ok, tc.key, tc.ok)
+		}
+	}
+}
+
+// TestObjectRoutesShardByKey: a PUT and every later read of the same
+// object key route to the same backend, regardless of body or window —
+// while different keys can land elsewhere. Three recording backends, one
+// object, four request shapes.
+func TestObjectRoutesShardByKey(t *testing.T) {
+	hits := make([]int, 3)
+	urls := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i]++
+			io.Copy(io.Discard, r.Body)
+			if r.Header.Get("Range") != "" || r.URL.Query().Get("off") != "" {
+				w.Header().Set("Content-Range", "bytes 0-9/100")
+				w.WriteHeader(http.StatusPartialContent)
+			}
+			w.Write([]byte("ok"))
+		}))
+		defer b.Close()
+		urls[i] = b.URL
+	}
+	_, front := newTestGateway(t, urls, nil)
+
+	do := func(method, path, rangeHdr string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, front.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rangeHdr != "" {
+			req.Header.Set("Range", rangeHdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	do(http.MethodPut, "/v1/objects/shared-key", "")
+	do(http.MethodGet, "/v1/read/shared-key", "")
+	resp := do(http.MethodGet, "/v1/read/shared-key", "bytes=0-9")
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range status = %d, want relayed 206", resp.StatusCode)
+	}
+	if resp.Header.Get("Content-Range") == "" {
+		t.Fatal("Content-Range header not relayed through the gateway")
+	}
+	do(http.MethodGet, "/v1/read/shared-key?off=5&len=3", "")
+
+	owner := -1
+	for i, n := range hits {
+		if n > 0 {
+			if owner != -1 {
+				t.Fatalf("object requests spread across backends: hits = %v", hits)
+			}
+			owner = i
+		}
+	}
+	if owner == -1 || hits[owner] != 4 {
+		t.Fatalf("expected all 4 object requests on one backend, got %v", hits)
+	}
+}
+
+// TestGatewayRangeMetrics checks the object/range passthrough counters.
+func TestGatewayRangeMetrics(t *testing.T) {
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	defer b.Close()
+	_, front := newTestGateway(t, []string{b.URL}, nil)
+
+	for _, req := range []struct{ method, path, rangeHdr string }{
+		{http.MethodPut, "/v1/objects/m1", ""},
+		{http.MethodGet, "/v1/read/m1", ""},
+		{http.MethodGet, "/v1/read/m1", "bytes=0-9"},
+		{http.MethodGet, "/v1/read/m1?off=1&len=2", ""},
+		{http.MethodPost, "/v1/compress/gzip", ""}, // not an object route
+	} {
+		r, err := http.NewRequest(req.method, front.URL+req.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.rangeHdr != "" {
+			r.Header.Set("Range", req.rangeHdr)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		ObjectRequests int64 `json:"object_requests"`
+		RangeRequests  int64 `json:"range_requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ObjectRequests != 4 {
+		t.Fatalf("object_requests = %d, want 4", snap.ObjectRequests)
+	}
+	if snap.RangeRequests != 2 {
+		t.Fatalf("range_requests = %d, want 2 (one Range header, one ?off)", snap.RangeRequests)
+	}
+}

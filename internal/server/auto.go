@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"positbench/internal/compress"
+	"positbench/internal/container"
 	"positbench/internal/trace"
 )
 
@@ -89,6 +90,7 @@ func (s *Server) handleAuto(w http.ResponseWriter, r *http.Request) {
 	}
 
 	pw := compress.NewParallelWriterContext(r.Context(), codec, w, chunkSize, workers)
+	pw.SetIndexSink(container.NewIndexBuilder()) // auto streams are seekable too
 	total, err := io.Copy(pw, io.MultiReader(bytes.NewReader(prefix), body))
 	if err != nil {
 		pw.CloseWithError(err)

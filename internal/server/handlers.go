@@ -61,6 +61,11 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Positd-Codec", codec.Name())
 
 	pw := compress.NewParallelWriterContext(r.Context(), codec, w, chunkSize, workers)
+	// Every compressed stream leaves with a seek-index trailer: ~35 bytes
+	// per chunk buys clients random access via PUT /v1/objects +
+	// GET /v1/read, and v1 readers never see it (it sits past the stream
+	// terminator).
+	pw.SetIndexSink(container.NewIndexBuilder())
 	n, err := io.Copy(pw, body)
 	if err != nil {
 		// Poison before Close so the partial tail chunk is not flushed: if

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"positbench/internal/advisor"
+	"positbench/internal/chunkcache"
 	"positbench/internal/compress"
 	"positbench/internal/stats"
 )
@@ -145,6 +146,8 @@ type metricsSnapshot struct {
 	Rejected429   int64                             `json:"rejected_429"`
 	Engine        engineExport                      `json:"engine"`
 	Advisor       *advisor.Stats                    `json:"advisor,omitempty"`
+	ChunkCache    *chunkcache.Stats                 `json:"chunk_cache,omitempty"`
+	ObjectStore   *objectStoreStats                 `json:"object_store,omitempty"`
 	Requests      map[string]routeExport            `json:"requests"`
 	Codecs        map[string]map[string]codecExport `json:"codecs"`
 }
@@ -202,6 +205,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Engine.TracesCaptured = s.tracer.Len()
 	advStats := s.advisor.Stats()
 	snap.Advisor = &advStats
+	if s.chunkCache != nil {
+		cc := s.chunkCache.Snapshot()
+		snap.ChunkCache = &cc
+	}
+	storeStats := s.store.snapshot()
+	snap.ObjectStore = &storeStats
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(snap)

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"positbench/internal/advisor"
+	"positbench/internal/chunkcache"
 	"positbench/internal/compress"
 	"positbench/internal/compress/all"
 	"positbench/internal/container"
@@ -76,13 +77,22 @@ type Config struct {
 	// selects the advisor defaults with the server's own registry as the
 	// candidate set.
 	Advisor advisor.Config
+	// MaxStoreBytes bounds the object tier (PUT /v1/objects/{key}); past it
+	// uploads are refused with 507. 0 selects DefaultMaxStoreBytes.
+	MaxStoreBytes int64
+	// ChunkCacheBytes bounds the content-addressed decoded-chunk cache
+	// behind GET /v1/read/{key}. 0 selects DefaultChunkCacheBytes;
+	// negative disables caching (every read decodes).
+	ChunkCacheBytes int64
 }
 
 // Defaults for the zero Config.
 const (
-	DefaultMaxBodyBytes   = int64(1) << 30 // 1 GiB
-	DefaultMaxInflight    = 64
-	DefaultRequestTimeout = 5 * time.Minute
+	DefaultMaxBodyBytes    = int64(1) << 30 // 1 GiB
+	DefaultMaxInflight     = 64
+	DefaultRequestTimeout  = 5 * time.Minute
+	DefaultMaxStoreBytes   = int64(256) << 20 // 256 MiB object tier
+	DefaultChunkCacheBytes = int64(64) << 20  // 64 MiB decoded-chunk cache
 )
 
 // Server is the positd request handler. Create with New, mount via
@@ -97,6 +107,9 @@ type Server struct {
 	tracer  *trace.Tracer // nil when tracing is disabled
 	advisor *advisor.Advisor
 	ready   atomic.Bool // GET /readyz verdict; see SetReady
+
+	store      *objectStore      // PUT /v1/objects tier
+	chunkCache *chunkcache.Cache // nil when caching is disabled
 }
 
 // New validates cfg, fills defaults, and returns a ready Server.
@@ -125,12 +138,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AccessLog == nil {
 		cfg.AccessLog = os.Stderr
 	}
+	if cfg.MaxStoreBytes <= 0 {
+		cfg.MaxStoreBytes = DefaultMaxStoreBytes
+	}
+	if cfg.ChunkCacheBytes == 0 {
+		cfg.ChunkCacheBytes = DefaultChunkCacheBytes
+	}
 	s := &Server{
 		cfg:     cfg,
 		codecs:  make(map[string]compress.Codec, len(cfg.Codecs)),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		metrics: newMetrics(),
 		access:  &accessLogger{dst: cfg.AccessLog},
+		store:   newObjectStore(cfg.MaxStoreBytes),
+	}
+	if cfg.ChunkCacheBytes > 0 {
+		s.chunkCache = chunkcache.New(cfg.ChunkCacheBytes)
 	}
 	if cfg.TraceCapacity >= 0 {
 		s.tracer = trace.New(cfg.TraceCapacity)
@@ -190,6 +213,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/decompress", api("decompress", s.handleDecompress))
 	mux.Handle("POST /v1/convert", api("convert", s.handleConvert))
 	mux.Handle("POST /v1/analyze", api("analyze", s.handleAnalyze))
+	mux.Handle("PUT /v1/objects/{key}", api("put_object", s.handlePutObject))
+	mux.Handle("GET /v1/objects/{key}", s.shell("stat_object", http.HandlerFunc(s.handleStatObject)))
+	mux.Handle("GET /v1/read/{key}", api("read", s.handleRead))
 	mux.Handle("GET /v1/codecs", s.shell("codecs", http.HandlerFunc(s.handleCodecs)))
 	// Ops endpoints bypass admission and deadlines: a saturated or
 	// draining server must still answer its probes.
